@@ -1,0 +1,204 @@
+(* Benchmark & experiment harness.
+
+   With no arguments: run every experiment (the paper's table, figures and
+   quantitative claims) and then the Bechamel micro-benchmarks.  With
+   arguments: run only the named targets.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table1 swaps recovery
+     dune exec bench/main.exe micro      # microbenchmarks only *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ( "table1",
+      "Table 1: lock-mode compatibility matrix",
+      fun () ->
+        let table, ok = Sim.Exp_lock_table.run () in
+        Util.Table.print table;
+        Printf.printf "Table 1 reproduced exactly: %b\n" ok );
+    ( "figure1",
+      "Figure 1: three-pass walkthrough",
+      fun () -> Util.Table.print (Sim.Exp_passes.run_figure1 ()) );
+    ( "figure2",
+      "Figure 2: leaf-reorg main loop branch profile",
+      fun () -> Util.Table.print (Sim.Exp_passes.run_figure2 ()) );
+    ( "swaps",
+      "E1: Find-Free-Space heuristic vs naive (swap reduction)",
+      fun () -> Util.Table.print (Sim.Exp_swaps.run ()) );
+    ( "concurrency",
+      "E2: user throughput during reorganization vs Tandem",
+      fun () -> Util.Table.print (Sim.Exp_concurrency.run ()) );
+    ( "recovery",
+      "E3: forward recovery vs rollback after a crash",
+      fun () -> Util.Table.print (Sim.Exp_recovery.run ()) );
+    ( "logsize",
+      "E4: log volume with/without careful writing",
+      fun () -> Util.Table.print (Sim.Exp_logsize.run ()) );
+    ( "range",
+      "E5: range-scan I/O before/after reorganization",
+      fun () -> Util.Table.print (Sim.Exp_range.run ()) );
+    ( "granularity",
+      "E6: pages per unit and overhead vs Tandem",
+      fun () -> Util.Table.print (Sim.Exp_granularity.run ()) );
+    ( "shrink",
+      "E7: pass-3 height reduction and lock footprint",
+      fun () -> Util.Table.print (Sim.Exp_shrink.run ()) );
+    ( "switch",
+      "E8: switch latency under concurrent updates",
+      fun () -> Util.Table.print (Sim.Exp_switch.run ()) );
+    ( "ablation",
+      "Design-knob ablations (pass 2/3 off, f2 sweep, careful writing, stable cadence)",
+      fun () -> Util.Table.print (Sim.Exp_ablation.run ()) );
+    ( "unitsize",
+      "§6 trade-off: pages per lock envelope vs user blocking",
+      fun () -> Util.Table.print (Sim.Exp_unitsize.run ()) );
+    ( "parallel",
+      "Future work: range-partitioned parallel pass 1",
+      fun () -> Util.Table.print (Sim.Exp_parallel.run ()) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let mk_loaded n =
+  let records = List.init n (fun i -> (2 * i, Sim.Db.payload_for (2 * i))) in
+  Sim.Db.load ~fill:0.9 records
+
+let bench_btree_search =
+  let db = mk_loaded 20_000 in
+  let rng = Util.Rng.create 1 in
+  Test.make ~name:"btree.search (20k records)"
+    (Staged.stage (fun () ->
+         ignore (Btree.Tree.search db.Sim.Db.tree (2 * Util.Rng.int rng 20_000))))
+
+let bench_btree_insert_delete =
+  let db = mk_loaded 20_000 in
+  let tx = Transact.Txn_mgr.fresh_owner db.Sim.Db.mgr in
+  let rng = Util.Rng.create 2 in
+  Test.make ~name:"btree.insert+delete"
+    (Staged.stage (fun () ->
+         let k = (2 * Util.Rng.int rng 1_000_000) + 1 in
+         (try Btree.Tree.insert db.Sim.Db.tree ~txn:tx ~key:k ~payload:"x" ()
+          with Btree.Tree.Duplicate_key _ -> ());
+         ignore (Btree.Tree.delete db.Sim.Db.tree ~txn:tx k)))
+
+let bench_btree_range =
+  let db = mk_loaded 20_000 in
+  let rng = Util.Rng.create 3 in
+  Test.make ~name:"btree.range (100 keys)"
+    (Staged.stage (fun () ->
+         let lo = 2 * Util.Rng.int rng 19_000 in
+         ignore (Btree.Tree.range db.Sim.Db.tree ~lo ~hi:(lo + 200))))
+
+let bench_leaf_insert =
+  let page = Pager.Page.create ~size:512 in
+  Btree.Leaf.init page ~low_mark:0;
+  let rng = Util.Rng.create 4 in
+  Test.make ~name:"leaf.insert/delete (in page)"
+    (Staged.stage (fun () ->
+         let k = Util.Rng.int rng 1_000_000 in
+         if Btree.Leaf.insert page { Btree.Leaf.key = k; payload = "0123456789" } then
+           ignore (Btree.Leaf.delete page k)))
+
+let bench_lock_acquire =
+  let locks = Lockmgr.Lock_mgr.create () in
+  let rng = Util.Rng.create 5 in
+  Test.make ~name:"lock.acquire+release (S)"
+    (Staged.stage (fun () ->
+         let page = Util.Rng.int rng 1000 in
+         match
+           Lockmgr.Lock_mgr.try_acquire locks ~owner:1 (Lockmgr.Resource.Page page)
+             Lockmgr.Mode.S
+         with
+         | `Granted ->
+           Lockmgr.Lock_mgr.release locks ~owner:1 (Lockmgr.Resource.Page page) Lockmgr.Mode.S
+         | `Conflict _ -> ()))
+
+let bench_log_append =
+  let log = Wal.Log.create () in
+  Test.make ~name:"wal.append (leaf insert record)"
+    (Staged.stage (fun () ->
+         ignore
+           (Wal.Log.append log
+              (Wal.Record.Leaf_insert
+                 { txn = 1; page = 42; key = 7; payload = "payload!"; prev = 0 }))))
+
+let bench_record_codec =
+  let body =
+    Wal.Record.Reorg_move
+      {
+        unit_id = 3;
+        org = 11;
+        dest = 14;
+        payload = Wal.Record.Keys_only [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+        dest_init = None;
+        prev = 9;
+      }
+  in
+  Test.make ~name:"wal.record encode+decode"
+    (Staged.stage (fun () -> ignore (Wal.Record.decode (Wal.Record.encode body))))
+
+let bench_reorg_unit =
+  Test.make ~name:"reorg pass (120 records, end to end)"
+    (Staged.stage (fun () ->
+         let db, _ = Sim.Scenario.aged ~seed:9 ~n:120 ~f1:0.3 ~leaf_pages:512 () in
+         let config = { Reorg.Config.default with swap_pass = false; shrink_pass = false } in
+         ignore (Sim.Scenario.run_reorg ~config db)))
+
+let micro () =
+  let tests =
+    [
+      bench_leaf_insert;
+      bench_btree_search;
+      bench_btree_insert_delete;
+      bench_btree_range;
+      bench_lock_acquire;
+      bench_log_append;
+      bench_record_codec;
+      bench_reorg_unit;
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  print_endline "Micro-benchmarks (monotonic clock):";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols_results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-42s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-42s (no estimate)\n%!" name)
+        ols_results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let run_experiment (name, title, f) =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s — %s\n" name title;
+  Printf.printf "================================================================\n%!";
+  f ();
+  print_newline ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let targets =
+    if args = [] then List.map (fun (n, _, _) -> n) experiments @ [ "micro" ] else args
+  in
+  List.iter
+    (fun target ->
+      if target = "micro" then micro ()
+      else
+        match List.find_opt (fun (n, _, _) -> n = target) experiments with
+        | Some e -> run_experiment e
+        | None ->
+          Printf.eprintf "unknown target %S; known: %s micro\n" target
+            (String.concat " " (List.map (fun (n, _, _) -> n) experiments)))
+    targets

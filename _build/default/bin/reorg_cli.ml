@@ -1,0 +1,239 @@
+(* reorg-cli: drive the simulated database from the command line.
+
+   The database lives for one invocation (the disk is in-memory), so each
+   subcommand builds a scenario, acts on it, and reports — a REPL-style tour
+   of the system:
+
+     reorg-cli demo                          # build, degrade, reorganize
+     reorg-cli reorganize --records 5000 --fill 0.25 --no-swap
+     reorg-cli inspect --records 2000 --fill 0.3
+     reorg-cli crash --at 150                # crash + forward recovery
+     reorg-cli workload --users 8 --mix update-heavy *)
+
+open Cmdliner
+
+let setup_logs () = ()
+
+(* ------------- shared options ------------- *)
+
+let records_t =
+  Arg.(value & opt int 2000 & info [ "records"; "n" ] ~docv:"N" ~doc:"Number of records.")
+
+let fill_t =
+  Arg.(value & opt float 0.3 & info [ "fill"; "f1" ] ~docv:"F" ~doc:"Initial leaf fill factor.")
+
+let f2_t =
+  Arg.(value & opt float 0.9 & info [ "f2" ] ~docv:"F" ~doc:"Target leaf fill factor.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let page_size_t =
+  Arg.(value & opt int 512 & info [ "page-size" ] ~docv:"BYTES" ~doc:"Page size in bytes.")
+
+let no_swap_t =
+  Arg.(value & flag & info [ "no-swap" ] ~doc:"Skip pass 2 (swapping is optional in the paper).")
+
+let no_shrink_t = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip pass 3.")
+
+let workers_t =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N" ~doc:"Parallel pass-1 workers (future-work extension).")
+
+let lambda_t =
+  Arg.(
+    value & flag
+    & info [ "lambda" ]
+        ~doc:"Use the lambda-tree switch variant (no forced aborts, deferred cleanup).")
+
+let heuristic_t =
+  let policy =
+    Arg.enum
+      [
+        ("paper", Reorg.Config.Paper_heuristic);
+        ("first-free", Reorg.Config.First_free);
+        ("none", Reorg.Config.No_new_place);
+      ]
+  in
+  Arg.(
+    value
+    & opt policy Reorg.Config.Paper_heuristic
+    & info [ "heuristic" ] ~docv:"POLICY" ~doc:"Find-Free-Space policy: paper, first-free, none.")
+
+let mk_config ~f2 ~no_swap ~no_shrink ~heuristic ~lambda =
+  {
+    Reorg.Config.default with
+    Reorg.Config.f2;
+    swap_pass = not no_swap;
+    shrink_pass = not no_shrink;
+    heuristic;
+    lambda_switch = lambda;
+  }
+
+let print_tree_stats label tree =
+  let s = Btree.Tree.stats tree in
+  Printf.printf "%-10s height=%d leaves=%d internal=%d records=%d fill avg=%.0f%% min=%.0f%%\n"
+    label s.Btree.Tree.height s.Btree.Tree.leaf_count s.Btree.Tree.internal_count
+    s.Btree.Tree.record_count
+    (100.0 *. s.Btree.Tree.avg_leaf_fill)
+    (100.0 *. s.Btree.Tree.min_leaf_fill)
+
+(* ------------- subcommands ------------- *)
+
+let demo () =
+  setup_logs ();
+  let db, _ = Sim.Scenario.aged ~seed:42 ~n:2000 ~f1:0.25 () in
+  print_tree_stats "before" db.Sim.Db.tree;
+  let ctx, report, _ = Sim.Scenario.run_reorg db in
+  print_tree_stats "after" db.Sim.Db.tree;
+  Format.printf "report: %a@." Reorg.Driver.pp_report report;
+  Format.printf "metrics: %a@." Reorg.Metrics.pp ctx.Reorg.Ctx.metrics;
+  Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree;
+  print_endline "invariants OK"
+
+let reorganize records fill f2 seed page_size no_swap no_shrink heuristic lambda workers =
+  setup_logs ();
+  let db, _ = Sim.Scenario.aged ~page_size ~seed ~n:records ~f1:fill () in
+  print_tree_stats "before" db.Sim.Db.tree;
+  let config = mk_config ~f2 ~no_swap ~no_shrink ~heuristic ~lambda in
+  let ctx = Reorg.Ctx.make ~access:db.Sim.Db.access ~config in
+  let eng = Sched.Engine.create () in
+  let report = ref Reorg.Driver.empty_report in
+  Sched.Engine.spawn eng (fun () ->
+      report := Reorg.Driver.run ~pass1_workers:workers ctx);
+  Sched.Engine.run eng;
+  let report = !report in
+  print_tree_stats "after" db.Sim.Db.tree;
+  Format.printf "report: %a@." Reorg.Driver.pp_report report;
+  Format.printf "metrics: %a@." Reorg.Metrics.pp ctx.Reorg.Ctx.metrics;
+  let log_stats = Wal.Log.stats db.Sim.Db.log in
+  Printf.printf "log: %d records, %s total\n" log_stats.Wal.Log.records
+    (Util.Table.fmt_bytes log_stats.Wal.Log.bytes);
+  Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree;
+  print_endline "invariants OK"
+
+let inspect records fill seed page_size verbose =
+  setup_logs ();
+  let db, _ = Sim.Scenario.aged ~page_size ~seed ~n:records ~f1:fill () in
+  print_tree_stats "tree" db.Sim.Db.tree;
+  if verbose then begin
+    print_string (Btree.Dump.tree db.Sim.Db.tree);
+    print_endline "--- leaf chain ---";
+    print_string (Btree.Dump.leaf_chain db.Sim.Db.tree)
+  end;
+  (* Physical layout of the leaf zone. *)
+  let lo, _ = Pager.Alloc.leaf_zone db.Sim.Db.alloc in
+  let leaves = Btree.Tree.leaf_pids db.Sim.Db.tree in
+  Printf.printf "leaf zone starts at page %d; %d leaves; first 20 (key order): %s\n" lo
+    (List.length leaves)
+    (String.concat " " (List.map string_of_int (List.filteri (fun i _ -> i < 20) leaves)));
+  let ooo = ref 0 in
+  List.iteri (fun i pid -> if pid <> lo + i then incr ooo) leaves;
+  Printf.printf "out of disk order: %d of %d\n" !ooo (List.length leaves)
+
+let crash at records seed =
+  setup_logs ();
+  let db, expected = Sim.Scenario.aged ~seed ~n:records ~f1:0.3 () in
+  let ctx = Reorg.Ctx.make ~access:db.Sim.Db.access ~config:Reorg.Config.default in
+  let eng = Sched.Engine.create () in
+  Sched.Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
+  Sched.Engine.spawn eng (fun () ->
+      Sched.Engine.sleep at;
+      Sched.Engine.stop eng);
+  Sched.Engine.run eng;
+  Printf.printf "crash at tick %d: %d units complete, LK=%d\n" at
+    ctx.Reorg.Ctx.metrics.Reorg.Metrics.units
+    (Reorg.Rtable.lk ctx.Reorg.Ctx.rtable);
+  Sim.Sim_util.partial_flush db seed;
+  Sim.Db.crash db;
+  let ctx2, outcome =
+    Reorg.Recovery.restart ~access:db.Sim.Db.access ~config:Reorg.Config.default
+  in
+  Printf.printf "restart: redo=%d losers=%d finished-unit=%s resume=%s\n"
+    outcome.Reorg.Recovery.redo_applied outcome.Reorg.Recovery.losers_undone
+    (match outcome.Reorg.Recovery.finished_unit with None -> "-" | Some u -> string_of_int u)
+    (match outcome.Reorg.Recovery.resume with
+    | Reorg.Recovery.No_reorg -> "nothing"
+    | Reorg.Recovery.Resume_passes { lk } -> Printf.sprintf "leaf passes from LK=%d" lk
+    | Reorg.Recovery.Resume_pass3 { stable_key; _ } ->
+      Printf.sprintf "pass 3 from stable key %d" stable_key
+    | Reorg.Recovery.Finish_switch _ -> "finish switch");
+  let eng2 = Sched.Engine.create () in
+  Sched.Engine.spawn eng2 (fun () ->
+      ignore (Reorg.Recovery.resume_reorganization ctx2 outcome));
+  Sched.Engine.run eng2;
+  Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree;
+  Btree.Invariant.check_consistent_with db.Sim.Db.tree ~expected;
+  print_tree_stats "after" db.Sim.Db.tree;
+  print_endline "all records intact, invariants OK"
+
+let workload users mix_name records seed =
+  setup_logs ();
+  let db, _ = Sim.Scenario.aged ~seed ~n:records ~f1:0.3 () in
+  let mix =
+    match mix_name with
+    | "read-only" -> Workload.Mix.read_only
+    | "update-heavy" -> Workload.Mix.update_heavy
+    | _ -> Workload.Mix.read_mostly
+  in
+  let ctx, report, stats = Sim.Scenario.run_reorg ~users ~user_mix:mix db in
+  Format.printf "reorg: %a@." Reorg.Driver.pp_report report;
+  Printf.printf
+    "users: %d committed (%d reads, %d inserts, %d deletes), %d give-ups, %d aborts, %d \
+     blocked ticks\n"
+    stats.Workload.Mix.committed stats.Workload.Mix.reads stats.Workload.Mix.inserts
+    stats.Workload.Mix.deletes stats.Workload.Mix.give_ups stats.Workload.Mix.aborted
+    stats.Workload.Mix.blocked_ticks;
+  ignore ctx;
+  Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree;
+  print_endline "invariants OK"
+
+(* ------------- command wiring ------------- *)
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Build, degrade and reorganize a database end to end.")
+    Term.(const demo $ const ())
+
+let reorganize_cmd =
+  Cmd.v
+    (Cmd.info "reorganize" ~doc:"Reorganize an aged tree and report everything.")
+    Term.(
+      const reorganize $ records_t $ fill_t $ f2_t $ seed_t $ page_size_t $ no_swap_t
+      $ no_shrink_t $ heuristic_t $ lambda_t $ workers_t)
+
+let inspect_cmd =
+  let verbose_t =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump every page of the tree.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show the physical layout of an aged tree.")
+    Term.(const inspect $ records_t $ fill_t $ seed_t $ page_size_t $ verbose_t)
+
+let crash_cmd =
+  let at_t =
+    Arg.(value & opt int 150 & info [ "at" ] ~docv:"TICK" ~doc:"Crash after this many ticks.")
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Crash mid-reorganization and recover forward.")
+    Term.(const crash $ at_t $ records_t $ seed_t)
+
+let workload_cmd =
+  let users_t =
+    Arg.(value & opt int 8 & info [ "users" ] ~docv:"N" ~doc:"Concurrent user processes.")
+  in
+  let mix_t =
+    Arg.(
+      value
+      & opt string "read-mostly"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"read-only | read-mostly | update-heavy.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run user transactions concurrently with the reorganizer.")
+    Term.(const workload $ users_t $ mix_t $ records_t $ seed_t)
+
+let () =
+  let info =
+    Cmd.info "reorg-cli" ~version:"1.0.0"
+      ~doc:"On-line reorganization of sparsely-populated B+-trees (Salzberg & Zou, SIGMOD '96)"
+  in
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; reorganize_cmd; inspect_cmd; crash_cmd; workload_cmd ]))

@@ -1,0 +1,1 @@
+examples/concurrent_workload.ml: Btree Printf Reorg Sched Sim Workload

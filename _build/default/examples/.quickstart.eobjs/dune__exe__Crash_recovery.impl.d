@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Btree List Printf Reorg Sched Sim

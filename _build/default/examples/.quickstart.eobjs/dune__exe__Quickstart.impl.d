@@ -1,0 +1,1 @@
+examples/quickstart.ml: Btree List Printf Reorg Sched Sim Transact Util

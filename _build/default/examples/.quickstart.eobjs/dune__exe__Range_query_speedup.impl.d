@@ -1,0 +1,1 @@
+examples/range_query_speedup.ml: Btree List Pager Printf Reorg Sim Transact Util

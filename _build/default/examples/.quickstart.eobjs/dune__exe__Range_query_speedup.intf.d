@@ -1,0 +1,1 @@
+examples/range_query_speedup.mli:

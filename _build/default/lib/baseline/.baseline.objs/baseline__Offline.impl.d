@@ -1,0 +1,1 @@
+lib/baseline/offline.ml: Btree List Lockmgr Pager Sched Transact

@@ -1,0 +1,1 @@
+lib/baseline/offline.mli: Btree

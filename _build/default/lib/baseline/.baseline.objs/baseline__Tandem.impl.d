@@ -1,0 +1,1 @@
+lib/baseline/tandem.ml: Btree List Lockmgr Pager Sched Transact Wal

@@ -1,0 +1,117 @@
+module Page = Pager.Page
+module Buffer_pool = Pager.Buffer_pool
+module Alloc = Pager.Alloc
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+module Lock_client = Transact.Lock_client
+module Journal = Transact.Journal
+module Txn_mgr = Transact.Txn_mgr
+module Engine = Sched.Engine
+module Leaf = Btree.Leaf
+module Inode = Btree.Inode
+module Tree = Btree.Tree
+module Access = Btree.Access
+
+type stats = { records : int; offline_ticks : int; pages_written : int }
+
+(* Free every page of the old tree (leaves included — the rebuild made
+   fresh copies of everything). *)
+let free_old_tree tree ~old_root =
+  let journal = Tree.journal tree in
+  let rec free pid =
+    let p = Tree.page tree pid in
+    if Inode.is_internal p then List.iter (fun e -> free e.Inode.child) (Inode.entries p);
+    Journal.physical journal ~page:pid ~off:0 ~len:1 (fun q ->
+        Page.set_kind q Page.kind_free);
+    Alloc.release (Tree.alloc tree) pid
+  in
+  free old_root
+
+let reorganize ~access ~f2 =
+  let tree = Access.tree access in
+  let mgr = Access.mgr access in
+  let locks = Access.locks access in
+  let journal = Tree.journal tree in
+  let pool = Tree.pool tree in
+  let tx = Txn_mgr.begin_txn mgr in
+  (* The whole file goes offline. *)
+  Lock_client.acquire locks ~txn:tx (Resource.Tree (Tree.tree_name tree)) Mode.X;
+  let t0 = Engine.current_time () in
+  let flushes0 = Buffer_pool.flushes pool in
+  let records =
+    List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) (Tree.range tree ~lo:min_int ~hi:max_int)
+  in
+  let old_root = Tree.root tree in
+  (* Bulk-build the new tree in fresh space (unlogged, like CREATE INDEX;
+     it is flushed before the switch). *)
+  let entries =
+    let alloc = Tree.alloc tree in
+    let new_leaves = ref [] in
+    let usable =
+      Btree.Layout.usable_bytes
+        ~page_size:(Pager.Disk.page_size (Buffer_pool.disk pool))
+    in
+    let target = int_of_float (f2 *. float_of_int usable) in
+    let cur = ref None in
+    let prev = ref None in
+    let start low =
+      (* One tick per page constructed: the build is I/O bound. *)
+      Engine.sleep 1;
+      let pid = Alloc.alloc alloc Alloc.Leaf in
+      let p = Buffer_pool.get pool pid in
+      Leaf.init p ~low_mark:low;
+      (match !prev with
+      | Some q ->
+        Leaf.set_prev p (Some q);
+        let qp = Buffer_pool.get pool q in
+        Leaf.set_next qp (Some pid);
+        Buffer_pool.mark_dirty pool q
+      | None -> ());
+      Buffer_pool.mark_dirty pool pid;
+      prev := Some pid;
+      new_leaves := (low, pid) :: !new_leaves;
+      cur := Some pid;
+      pid
+    in
+    List.iter
+      (fun (key, payload) ->
+        let r = { Leaf.key; payload } in
+        let pid =
+          match !cur with
+          | Some pid when Leaf.live_bytes (Buffer_pool.get pool pid) + Leaf.record_bytes r <= target
+            ->
+            pid
+          | _ -> start key
+        in
+        assert (Leaf.insert (Buffer_pool.get pool pid) r);
+        Buffer_pool.mark_dirty pool pid)
+      records;
+    match List.rev !new_leaves with
+    | [] ->
+      let pid = Alloc.alloc (Tree.alloc tree) Alloc.Leaf in
+      let p = Buffer_pool.get pool pid in
+      Leaf.init p ~low_mark:min_int;
+      Buffer_pool.mark_dirty pool pid;
+      [ (min_int, pid) ]
+    | (_, first) :: rest ->
+      let p = Buffer_pool.get pool first in
+      Leaf.set_low_mark p min_int;
+      Buffer_pool.mark_dirty pool first;
+      (min_int, first) :: rest
+  in
+  let new_root =
+    match entries with
+    | [ (_, only) ] -> only
+    | _ ->
+      Btree.Bulk.build_internal_levels ~journal ~alloc:(Tree.alloc tree) ~fill:f2
+        ~gen:(Tree.generation tree + 1) entries
+  in
+  Buffer_pool.flush_all pool;
+  (* Switch and reclaim. *)
+  Tree.set_root tree ~txn:tx new_root;
+  Tree.set_generation tree ~txn:tx (Tree.generation tree + 1);
+  free_old_tree tree ~old_root;
+  let offline_ticks = Engine.current_time () - t0 in
+  let pages_written = Buffer_pool.flushes pool - flushes0 in
+  Txn_mgr.commit mgr tx;
+  { records = List.length records; offline_ticks; pages_written }

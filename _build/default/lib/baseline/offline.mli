@@ -1,0 +1,19 @@
+(** Offline rebuild — the "solution which requires locking up the entire
+    B+-tree" that the paper's introduction rules out (§2: "solutions which
+    require locking up the entire B+-tree to do reorganization are out of
+    question").
+
+    The whole tree is X-locked for the duration: every record is read out,
+    fresh leaves and upper levels are bulk-built at the target fill factor in
+    new space, the root is switched, and the old pages are freed.  Fastest
+    possible result, zero availability — the yardstick the online methods
+    are measured against. *)
+
+type stats = {
+  records : int;
+  offline_ticks : int;  (** how long the tree lock was held exclusively *)
+  pages_written : int;
+}
+
+val reorganize : access:Btree.Access.t -> f2:float -> stats
+(** Must run inside a scheduler process. *)

@@ -1,0 +1,41 @@
+(** Tandem-style online reorganization ([Smi90]) — the paper's comparator.
+
+    Behaviour reproduced from the paper's description of [Smi90]:
+    - every operation (block merge, block move, block swap) is an individual
+      {e database transaction}, commit-forced, and {e rolled back} if
+      interrupted — no forward recovery;
+    - each operation handles exactly {b two blocks};
+    - for the duration of each operation the method "prevents user
+      transactions from accessing the entire file": an X lock on the tree
+      lock, which every reader/updater's IS/IX conflicts with;
+    - record movements are logged physically with full page images (no
+      careful writing).
+
+    The compaction pass repeatedly merges an under-filled leaf with its
+    successor when both fit in one page; the ordering pass swaps/moves two
+    blocks per transaction toward contiguous key order. *)
+
+type stats = {
+  mutable ops : int;  (** operations = transactions run *)
+  mutable merges : int;
+  mutable swaps : int;
+  mutable moves : int;
+  mutable records_moved : int;
+  mutable log_bytes : int;
+  mutable lock_hold_ticks : int;  (** total ticks the file lock was held *)
+}
+
+val create_stats : unit -> stats
+
+val compact :
+  access:Btree.Access.t -> f2:float -> stats -> unit
+(** Run the merge pass to target fill [f2].  Must run inside a scheduler
+    process. *)
+
+val order_leaves : access:Btree.Access.t -> stats -> unit
+(** Swap/move pass: two blocks per transaction until leaves are contiguous
+    and in key order. *)
+
+val reorganize : access:Btree.Access.t -> f2:float -> stats
+(** Both passes (note: no tree-shrinking pass — [Smi90] reorganizes
+    key-sequenced files, not the index levels). *)

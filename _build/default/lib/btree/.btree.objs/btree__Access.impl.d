@@ -1,0 +1,1 @@
+lib/btree/access.ml: Inode Leaf List Lockmgr Sched Transact Tree Wal

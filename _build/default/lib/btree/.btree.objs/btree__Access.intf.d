@@ -1,0 +1,1 @@
+lib/btree/access.mli: Leaf Lockmgr Transact Tree Wal

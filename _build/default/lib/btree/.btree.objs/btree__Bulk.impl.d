@@ -1,0 +1,1 @@
+lib/btree/bulk.ml: Inode Layout Leaf List Meta Pager Transact Tree

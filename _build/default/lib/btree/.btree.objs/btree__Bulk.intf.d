@@ -1,0 +1,1 @@
+lib/btree/bulk.mli: Pager Transact Tree

@@ -1,0 +1,1 @@
+lib/btree/cursor.ml: Leaf List Option Tree

@@ -1,0 +1,1 @@
+lib/btree/cursor.mli: Leaf Tree

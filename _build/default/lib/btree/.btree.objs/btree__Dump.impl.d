@@ -1,0 +1,1 @@
+lib/btree/dump.ml: Buffer Format Inode Leaf List Meta Pager Printf String Tree Wal

@@ -1,0 +1,1 @@
+lib/btree/dump.mli: Pager Tree Wal

@@ -1,0 +1,1 @@
+lib/btree/inode.ml: Bytes Layout List Pager Printf

@@ -1,0 +1,1 @@
+lib/btree/inode.mli: Pager

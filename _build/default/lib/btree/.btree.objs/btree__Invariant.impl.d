@@ -1,0 +1,1 @@
+lib/btree/invariant.ml: Inode Leaf List Pager Printf String Tree

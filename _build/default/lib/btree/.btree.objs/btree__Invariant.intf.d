@@ -1,0 +1,1 @@
+lib/btree/invariant.mli: Pager Tree

@@ -1,0 +1,1 @@
+lib/btree/leaf.ml: Bytes Layout List Option Pager Printf String

@@ -1,0 +1,1 @@
+lib/btree/meta.ml: Bytes Layout Pager

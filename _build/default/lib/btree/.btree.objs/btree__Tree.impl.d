@@ -1,0 +1,1 @@
+lib/btree/tree.ml: Inode Layout Leaf List Meta Pager String Transact Wal

@@ -1,0 +1,1 @@
+lib/btree/tree.mli: Leaf Pager Transact Wal

@@ -1,0 +1,265 @@
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+module Lock_mgr = Lockmgr.Lock_mgr
+module Lock_client = Transact.Lock_client
+module Txn = Transact.Txn
+module Txn_mgr = Transact.Txn_mgr
+module Engine = Sched.Engine
+
+type t = {
+  tree : Tree.t;
+  mgr : Txn_mgr.t;
+  record_locking : bool;
+  mutable on_base_update : (Txn.t -> Wal.Record.side_op -> unit) option;
+  mutable side_undo : (Wal.Record.side_op -> unit) option;
+}
+
+let create ~tree ~mgr ?(record_locking = false) () =
+  { tree; mgr; record_locking; on_base_update = None; side_undo = None }
+
+let set_side_undo t f = t.side_undo <- Some f
+
+let run_side_undo t op = match t.side_undo with Some f -> f op | None -> ()
+
+let tree t = t.tree
+let mgr t = t.mgr
+let locks t = Txn_mgr.lock_mgr t.mgr
+
+let set_on_base_update t f = t.on_base_update <- Some f
+let clear_on_base_update t = t.on_base_update <- None
+
+let page_res pid = Resource.Page pid
+
+let has_rx blockers = List.exists (fun (_, m) -> m = Mode.RX) blockers
+
+(* The §4.1.2 give-up step: the requester has hit an RX on a leaf while
+   holding [base] in mode [held_mode].  Release the base lock, wait out the
+   reorganizer with an unconditional instant-duration RS on the base page,
+   and return once it is over; the caller then re-locks the base and retries
+   from it. *)
+let give_up_and_wait t ~txn ~base ~held_mode =
+  Txn.note_give_up txn;
+  Lock_client.release (locks t) ~txn (page_res base) held_mode;
+  Lock_client.instant (locks t) ~txn (page_res base) Mode.RS
+
+(* S lock-couple from the root to the leaf covering [key], applying the RX
+   give-up rule at the leaf step.  On return the caller holds [leaf_mode] on
+   the leaf (and nothing else below the tree lock). *)
+let rec descend_locked t ~txn ~key ~leaf_mode =
+  let root = Tree.root t.tree in
+  Lock_client.acquire (locks t) ~txn (page_res root) Mode.S;
+  couple_down t ~txn ~key ~leaf_mode root
+
+and couple_down t ~txn ~key ~leaf_mode cur =
+  (* Holds S on [cur]. *)
+  Engine.yield ();
+  let p = Tree.page t.tree cur in
+  if Leaf.is_leaf p then begin
+    (* Root is a leaf: trade S for the leaf mode. *)
+    if leaf_mode <> Mode.S then begin
+      Lock_client.acquire (locks t) ~txn (page_res cur) leaf_mode;
+      Lock_client.release (locks t) ~txn (page_res cur) Mode.S
+    end;
+    cur
+  end
+  else begin
+    let child = (Inode.child_for p key).Inode.child in
+    let child_is_leaf = Inode.level p = 1 in
+    let mode = if child_is_leaf then leaf_mode else Mode.S in
+    match Lock_client.try_acquire (locks t) ~txn (page_res child) mode with
+    | `Granted ->
+      Lock_client.release (locks t) ~txn (page_res cur) Mode.S;
+      if child_is_leaf then child else couple_down t ~txn ~key ~leaf_mode child
+    | `Conflict blockers when child_is_leaf && has_rx blockers ->
+      give_up_and_wait t ~txn ~base:cur ~held_mode:Mode.S;
+      (* Reorganization of that unit is over; retry from the base page. *)
+      Lock_client.acquire (locks t) ~txn (page_res cur) Mode.S;
+      couple_down t ~txn ~key ~leaf_mode cur
+    | `Conflict _ ->
+      Lock_client.wait_queued (locks t) ~txn (page_res child) mode;
+      Lock_client.release (locks t) ~txn (page_res cur) Mode.S;
+      if child_is_leaf then child else couple_down t ~txn ~key ~leaf_mode child
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read t ~txn key =
+  Lock_client.acquire (locks t) ~txn (Resource.Tree (Tree.tree_name t.tree)) Mode.IS;
+  let leaf_mode = if t.record_locking then Mode.IS else Mode.S in
+  let leaf = descend_locked t ~txn ~key ~leaf_mode in
+  if t.record_locking then Lock_client.acquire (locks t) ~txn (Resource.Rec key) Mode.S;
+  Leaf.find (Tree.page t.tree leaf) key
+
+let rec range_read t ~txn ~lo ~hi =
+  Lock_client.acquire (locks t) ~txn (Resource.Tree (Tree.tree_name t.tree)) Mode.IS;
+  let leaf = descend_locked t ~txn ~key:lo ~leaf_mode:Mode.S in
+  walk_chain t ~txn ~lo ~hi leaf []
+
+and walk_chain t ~txn ~lo ~hi cur acc =
+  (* Holds S on [cur]. *)
+  Engine.yield ();
+  let p = Tree.page t.tree cur in
+  let here = List.filter (fun r -> r.Leaf.key >= lo && r.Leaf.key <= hi) (Leaf.records p) in
+  let acc = List.rev_append here acc in
+  let stop = match Leaf.max_key p with Some k when k > hi -> true | _ -> false in
+  match (stop, Leaf.next p) with
+  | true, _ | _, None -> List.rev acc
+  | false, Some nxt -> begin
+    let resume_from =
+      match Leaf.max_key p with Some k -> k + 1 | None -> lo
+    in
+    match Lock_client.try_acquire (locks t) ~txn (page_res nxt) Mode.S with
+    | `Granted ->
+      Lock_client.release (locks t) ~txn (page_res cur) Mode.S;
+      walk_chain t ~txn ~lo ~hi nxt acc
+    | `Conflict blockers when has_rx blockers ->
+      (* The next leaf is being reorganized: drop out of the chain, wait on
+         its parent, and re-descend for the continuation key. *)
+      Lock_client.release (locks t) ~txn (page_res cur) Mode.S;
+      (match Tree.parent_of_leaf t.tree resume_from with
+      | Some base -> Lock_client.instant (locks t) ~txn (page_res base) Mode.RS
+      | None -> ());
+      Txn.note_give_up txn;
+      List.rev_append acc (range_read t ~txn ~lo:resume_from ~hi)
+    | `Conflict _ ->
+      Lock_client.wait_queued (locks t) ~txn (page_res nxt) Mode.S;
+      Lock_client.release (locks t) ~txn (page_res cur) Mode.S;
+      walk_chain t ~txn ~lo ~hi nxt acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Updater                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type op = Ins | Del
+
+(* Will the operation need a structural (base-page) change? *)
+let needs_structure t op ~key ~payload leaf =
+  let p = Tree.page t.tree leaf in
+  match op with
+  | Ins -> not (Leaf.fits p { Leaf.key; payload })
+  | Del -> Leaf.mem p key && Leaf.nrecords p = 1 && Tree.height t.tree > 1
+
+let leaf_safe t op ~key ~payload pid =
+  let p = Tree.page t.tree pid in
+  match op with
+  | Ins -> Leaf.fits p { Leaf.key; payload }
+  | Del -> Leaf.nrecords p > 1 || not (Leaf.mem p key)
+
+let inode_safe op p =
+  match op with Ins -> Inode.nentries p < Inode.capacity p | Del -> Inode.nentries p >= 2
+
+exception Restart
+
+(* X lock-coupling descent for structure-modifying operations
+   (Bayer–Schkolnick): hold X from the topmost unsafe node down to the leaf;
+   acquiring a safe node releases all ancestors. *)
+let descend_x t ~txn ~op ~key ~payload =
+  let release_many pids =
+    List.iter (fun pid -> Lock_client.release (locks t) ~txn (page_res pid) Mode.X) pids
+  in
+  let rec step held cur =
+    Engine.yield ();
+    let p = Tree.page t.tree cur in
+    if Leaf.is_leaf p then (held, cur)
+    else begin
+      let child = (Inode.child_for p key).Inode.child in
+      let child_is_leaf = Inode.level p = 1 in
+      (match Lock_client.try_acquire (locks t) ~txn (page_res child) Mode.X with
+      | `Granted -> ()
+      | `Conflict blockers when child_is_leaf && has_rx blockers ->
+        (* Give up everything, wait out the unit on the base page, restart. *)
+        release_many held;
+        Txn.note_give_up txn;
+        Lock_client.instant (locks t) ~txn (page_res cur) Mode.RS;
+        raise Restart
+      | `Conflict _ -> Lock_client.wait_queued (locks t) ~txn (page_res child) Mode.X);
+      let safe =
+        if child_is_leaf then leaf_safe t op ~key ~payload child
+        else inode_safe op (Tree.page t.tree child)
+      in
+      let held =
+        if safe then begin
+          release_many held;
+          [ child ]
+        end
+        else held @ [ child ]
+      in
+      if child_is_leaf then (held, child) else step held child
+    end
+  in
+  let rec start () =
+    let root = Tree.root t.tree in
+    Lock_client.acquire (locks t) ~txn (page_res root) Mode.X;
+    match step [ root ] root with
+    | held, leaf -> (held, leaf)
+    | exception Restart -> start ()
+  in
+  start ()
+
+(* Collected during the structural change; forwarded to the side-file hook
+   only if pass 3 is running (§7.2 tests the reorganization bit under the
+   base page X lock, which the X descent holds). *)
+let base_edit_sink edits op = edits := op :: !edits
+
+let flush_base_edits t ~txn edits =
+  match t.on_base_update with
+  | Some hook when Tree.reorg_bit t.tree -> List.iter (fun op -> hook txn op) (List.rev !edits)
+  | _ -> ()
+
+let with_structure_locks t ~txn ~op ~key ~payload f =
+  let held, leaf = descend_x t ~txn ~op ~key ~payload in
+  let edits = ref [] in
+  let result = f leaf ~on_base_edit:(fun e -> base_edit_sink edits e) in
+  flush_base_edits t ~txn edits;
+  (* Structure locks are released as soon as the change is done; the leaf
+     lock is kept to end of transaction. *)
+  List.iter
+    (fun pid -> if pid <> leaf then Lock_client.release (locks t) ~txn (page_res pid) Mode.X)
+    held;
+  (match Lock_mgr.holds (locks t) ~owner:txn.Txn.id (page_res leaf) with
+  | [] -> Lock_client.acquire (locks t) ~txn (page_res leaf) Mode.X
+  | _ -> ());
+  result
+
+let insert t ~txn ~key ~payload =
+  Lock_client.acquire (locks t) ~txn (Resource.Tree (Tree.tree_name t.tree)) Mode.IX;
+  let leaf_mode = if t.record_locking then Mode.IX else Mode.X in
+  let attempt () =
+    let leaf = descend_locked t ~txn ~key ~leaf_mode in
+    if t.record_locking then Lock_client.acquire (locks t) ~txn (Resource.Rec key) Mode.X;
+    if needs_structure t Ins ~key ~payload leaf then begin
+      (* §4.1.3: release and restart with X lock-coupling. *)
+      Lock_client.release (locks t) ~txn (page_res leaf) leaf_mode;
+      ignore
+        (with_structure_locks t ~txn ~op:Ins ~key ~payload (fun _leaf ~on_base_edit ->
+             Tree.insert t.tree ~txn ~on_base_edit ~key ~payload ()))
+    end
+    else
+      (* The leaf is safe: the insert cannot touch any base page. *)
+      Tree.insert t.tree ~txn ~key ~payload ()
+  in
+  attempt ()
+
+let delete t ~txn key =
+  Lock_client.acquire (locks t) ~txn (Resource.Tree (Tree.tree_name t.tree)) Mode.IX;
+  let leaf_mode = if t.record_locking then Mode.IX else Mode.X in
+  let leaf = descend_locked t ~txn ~key ~leaf_mode in
+  if t.record_locking then Lock_client.acquire (locks t) ~txn (Resource.Rec key) Mode.X;
+  if needs_structure t Del ~key ~payload:"" leaf then begin
+    Lock_client.release (locks t) ~txn (page_res leaf) leaf_mode;
+    with_structure_locks t ~txn ~op:Del ~key ~payload:"" (fun _leaf ~on_base_edit ->
+        Tree.delete t.tree ~txn ~on_base_edit key)
+  end
+  else Tree.delete t.tree ~txn key
+
+let update t ~txn ~key ~payload =
+  (* Delete-then-insert through the full protocols: each step takes its own
+     locks, and both stay held to end of transaction. *)
+  match delete t ~txn key with
+  | None -> None
+  | Some old ->
+    insert t ~txn ~key ~payload;
+    Some old

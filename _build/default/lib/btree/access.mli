@@ -1,0 +1,66 @@
+(** User-transaction access protocols (paper §4.1.2–4.1.3).
+
+    These are the reader and updater protocols that coexist with the
+    reorganizer:
+
+    {b Reader}: IS on the tree lock, S lock-coupling down the tree.  If the S
+    request on a {e leaf} conflicts with the reorganizer's RX, the reader
+    releases its base-page S lock and its request, issues an unconditional
+    instant-duration RS on the base page (which is incompatible with R, so it
+    returns exactly when the reorganizer finishes that unit), then re-locks
+    the base page and retries from there — the keys it is after may have
+    moved to a different leaf of the same parent.
+
+    {b Updater}: IX on the tree lock, S coupling to the parent, X on the
+    leaf, same RX give-up rule.  If the operation needs a structural change
+    (split, or free-at-empty consolidation), all locks are released and the
+    descent restarts with X lock-coupling, releasing ancestors above
+    Bayer–Schkolnick safe nodes; the X on a base page is what makes updaters
+    wait out the reorganizer's short MODIFY phase.  After a base-page change,
+    the updater tests the reorganization bit and runs the §7.2 side-file
+    logic installed with {!set_on_base_update}.
+
+    All calls must run inside a {!Sched.Engine} process; they may raise
+    {!Transact.Lock_client.Deadlock_victim}, which callers handle by aborting
+    the transaction.  Locks are held to end of transaction
+    ([Txn_mgr.commit/abort/finish_read_only] releases them). *)
+
+type t
+
+val create : tree:Tree.t -> mgr:Transact.Txn_mgr.t -> ?record_locking:bool -> unit -> t
+(** With [record_locking] (off by default), readers take IS on the leaf page
+    plus S on the record key, and updaters take IX plus X on the key —
+    §4.1.2's "readers and updaters may request or hold intention locks (IX or
+    IS) (on leaf pages only) if they are doing record-level locking".  Two
+    updaters then coexist on one leaf; the RX give-up rule is unchanged
+    because RX conflicts with IS and IX too (Table 1). *)
+
+val tree : t -> Tree.t
+val mgr : t -> Transact.Txn_mgr.t
+val locks : t -> Lockmgr.Lock_mgr.t
+
+val set_on_base_update : t -> (Transact.Txn.t -> Wal.Record.side_op -> unit) -> unit
+(** Installed by pass 3; called after every base-page entry change made by an
+    updater while the reorganization bit is set. *)
+
+val clear_on_base_update : t -> unit
+
+val set_side_undo : t -> (Wal.Record.side_op -> unit) -> unit
+(** Installed by pass 3 alongside the base-update hook: how to remove a
+    side-file entry when the transaction that appended it rolls back. *)
+
+val run_side_undo : t -> Wal.Record.side_op -> unit
+(** Dispatch a side-file CLR action to the installed hook (no-op if none). *)
+
+val read : t -> txn:Transact.Txn.t -> int -> string option
+
+val range_read : t -> txn:Transact.Txn.t -> lo:int -> hi:int -> Leaf.record list
+(** S-locks each leaf in turn along the side-pointer chain. *)
+
+val insert : t -> txn:Transact.Txn.t -> key:int -> payload:string -> unit
+
+val delete : t -> txn:Transact.Txn.t -> int -> string option
+
+val update : t -> txn:Transact.Txn.t -> key:int -> payload:string -> string option
+(** Replace an existing record's payload under the updater protocol;
+    returns the old payload ([None] = key absent, nothing written). *)

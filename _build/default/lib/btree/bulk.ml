@@ -1,0 +1,131 @@
+module Buffer_pool = Pager.Buffer_pool
+module Alloc = Pager.Alloc
+module Journal = Transact.Journal
+
+let chunk_leaves ~pool ~alloc ~fill records =
+  (* Pack records into fresh leaves, filling each to [fill] of usable bytes.
+     Returns (low key, pid) entries in order. *)
+  let disk = Buffer_pool.disk pool in
+  let usable = Layout.usable_bytes ~page_size:(Pager.Disk.page_size disk) in
+  let target = int_of_float (fill *. float_of_int usable) in
+  let entries = ref [] in
+  let current = ref None in
+  let prev_leaf = ref None in
+  let start_leaf low =
+    let pid = Alloc.alloc alloc Alloc.Leaf in
+    let p = Buffer_pool.get pool pid in
+    Leaf.init p ~low_mark:low;
+    (match !prev_leaf with
+    | Some q ->
+      Leaf.set_prev p (Some q);
+      let qp = Buffer_pool.get pool q in
+      Leaf.set_next qp (Some pid);
+      Buffer_pool.mark_dirty pool q
+    | None -> ());
+    Buffer_pool.mark_dirty pool pid;
+    prev_leaf := Some pid;
+    entries := (low, pid) :: !entries;
+    current := Some pid;
+    pid
+  in
+  List.iter
+    (fun (key, payload) ->
+      let r = { Leaf.key; payload } in
+      let pid =
+        match !current with
+        | Some pid when Leaf.live_bytes (Buffer_pool.get pool pid) + Leaf.record_bytes r <= target
+          ->
+          pid
+        | Some _ -> start_leaf key
+        | None -> start_leaf min_int
+      in
+      let p = Buffer_pool.get pool pid in
+      if not (Leaf.insert p r) then begin
+        (* Record larger than the target fill: give it a fresh page. *)
+        let pid = start_leaf key in
+        if not (Leaf.insert (Buffer_pool.get pool pid) r) then
+          invalid_arg "Bulk.load: record too large for a page"
+      end;
+      Buffer_pool.mark_dirty pool pid)
+    records;
+  List.rev !entries
+
+let build_internal_levels ~journal ~alloc ~fill ?(start_level = 1) ?(gen = 0) ?on_page entries =
+  let pool = Journal.pool journal in
+  let disk = Buffer_pool.disk pool in
+  let page_size = Pager.Disk.page_size disk in
+  let capacity = (page_size - Layout.body_start) / Layout.entry_size in
+  let per_node = max 2 (int_of_float (fill *. float_of_int capacity)) in
+  let rec build level entries =
+    match entries with
+    | [] -> invalid_arg "Bulk.build_internal_levels: no children"
+    | [ (_, pid) ] when level > start_level -> pid
+    | _ ->
+      let groups =
+        let rec split acc cur n = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | e :: rest ->
+            if n >= per_node then split (List.rev cur :: acc) [ e ] 1 rest
+            else split acc (e :: cur) (n + 1) rest
+        in
+        split [] [] 0 entries
+      in
+      let parents =
+        List.mapi
+          (fun i group ->
+            let low = if i = 0 then min_int else fst (List.hd group) in
+            let pid = Alloc.alloc alloc Alloc.Internal in
+            let p = Buffer_pool.get pool pid in
+            Inode.init p ~level ~low_mark:low;
+            Inode.set_generation p gen;
+            List.iter
+              (fun (k, child) -> assert (Inode.insert p { Inode.key = k; child }))
+              group;
+            Buffer_pool.mark_dirty pool pid;
+            (match on_page with Some f -> f pid | None -> ());
+            (low, pid))
+          groups
+      in
+      (match parents with [ (_, root) ] -> root | _ -> build (level + 1) parents)
+  in
+  build start_level entries
+
+let load ~journal ~alloc ~meta_pid ~tree_name ~fill ?internal_fill records =
+  if fill <= 0.0 || fill > 1.0 then invalid_arg "Bulk.load: fill out of range";
+  let internal_fill = match internal_fill with Some f -> f | None -> fill in
+  let rec sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a >= b then invalid_arg "Bulk.load: records not strictly sorted";
+      sorted rest
+    | _ -> ()
+  in
+  sorted records;
+  let pool = Journal.pool journal in
+  let root =
+    match records with
+    | [] ->
+      let pid = Alloc.alloc alloc Alloc.Leaf in
+      let p = Buffer_pool.get pool pid in
+      Leaf.init p ~low_mark:min_int;
+      Buffer_pool.mark_dirty pool pid;
+      pid
+    | _ ->
+      let entries = chunk_leaves ~pool ~alloc ~fill records in
+      (* Fix the leftmost low mark so searches below the first key land
+         inside the tree. *)
+      (match entries with
+      | (_, first_pid) :: _ ->
+        let p = Buffer_pool.get pool first_pid in
+        Leaf.set_low_mark p min_int;
+        Buffer_pool.mark_dirty pool first_pid
+      | [] -> ());
+      let entries = match entries with (_, pid) :: rest -> (min_int, pid) :: rest | [] -> [] in
+      (match entries with
+      | [ (_, only) ] -> only
+      | _ -> build_internal_levels ~journal ~alloc ~fill:internal_fill entries)
+  in
+  let mp = Buffer_pool.get pool meta_pid in
+  Meta.init mp ~root ~tree_name;
+  Buffer_pool.mark_dirty pool meta_pid;
+  Buffer_pool.flush_all pool;
+  Tree.attach ~journal ~alloc ~meta_pid

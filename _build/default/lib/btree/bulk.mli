@@ -1,0 +1,37 @@
+(** Bottom-up bulk build from sorted records ([Sal88] ch. 5 §5).
+
+    Records are packed into fresh leaf pages left to right up to a target
+    fill factor, then each upper level is built the same way — exactly the
+    construction the paper reuses for pass 3.  Like a CREATE INDEX, the build
+    is {e not} logged; {!load} flushes everything and the tree is durable
+    when it returns. *)
+
+val load :
+  journal:Transact.Journal.t ->
+  alloc:Pager.Alloc.t ->
+  meta_pid:int ->
+  tree_name:int ->
+  fill:float ->
+  ?internal_fill:float ->
+  (int * string) list ->
+  Tree.t
+(** [load ... ~fill records] builds a tree from records sorted by key
+    (raises [Invalid_argument] otherwise).  [fill] in (0, 1] applies to the
+    leaves; [internal_fill] (default [fill]) to the levels above. *)
+
+val build_internal_levels :
+  journal:Transact.Journal.t ->
+  alloc:Pager.Alloc.t ->
+  fill:float ->
+  ?start_level:int ->
+  ?gen:int ->
+  ?on_page:(int -> unit) ->
+  (int * int) list ->
+  int
+(** [build_internal_levels ~fill entries] builds the internal levels above a
+    list of [(low key, page id)] children and returns the root pid.
+    [start_level] (default 1) is the level of the first parent layer —
+    pass 3 uses 2 when stacking above already-built base pages.  [gen] tags
+    the new pages' generation; [on_page] observes each allocated page (for
+    stable-point flushing).  Pages are written through the pool but not
+    logged. *)

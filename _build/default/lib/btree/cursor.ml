@@ -1,0 +1,103 @@
+type position =
+  | At of { leaf : int; index : int }
+  | End
+  | Start (* before the first record *)
+
+type t = { tree : Tree.t; mutable pos : position }
+
+let page t pid = Tree.page t.tree pid
+
+let normalize t = function
+  | At { leaf; index } ->
+    let p = page t leaf in
+    if index < Leaf.nrecords p then At { leaf; index }
+    else begin
+      (* Walk to the next non-empty leaf. *)
+      let rec forward pid =
+        match Leaf.next (page t pid) with
+        | None -> End
+        | Some nxt -> if Leaf.nrecords (page t nxt) > 0 then At { leaf = nxt; index = 0 } else forward nxt
+      in
+      forward leaf
+    end
+  | other -> other
+
+let seek tree k =
+  let t = { tree; pos = End } in
+  let leaf = Tree.find_leaf tree k in
+  let p = Tree.page tree leaf in
+  (* First slot with key >= k within the leaf, else the next leaf. *)
+  let rec find i = function
+    | [] -> i
+    | key :: rest -> if key >= k then i else find (i + 1) rest
+  in
+  let index = find 0 (Leaf.keys p) in
+  t.pos <- normalize t (At { leaf; index });
+  t
+
+let first tree =
+  let t = { tree; pos = End } in
+  t.pos <- normalize t (At { leaf = Tree.first_leaf tree; index = 0 });
+  t
+
+let last tree =
+  let t = { tree; pos = End } in
+  (* Walk the chain to the last non-empty leaf. *)
+  let rec go pid best =
+    let p = Tree.page tree pid in
+    let best = if Leaf.nrecords p > 0 then Some pid else best in
+    match Leaf.next p with None -> best | Some nxt -> go nxt best
+  in
+  (match go (Tree.first_leaf tree) None with
+  | Some leaf -> t.pos <- At { leaf; index = Leaf.nrecords (Tree.page tree leaf) - 1 }
+  | None -> t.pos <- End);
+  t
+
+let at_end t = t.pos = End
+let at_start t = t.pos = Start
+
+let current t =
+  match t.pos with
+  | End | Start -> None
+  | At { leaf; index } ->
+    let p = page t leaf in
+    if index < Leaf.nrecords p then Some (List.nth (Leaf.records p) index) else None
+
+let key t = Option.map (fun r -> r.Leaf.key) (current t)
+let payload t = Option.map (fun r -> r.Leaf.payload) (current t)
+
+let next t =
+  match t.pos with
+  | End -> ()
+  | Start -> t.pos <- (first t.tree).pos
+  | At { leaf; index } -> t.pos <- normalize t (At { leaf; index = index + 1 })
+
+let prev t =
+  match t.pos with
+  | Start -> ()
+  | End -> t.pos <- (last t.tree).pos
+  | At { leaf; index } ->
+    if index > 0 then t.pos <- At { leaf; index = index - 1 }
+    else begin
+      let rec backward pid =
+        match Leaf.prev (page t pid) with
+        | None -> Start
+        | Some pv ->
+          let n = Leaf.nrecords (page t pv) in
+          if n > 0 then At { leaf = pv; index = n - 1 } else backward pv
+      in
+      t.pos <- backward leaf
+    end
+
+let fold_forward tree ~lo ~hi ~init ~f =
+  let c = seek tree lo in
+  let rec go acc =
+    match current c with
+    | Some r when r.Leaf.key <= hi ->
+      next c;
+      go (f acc r)
+    | _ -> acc
+  in
+  go init
+
+let count tree ~lo ~hi = fold_forward tree ~lo ~hi ~init:0 ~f:(fun n _ -> n + 1)

@@ -1,0 +1,40 @@
+(** Cursors: ordered traversal over the leaf chain.
+
+    A cursor is positioned on a record (or at the end).  [next]/[prev] walk
+    the side-pointer chain, which is exactly what the reorganizer maintains
+    across compaction, swaps and moves — the cursor tests double as
+    side-pointer integrity tests.
+
+    Cursors are unlocked snapshot-free iterators (they see concurrent
+    changes); use {!Access.range_read} for lock-protected scans. *)
+
+type t
+
+val seek : Tree.t -> int -> t
+(** Position on the first record with key >= the argument (possibly
+    at-end). *)
+
+val first : Tree.t -> t
+val last : Tree.t -> t
+
+val at_end : t -> bool
+
+val current : t -> Leaf.record option
+(** [None] iff {!at_end}. *)
+
+val key : t -> int option
+val payload : t -> string option
+
+val next : t -> unit
+(** Advance (no-op at end). *)
+
+val prev : t -> unit
+(** Step backwards; at the first record it moves to at-end... use
+    {!at_start} to distinguish. *)
+
+val at_start : t -> bool
+
+val fold_forward : Tree.t -> lo:int -> hi:int -> init:'a -> f:('a -> Leaf.record -> 'a) -> 'a
+(** Fold records with [lo <= key <= hi] in ascending key order. *)
+
+val count : Tree.t -> lo:int -> hi:int -> int

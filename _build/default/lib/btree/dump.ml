@@ -1,0 +1,60 @@
+module Page = Pager.Page
+
+let key_str k =
+  if k = min_int then "-inf" else if k = max_int then "+inf" else string_of_int k
+
+let page p ~pid =
+  let b = Buffer.create 128 in
+  let kind = Page.kind p in
+  if kind = Page.kind_free then Printf.bprintf b "page %d: FREE" pid
+  else if Leaf.is_leaf p then begin
+    Printf.bprintf b "page %d: LEAF lsn=%Ld low=%s records=%d fill=%.0f%% prev=%s next=%s"
+      pid (Page.lsn p)
+      (key_str (Leaf.low_mark p))
+      (Leaf.nrecords p)
+      (100.0 *. Leaf.fill_factor p)
+      (match Leaf.prev p with None -> "-" | Some q -> string_of_int q)
+      (match Leaf.next p with None -> "-" | Some q -> string_of_int q);
+    (match (Leaf.min_key p, Leaf.max_key p) with
+    | Some lo, Some hi -> Printf.bprintf b " keys=[%d..%d]" lo hi
+    | _ -> Buffer.add_string b " (empty)")
+  end
+  else if Inode.is_internal p then begin
+    Printf.bprintf b "page %d: INTERNAL level=%d lsn=%Ld low=%s gen=%d entries=%d/%d:" pid
+      (Inode.level p) (Page.lsn p)
+      (key_str (Inode.low_mark p))
+      (Inode.generation p) (Inode.nentries p) (Inode.capacity p);
+    List.iter
+      (fun e -> Printf.bprintf b " %s->%d" (key_str e.Inode.key) e.Inode.child)
+      (Inode.entries p)
+  end
+  else if Meta.is_meta p then
+    Printf.bprintf b "page %d: META root=%d tree-name=%d reorg-bit=%b gen=%d" pid (Meta.root p)
+      (Meta.tree_name p) (Meta.reorg_bit p) (Meta.generation p)
+  else Printf.bprintf b "page %d: kind=%d (unknown)" pid kind;
+  Buffer.contents b
+
+let tree t =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "%s\n" (page (Tree.page t (Tree.meta_pid t)) ~pid:(Tree.meta_pid t));
+  let rec walk pid depth =
+    let p = Tree.page t pid in
+    Printf.bprintf b "%s%s\n" (String.make (2 * depth) ' ') (page p ~pid);
+    if Inode.is_internal p then
+      List.iter (fun e -> walk e.Inode.child (depth + 1)) (Inode.entries p)
+  in
+  walk (Tree.root t) 0;
+  Buffer.contents b
+
+let leaf_chain t =
+  let b = Buffer.create 256 in
+  Tree.iter_leaves t (fun pid p -> Printf.bprintf b "%s\n" (page p ~pid));
+  Buffer.contents b
+
+let log_tail log ~n =
+  let b = Buffer.create 256 in
+  let upto = Wal.Log.flushed_lsn log in
+  let from = max 1 (upto - n + 1) in
+  Wal.Log.iter ~from ~upto log (fun lsn body ->
+      Printf.bprintf b "%6d  %s\n" lsn (Format.asprintf "%a" Wal.Record.pp body));
+  Buffer.contents b

@@ -1,0 +1,15 @@
+(** Human-readable dumps of pages and trees — the debugging lens behind
+    [reorg-cli inspect --verbose]. *)
+
+val page : Pager.Page.t -> pid:int -> string
+(** One page: kind, level, LSN, low mark, side pointers, fill, and (for
+    leaves) the key range; internal nodes list their entries. *)
+
+val tree : Tree.t -> string
+(** The whole tree, indented by level, leaves abbreviated to key ranges. *)
+
+val leaf_chain : Tree.t -> string
+(** The side-pointer chain: one line per leaf with pid, key span, fill. *)
+
+val log_tail : Wal.Log.t -> n:int -> string
+(** The last [n] stable log records, pretty-printed. *)

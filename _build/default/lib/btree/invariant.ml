@@ -1,0 +1,130 @@
+module Page = Pager.Page
+
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let check ?alloc t =
+  let page = Tree.page t in
+  let reachable_leaves = ref [] in
+  (* Walk down from the root checking per-node and parent/child invariants.
+     [lo] is the inclusive lower bound for keys in this subtree, [hi] the
+     exclusive upper bound (None = unbounded). *)
+  let rec walk pid ~expect_level ~lo ~hi =
+    let p = page pid in
+    if Page.kind p = Page.kind_free then fail "page %d reachable but marked free" pid;
+    (match alloc with
+    | Some a when Pager.Alloc.is_free a pid -> fail "page %d reachable but in free set" pid
+    | _ -> ());
+    if Leaf.is_leaf p then begin
+      (match expect_level with
+      | Some l when l <> 0 -> fail "page %d: expected level %d, found leaf" pid l
+      | _ -> ());
+      if Leaf.low_mark p < lo then fail "leaf %d: low mark %d below bound %d" pid (Leaf.low_mark p) lo;
+      let keys = Leaf.keys p in
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          if a >= b then fail "leaf %d: keys not strictly sorted (%d >= %d)" pid a b;
+          sorted rest
+        | _ -> ()
+      in
+      sorted keys;
+      List.iter
+        (fun k ->
+          if k < lo then fail "leaf %d: key %d below bound %d" pid k lo;
+          match hi with
+          | Some h when k >= h -> fail "leaf %d: key %d above bound %d" pid k h
+          | _ -> ())
+        keys;
+      reachable_leaves := pid :: !reachable_leaves
+    end
+    else begin
+      if not (Inode.is_internal p) then fail "page %d: unknown kind %d" pid (Page.kind p);
+      let level = Inode.level p in
+      (match expect_level with
+      | Some l when l <> level -> fail "page %d: expected level %d, found %d" pid l level
+      | _ -> ());
+      let n = Inode.nentries p in
+      if n = 0 then fail "internal page %d is empty" pid;
+      let entries = Inode.entries p in
+      let rec scan i = function
+        | [] -> ()
+        | e :: rest ->
+          let next_key = match rest with e' :: _ -> Some e'.Inode.key | [] -> hi in
+          (match rest with
+          | e' :: _ when e'.Inode.key <= e.Inode.key ->
+            fail "internal %d: entries not strictly sorted" pid
+          | _ -> ());
+          if e.Inode.key < lo then fail "internal %d: entry key %d below bound %d" pid e.Inode.key lo;
+          (match hi with
+          | Some h when e.Inode.key >= h ->
+            fail "internal %d: entry key %d above bound %d" pid e.Inode.key h
+          | _ -> ());
+          let child = page e.Inode.child in
+          let child_low =
+            if Leaf.is_leaf child then Leaf.low_mark child else Inode.low_mark child
+          in
+          if child_low <> e.Inode.key then
+            fail "internal %d: entry key %d <> child %d low mark %d" pid e.Inode.key
+              e.Inode.child child_low;
+          walk e.Inode.child ~expect_level:(Some (level - 1)) ~lo:e.Inode.key ~hi:next_key;
+          scan (i + 1) rest
+      in
+      scan 0 entries
+    end
+  in
+  walk (Tree.root t) ~expect_level:None ~lo:min_int ~hi:None;
+  let reachable = List.rev !reachable_leaves in
+  (* Side-pointer chain must visit exactly the reachable leaves in order. *)
+  let chain = ref [] in
+  let rec follow pid prev_pid =
+    let p = page pid in
+    if not (Leaf.is_leaf p) then fail "chain reached non-leaf page %d" pid;
+    (match (Leaf.prev p, prev_pid) with
+    | None, None -> ()
+    | Some a, Some b when a = b -> ()
+    | got, want ->
+      fail "leaf %d: prev pointer %s, expected %s" pid
+        (match got with None -> "none" | Some x -> string_of_int x)
+        (match want with None -> "none" | Some x -> string_of_int x));
+    chain := pid :: !chain;
+    match Leaf.next p with None -> () | Some nxt -> follow nxt (Some pid)
+  in
+  follow (Tree.first_leaf t) None;
+  let chain = List.rev !chain in
+  if chain <> reachable then
+    fail "leaf chain [%s] differs from reachable leaves [%s]"
+      (String.concat ";" (List.map string_of_int chain))
+      (String.concat ";" (List.map string_of_int reachable));
+  (* Keys across the chain must be globally sorted. *)
+  let last = ref None in
+  List.iter
+    (fun pid ->
+      List.iter
+        (fun k ->
+          (match !last with
+          | Some l when k <= l -> fail "global key order violated at leaf %d (%d after %d)" pid k l
+          | _ -> ());
+          last := Some k)
+        (Leaf.keys (page pid)))
+    chain
+
+let contents t =
+  let acc = ref [] in
+  Tree.iter_leaves t (fun _ p ->
+      List.iter (fun r -> acc := (r.Leaf.key, r.Leaf.payload) :: !acc) (Leaf.records p));
+  List.rev !acc
+
+let check_consistent_with t ~expected =
+  let got = contents t in
+  let expected = List.sort (fun (a, _) (b, _) -> compare a b) expected in
+  if got <> expected then begin
+    let show l =
+      String.concat ","
+        (List.map (fun (k, _) -> string_of_int k) l)
+    in
+    fail "contents mismatch: tree has %d records [%s...], expected %d [%s...]" (List.length got)
+      (show (List.filteri (fun i _ -> i < 20) got))
+      (List.length expected)
+      (show (List.filteri (fun i _ -> i < 20) expected))
+  end

@@ -1,0 +1,28 @@
+(** Structural-invariant checker used by tests and crash experiments.
+
+    {!check} walks the whole tree and verifies:
+    - node kinds and levels are consistent (leaves at level 0, a level-[n]
+      internal node has level-[n-1] children);
+    - entry keys are strictly sorted and every parent entry key equals its
+      child's low mark;
+    - every key in a child's subtree is [>=] its entry key and [<] the next
+      entry key;
+    - the leaf side-pointer chain visits exactly the leaves reachable from
+      the root, in key order, with consistent back pointers;
+    - no reachable page is marked free, and (when [alloc] is given) no
+      reachable page is in a free set;
+    - record keys within each leaf are strictly sorted.
+
+    Raises [Violation] with a description on the first failure. *)
+
+exception Violation of string
+
+val check : ?alloc:Pager.Alloc.t -> Tree.t -> unit
+
+val check_consistent_with :
+  Tree.t -> expected:(int * string) list -> unit
+(** Verify the tree's contents equal [expected] (sorted by key) — used by
+    model-based tests and crash-recovery equivalence checks. *)
+
+val contents : Tree.t -> (int * string) list
+(** All records in key order via the leaf chain. *)

@@ -1,0 +1,19 @@
+let kind_leaf = 1
+let kind_internal = 2
+let kind_meta = 3
+
+let off_level = 9
+let off_count = 10
+let off_heap_top = 12
+let off_low_mark = 14
+let off_prev = 22
+let off_next = 26
+let off_generation = 30
+let body_start = 32
+
+let nil_pid = 0xFFFFFFFF
+
+let entry_size = 12
+let record_header = 10
+
+let usable_bytes ~page_size = page_size - body_start

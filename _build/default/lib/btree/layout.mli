@@ -1,0 +1,45 @@
+(** Shared byte-layout constants for B+-tree pages.
+
+    All pages start with the pager header ({!Pager.Page.header_size} bytes:
+    kind, LSN).  The tree adds, for every node kind:
+
+    {v
+      9        level      (u8; 0 = leaf)
+      10..11   nslots / nentries (u16)
+      12..13   heap_top   (u16; leaf pages only)
+      14..21   low mark   (i64; smallest key the page was created to cover)
+      22..25   prev       (u32; leaf side pointer, nil_pid = none)
+      26..29   next       (u32; leaf side pointer)
+      30..31   reserved
+      32..     slot directory (leaf) / entry array (internal)
+    v} *)
+
+val kind_leaf : int
+val kind_internal : int
+val kind_meta : int
+
+val off_level : int
+val off_count : int
+val off_heap_top : int
+val off_low_mark : int
+val off_prev : int
+val off_next : int
+val off_generation : int
+(** u16 at offset 30: build generation of internal pages — pass 3 tags the
+    pages of the new upper levels with a fresh generation so recovery can
+    tell them from the old tree's. *)
+
+val body_start : int
+(** = 32; first byte of the slot directory / entry array. *)
+
+val nil_pid : int
+(** Sentinel page id meaning "none" (0xFFFFFFFF). *)
+
+val entry_size : int
+(** Internal-node entry: key (i64) + child (u32) = 12 bytes. *)
+
+val record_header : int
+(** Leaf record header: key (i64) + payload length (u16) = 10 bytes. *)
+
+val usable_bytes : page_size:int -> int
+(** Bytes available to slots + records on a leaf ([page_size - body_start]). *)

@@ -1,0 +1,27 @@
+module Page = Pager.Page
+
+let off_root = 9
+let off_tree_name = 13
+let off_reorg_bit = 17
+let off_generation = 18
+
+let init p ~root ~tree_name =
+  Page.fill p 0 (Bytes.length p) '\000';
+  Page.set_kind p Layout.kind_meta;
+  Page.set_u32 p off_root root;
+  Page.set_u32 p off_tree_name tree_name;
+  Page.set_u8 p off_reorg_bit 0
+
+let is_meta p = Page.kind p = Layout.kind_meta
+
+let root p = Page.get_u32 p off_root
+let set_root p v = Page.set_u32 p off_root v
+
+let tree_name p = Page.get_u32 p off_tree_name
+let set_tree_name p v = Page.set_u32 p off_tree_name v
+
+let reorg_bit p = Page.get_u8 p off_reorg_bit = 1
+let set_reorg_bit p v = Page.set_u8 p off_reorg_bit (if v then 1 else 0)
+
+let generation p = Page.get_u16 p off_generation
+let set_generation p g = Page.set_u16 p off_generation g

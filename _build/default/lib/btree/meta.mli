@@ -1,0 +1,21 @@
+(** The meta page — the "special place on the disk" (§7.4) holding the
+    location of the root, the tree's lock name, and the reorganization bit
+    that updaters test before touching base pages (§7.2). *)
+
+val init : Pager.Page.t -> root:int -> tree_name:int -> unit
+
+val is_meta : Pager.Page.t -> bool
+
+val root : Pager.Page.t -> int
+val set_root : Pager.Page.t -> int -> unit
+
+val tree_name : Pager.Page.t -> int
+val set_tree_name : Pager.Page.t -> int -> unit
+
+val reorg_bit : Pager.Page.t -> bool
+val set_reorg_bit : Pager.Page.t -> bool -> unit
+
+val generation : Pager.Page.t -> int
+(** Generation of the current upper levels (see {!Layout.off_generation}). *)
+
+val set_generation : Pager.Page.t -> int -> unit

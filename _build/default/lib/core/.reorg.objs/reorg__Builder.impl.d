@@ -1,0 +1,1 @@
+lib/core/builder.ml: Btree Config Ctx List Metrics Pager Wal

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Btree Config List Lockmgr Metrics Pager Rtable Transact Wal

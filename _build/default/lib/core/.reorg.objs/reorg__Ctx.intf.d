@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Btree Config Lockmgr Metrics Pager Rtable Transact Wal

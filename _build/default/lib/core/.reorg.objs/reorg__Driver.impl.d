@@ -1,0 +1,1 @@
+lib/core/driver.ml: Btree Config Ctx Format Pass1 Pass2 Pass3

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Btree Config Ctx Format

@@ -1,0 +1,1 @@
+lib/core/free_space.ml: Config Ctx Pager

@@ -1,0 +1,1 @@
+lib/core/free_space.mli: Ctx

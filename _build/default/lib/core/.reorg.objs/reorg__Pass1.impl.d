@@ -1,0 +1,1 @@
+lib/core/pass1.ml: Array Btree Config Ctx Free_space List Lockmgr Pager Rtable Sched Transact Unit_exec

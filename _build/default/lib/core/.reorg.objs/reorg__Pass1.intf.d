@@ -1,0 +1,1 @@
+lib/core/pass1.mli: Ctx

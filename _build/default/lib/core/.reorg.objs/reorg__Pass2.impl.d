@@ -1,0 +1,1 @@
+lib/core/pass2.ml: Btree Ctx List Lockmgr Option Pager Sched Unit_exec

@@ -1,0 +1,1 @@
+lib/core/pass2.mli: Ctx

@@ -1,0 +1,1 @@
+lib/core/pass3.ml: Btree Builder Config Ctx List Lockmgr Metrics Pager Rtable Sched Side_file Transact Wal

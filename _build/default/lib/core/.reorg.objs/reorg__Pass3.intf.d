@@ -1,0 +1,1 @@
+lib/core/pass3.mli: Ctx Wal

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Btree Bytes Config Ctx Driver Hashtbl List Option Pager Pass3 Rtable String Transact Wal

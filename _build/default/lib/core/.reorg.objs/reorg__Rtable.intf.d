@@ -1,0 +1,1 @@
+lib/core/rtable.mli: Wal

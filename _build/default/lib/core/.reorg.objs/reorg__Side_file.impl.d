@@ -1,0 +1,1 @@
+lib/core/side_file.ml: List Lockmgr Transact Wal

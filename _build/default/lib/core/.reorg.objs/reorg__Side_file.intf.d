@@ -1,0 +1,1 @@
+lib/core/side_file.mli: Lockmgr Transact Wal

@@ -1,0 +1,1 @@
+lib/core/unit_exec.ml: Btree Config Ctx Format List Lockmgr Metrics Pager Printf Rtable Sched String Transact Wal

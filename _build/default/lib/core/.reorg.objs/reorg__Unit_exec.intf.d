@@ -1,0 +1,1 @@
+lib/core/unit_exec.mli: Ctx Format

@@ -1,0 +1,49 @@
+(** Reorganization configuration. *)
+
+type heuristic =
+  | Paper_heuristic
+      (** §6.1: first empty page [e] with [L < e < C] — after the largest
+          finished page, before the page being compacted. *)
+  | First_free  (** naive baseline: smallest free page anywhere in the zone *)
+  | No_new_place  (** always compact in place (forces pass 2 to swap) *)
+
+type t = {
+  f2 : float;  (** target leaf fill factor after reorganization *)
+  internal_fill : float;  (** fill factor for rebuilt internal pages (pass 3) *)
+  careful_writing : bool;
+      (** when true, MOVE records log keys only and write-order dependencies
+          + deferred deallocation protect the data (§5) *)
+  swap_pass : bool;  (** run pass 2 (it is optional in the paper) *)
+  shrink_pass : bool;  (** run pass 3 *)
+  heuristic : heuristic;
+  stable_every : int;  (** pass 3: force-write a stable point every N base pages *)
+  scan_pacing : int;
+      (** ticks the pass-3 scan pauses per base page — models the I/O cost of
+          reading a base page and its children; larger values mean more
+          concurrent update traffic lands behind the cursor *)
+  switch_wait : int;
+      (** ticks the switch waits for the old tree to drain before forcing
+          old-tree transactions to abort (§7.4's time limit) *)
+  unit_retry_limit : int;  (** give-up/retry attempts per reorganization unit *)
+  io_pacing : int;
+      (** ticks slept per reorganization unit, modelling the unit's page
+          I/O; with 0 (default) units are CPU-bound in simulated time.
+          Non-zero pacing is what makes parallel workers overlap usefully. *)
+  lambda_switch : bool;
+      (** §7.4's λ-tree variant: the switch releases the side file
+          immediately after flipping the root (an instant-duration X), never
+          forces old-tree transactions to abort, and defers the deallocation
+          of the old upper levels until they drain on their own.  Post-switch
+          base-page updates go straight into the new tree; searches stay
+          correct because leaf-level side pointers are chased B-link-style. *)
+  unit_pages : int;
+      (** §6: how many new pages one lock envelope constructs before the base
+          page's R lock is released.  1 is the paper's choice ("we choose to
+          construct one new leaf page at a time"); larger values hold locks
+          longer and block more user transactions — the trade-off the paper
+          calls out. *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

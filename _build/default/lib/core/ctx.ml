@@ -1,0 +1,69 @@
+module Tree = Btree.Tree
+module Access = Btree.Access
+module Journal = Transact.Journal
+module Lock_client = Transact.Lock_client
+module Txn_mgr = Transact.Txn_mgr
+
+type t = {
+  access : Access.t;
+  config : Config.t;
+  rtable : Rtable.t;
+  metrics : Metrics.t;
+  actor : Transact.Txn.t;
+}
+
+let make ~access ~config =
+  let actor = Txn_mgr.fresh_owner (Access.mgr access) in
+  Lockmgr.Lock_mgr.register_reorganizer (Access.locks access) actor.Transact.Txn.id;
+  { access; config; rtable = Rtable.create (); metrics = Metrics.create (); actor }
+
+let worker t ~index ~count =
+  let actor = Txn_mgr.fresh_owner (Access.mgr t.access) in
+  Lockmgr.Lock_mgr.register_reorganizer (Access.locks t.access) actor.Transact.Txn.id;
+  {
+    access = t.access;
+    config = t.config;
+    rtable = Rtable.create ~first_id:(1_000_000 + index + 1) ~id_stride:count ();
+    metrics = t.metrics;
+    actor;
+  }
+
+let tree t = Access.tree t.access
+let locks t = Access.locks t.access
+let journal t = Tree.journal (tree t)
+let pool t = Journal.pool (journal t)
+let log t = Journal.log (journal t)
+let alloc t = Tree.alloc (tree t)
+let page t pid = Pager.Buffer_pool.get (pool t) pid
+let page_size t = Pager.Disk.page_size (Pager.Buffer_pool.disk (pool t))
+let usable_bytes t = Btree.Layout.usable_bytes ~page_size:(page_size t)
+
+let log_reorg t body =
+  let lsn = Wal.Log.append (log t) body in
+  t.metrics.Metrics.log_bytes <-
+    t.metrics.Metrics.log_bytes + Wal.Record.encoded_size body;
+  t.metrics.Metrics.log_records <- t.metrics.Metrics.log_records + 1;
+  Rtable.note_lsn t.rtable lsn;
+  lsn
+
+let stamp t ~page lsn = Journal.stamp (journal t) ~page lsn
+
+let acquire t res mode = Lock_client.acquire (locks t) ~txn:t.actor res mode
+let release t res mode = Lock_client.release (locks t) ~txn:t.actor res mode
+
+let release_unit_locks t held =
+  List.iter (fun (res, mode) -> release t res mode) !held;
+  held := []
+
+let checkpoint t =
+  let mgr = Access.mgr t.access in
+  let body =
+    Wal.Record.Checkpoint
+      {
+        active_txns = Txn_mgr.active_txns mgr;
+        reorg = Rtable.image t.rtable;
+        dirty_pages = Pager.Buffer_pool.dirty_pages (pool t);
+      }
+  in
+  let lsn = Wal.Log.append (log t) body in
+  Wal.Log.force (log t) lsn

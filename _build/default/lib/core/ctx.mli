@@ -1,0 +1,47 @@
+(** Shared state of one reorganization run: the access layer it works
+    through, its configuration, the §5 system table, metrics, and the
+    reorganizer's own lock-owner identity (registered as the preferred
+    deadlock victim). *)
+
+type t = {
+  access : Btree.Access.t;
+  config : Config.t;
+  rtable : Rtable.t;
+  metrics : Metrics.t;
+  actor : Transact.Txn.t;  (** the reorganization process's lock owner *)
+}
+
+val make : access:Btree.Access.t -> config:Config.t -> t
+
+val worker : t -> index:int -> count:int -> t
+(** A derived context for one of [count] parallel reorganizer workers: its
+    own lock-owner identity and system table (with a disjoint unit-id
+    lattice), sharing the parent's access layer, configuration and
+    metrics. *)
+
+val tree : t -> Btree.Tree.t
+val locks : t -> Lockmgr.Lock_mgr.t
+val journal : t -> Transact.Journal.t
+val pool : t -> Pager.Buffer_pool.t
+val log : t -> Wal.Log.t
+val alloc : t -> Pager.Alloc.t
+val page : t -> int -> Pager.Page.t
+val page_size : t -> int
+val usable_bytes : t -> int
+
+val log_reorg : t -> Wal.Record.body -> Wal.Lsn.t
+(** Append a reorganization record: charged to the reorg log-byte metrics and
+    recorded as the unit's most recent LSN in the system table. *)
+
+val stamp : t -> page:int -> Wal.Lsn.t -> unit
+
+val acquire : t -> Lockmgr.Resource.t -> Lockmgr.Mode.t -> unit
+(** Blocking acquire as the reorganizer (may raise
+    {!Transact.Lock_client.Deadlock_victim}). *)
+
+val release : t -> Lockmgr.Resource.t -> Lockmgr.Mode.t -> unit
+val release_unit_locks : t -> (Lockmgr.Resource.t * Lockmgr.Mode.t) list ref -> unit
+
+val checkpoint : t -> unit
+(** Write a checkpoint record (active transactions + reorg table image +
+    dirty pages) and force the log. *)

@@ -1,0 +1,10 @@
+let choose ctx ~l ~c =
+  let alloc = Ctx.alloc ctx in
+  match ctx.Ctx.config.Config.heuristic with
+  | Config.No_new_place -> None
+  | Config.Paper_heuristic ->
+    if c <= l + 1 then None
+    else Pager.Alloc.free_in_range alloc ~lo:(l + 1) ~hi:c
+  | Config.First_free ->
+    let lo, hi = Pager.Alloc.leaf_zone alloc in
+    Pager.Alloc.free_in_range alloc ~lo ~hi

@@ -1,0 +1,16 @@
+(** Find-Free-Space (§6.1): choosing the empty page for copying-switching.
+
+    The paper's heuristic takes "the first empty page which is in front of
+    the leaf page that is going to be reorganized, C, and after the largest
+    finished leaf page ID, L".  This forces compacted pages to march toward
+    the beginning of the leaf area in key order, which is what makes most of
+    pass 2 unnecessary ("initial experiments showed that our algorithm can
+    greatly reduce the number of swaps").
+
+    Two baselines are provided for the swap-reduction experiment: the naive
+    first-free-anywhere policy, and no new-place at all. *)
+
+val choose : Ctx.t -> l:int -> c:int -> int option
+(** Pick the copying-switching destination under the configured heuristic:
+    [l] is the largest finished leaf page id (exclusive), [c] the page about
+    to be reorganized.  [None] means "compact in place". *)

@@ -1,0 +1,61 @@
+type t = {
+  mutable units : int;
+  mutable in_place_units : int;
+  mutable new_place_units : int;
+  mutable swap_units : int;
+  mutable move_units : int;
+  mutable pages_compacted : int;
+  mutable records_moved : int;
+  mutable unit_retries : int;
+  mutable units_undone : int;
+  mutable base_pages_scanned : int;
+  mutable side_entries : int;
+  mutable stable_points : int;
+  mutable forced_aborts : int;
+  mutable log_bytes : int;
+  mutable log_records : int;
+}
+
+let create () =
+  {
+    units = 0;
+    in_place_units = 0;
+    new_place_units = 0;
+    swap_units = 0;
+    move_units = 0;
+    pages_compacted = 0;
+    records_moved = 0;
+    unit_retries = 0;
+    units_undone = 0;
+    base_pages_scanned = 0;
+    side_entries = 0;
+    stable_points = 0;
+    forced_aborts = 0;
+    log_bytes = 0;
+    log_records = 0;
+  }
+
+let reset t =
+  t.units <- 0;
+  t.in_place_units <- 0;
+  t.new_place_units <- 0;
+  t.swap_units <- 0;
+  t.move_units <- 0;
+  t.pages_compacted <- 0;
+  t.records_moved <- 0;
+  t.unit_retries <- 0;
+  t.units_undone <- 0;
+  t.base_pages_scanned <- 0;
+  t.side_entries <- 0;
+  t.stable_points <- 0;
+  t.forced_aborts <- 0;
+  t.log_bytes <- 0;
+  t.log_records <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "units=%d (in-place=%d new-place=%d) swaps=%d moves=%d compacted=%d records=%d retries=%d \
+     undone=%d bases=%d side=%d stable=%d aborts=%d log=%dB/%d recs"
+    t.units t.in_place_units t.new_place_units t.swap_units t.move_units t.pages_compacted
+    t.records_moved t.unit_retries t.units_undone t.base_pages_scanned t.side_entries
+    t.stable_points t.forced_aborts t.log_bytes t.log_records

@@ -1,0 +1,25 @@
+(** Counters collected by the reorganizer — the quantities the paper argues
+    about: units run, in-place vs new-place choices, swaps vs moves in pass 2,
+    records moved, log bytes, lock give-ups and retries. *)
+
+type t = {
+  mutable units : int;  (** reorganization units completed *)
+  mutable in_place_units : int;
+  mutable new_place_units : int;  (** copying-switching units *)
+  mutable swap_units : int;  (** pass-2 swaps *)
+  mutable move_units : int;  (** pass-2 moves to empty pages *)
+  mutable pages_compacted : int;  (** org leaves emptied by pass 1 *)
+  mutable records_moved : int;
+  mutable unit_retries : int;  (** units re-run after a deadlock give-up *)
+  mutable units_undone : int;  (** §5.2 undo-at-deadlock events *)
+  mutable base_pages_scanned : int;  (** pass 3 *)
+  mutable side_entries : int;  (** side-file entries applied during catch-up *)
+  mutable stable_points : int;
+  mutable forced_aborts : int;  (** old-tree transactions aborted at switch *)
+  mutable log_bytes : int;  (** log bytes attributed to reorganization *)
+  mutable log_records : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+module Leaf = Btree.Leaf
+module Tree = Btree.Tree
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+
+let leaf_positions ctx =
+  let leaf_lo, _ = Pager.Alloc.leaf_zone (Ctx.alloc ctx) in
+  let leaves = Tree.leaf_pids (Ctx.tree ctx) in
+  (leaf_lo, leaves)
+
+let out_of_order ctx =
+  let leaf_lo, leaves = leaf_positions ctx in
+  let n = ref 0 in
+  List.iteri (fun i pid -> if pid <> leaf_lo + i then incr n) leaves;
+  !n
+
+let base_of_leaf ctx pid =
+  let p = Ctx.page ctx pid in
+  let key =
+    match Leaf.min_key p with Some k -> k | None -> Leaf.low_mark p
+  in
+  Tree.parent_of_leaf (Ctx.tree ctx) key
+
+let run ctx =
+  let tree = Ctx.tree ctx in
+  let swaps = ref 0 and moves = ref 0 in
+  if Tree.height tree > 1 then begin
+    Ctx.acquire ctx (Resource.Tree (Tree.tree_name tree)) Mode.IX;
+    (* Positions below [frontier] are final (or permanently skipped). *)
+    let frontier = ref 0 in
+    let stale = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      Sched.Engine.yield ();
+      let leaf_lo, leaves = leaf_positions ctx in
+      (* First position at or beyond the frontier whose page is wrong. *)
+      let misplaced =
+        List.filteri (fun i _ -> i >= !frontier) leaves
+        |> List.mapi (fun j pid -> (!frontier + j, pid))
+        |> List.find_opt (fun (i, pid) -> pid <> leaf_lo + i)
+      in
+      match misplaced with
+      | None -> continue_ := false
+      | Some (i, pid) -> begin
+        let target = leaf_lo + i in
+        (* A deallocated page awaiting careful-writing durability is not yet
+           reusable: force the write it waits on. *)
+        (match Pager.Alloc.pending_release (Ctx.alloc ctx) target with
+        | Some dep -> Pager.Buffer_pool.flush_page (Ctx.pool ctx) dep
+        | None -> ());
+        let plan =
+          if Pager.Alloc.is_free (Ctx.alloc ctx) target then
+            Option.map
+              (fun base -> Unit_exec.Move { base; org = pid; dest = target })
+              (base_of_leaf ctx pid)
+          else
+            match (base_of_leaf ctx pid, base_of_leaf ctx target) with
+            | Some a_base, Some b_base ->
+              Some (Unit_exec.Swap { a_base; a = pid; b_base; b = target })
+            | _ -> None
+        in
+        match plan with
+        | None -> frontier := i + 1 (* unreachable page situation: skip *)
+        | Some plan -> begin
+          match Unit_exec.execute ctx plan with
+          | Unit_exec.Done _ ->
+            (match plan with
+            | Unit_exec.Swap _ -> incr swaps
+            | Unit_exec.Move _ -> incr moves
+            | Unit_exec.Compact _ -> ());
+            stale := 0;
+            frontier := i + 1
+          | Unit_exec.Stale ->
+            (* Replan from the same frontier, but never spin forever. *)
+            incr stale;
+            if !stale > 5 then begin
+              stale := 0;
+              frontier := i + 1
+            end
+          | Unit_exec.Gave_up -> frontier := i + 1
+        end
+      end
+    done;
+    Ctx.release ctx (Resource.Tree (Tree.tree_name tree)) Mode.IX
+  end;
+  (!swaps, !moves)

@@ -1,0 +1,19 @@
+(** Pass 2 — Swapping-Moving (optional).
+
+    Makes the leaf pages contiguous and in key order at the start of the leaf
+    zone: for each key-order position, if the right page is already there do
+    nothing; if the target page is empty, {e move} the leaf there (a
+    new-place unit, cheap to log); otherwise {e swap} the two leaves (which
+    must log at least one full page).  The paper keeps this pass separate and
+    optional because swapping locks more (often two parents) and logs more —
+    "one scenario we envision is choosing to do swapping only when range
+    query performance falls below some acceptable level."
+
+    Returns (swaps, moves).  Must run inside a scheduler process. *)
+
+val run : Ctx.t -> int * int
+
+val out_of_order : Ctx.t -> int
+(** Number of leaves not at their key-order position in the leaf zone —
+    the quantity pass 2 drives to zero, and the metric the Find-Free-Space
+    experiment reports. *)

@@ -1,0 +1,272 @@
+module Buffer_pool = Pager.Buffer_pool
+module Alloc = Pager.Alloc
+module Record = Wal.Record
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+module Lock_mgr = Lockmgr.Lock_mgr
+module Lock_client = Transact.Lock_client
+module Journal = Transact.Journal
+module Engine = Sched.Engine
+module Leaf = Btree.Leaf
+module Inode = Btree.Inode
+module Meta = Btree.Meta
+module Tree = Btree.Tree
+module Access = Btree.Access
+
+let key_of = function
+  | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
+
+(* Apply one side-file entry to the new tree (used for catch-up and for
+   post-switch redirected updaters). *)
+let apply_op ctx new_tree ?txn op =
+  (match op with
+  | Record.Side_insert { key; child } -> Tree.insert_base_entry new_tree ?txn ~key ~child ()
+  | Record.Side_delete { key; _ } -> Tree.delete_base_entry new_tree ?txn key);
+  ctx.Ctx.metrics.Metrics.side_entries <- ctx.Ctx.metrics.Metrics.side_entries + 1
+
+(* Walk the old upper levels and free every internal page. *)
+let discard_old_internals ctx ~old_root =
+  let rec free pid =
+    let p = Ctx.page ctx pid in
+    if Inode.is_internal p then begin
+      List.iter (fun e -> free e.Inode.child) (Inode.entries p);
+      Journal.physical (Ctx.journal ctx) ~page:pid ~off:0 ~len:1 (fun q ->
+          Pager.Page.set_kind q Pager.Page.kind_free);
+      Alloc.release (Ctx.alloc ctx) pid
+    end
+  in
+  free old_root
+
+exception Retry
+
+(* S-lock the base page with this low mark, revalidating: base pages can be
+   split or freed by updaters between finding and locking them. *)
+let rec lock_base ctx ~low =
+  try lock_base_once ctx ~low with Retry -> lock_base ctx ~low
+
+and lock_base_once ctx ~low =
+  let tree = Ctx.tree ctx in
+  let candidate =
+    if low = min_int then Tree.first_base tree
+    else
+      match Tree.parent_of_leaf tree low with
+      | Some b when Inode.low_mark (Ctx.page ctx b) = low -> Some b
+      | _ -> Tree.next_base tree (low - 1)
+  in
+  match candidate with
+  | None -> None
+  | Some base ->
+    (try Ctx.acquire ctx (Resource.Page base) Mode.S
+     with Lock_client.Deadlock_victim -> begin
+       Engine.sleep 2;
+       raise Retry
+     end);
+    let p = Ctx.page ctx base in
+    if Inode.is_internal p && Inode.level p = 1 && Inode.low_mark p >= low then Some base
+    else begin
+      Ctx.release ctx (Resource.Page base) Mode.S;
+      Engine.yield ();
+      lock_base ctx ~low
+    end
+
+type resume = {
+  r_stable_key : int;
+  r_closed : (int * int) list;
+  r_side : Wal.Record.side_op list;
+}
+
+type finish = { f_new_root : int; f_side : Wal.Record.side_op list }
+
+let run ctx ?resume ?finish () =
+  let tree = Ctx.tree ctx in
+  if Tree.height tree <= 1 && resume = None && finish = None then false
+  else begin
+    let access = ctx.Ctx.access in
+    let journal = Ctx.journal ctx in
+    let locks = Ctx.locks ctx in
+    let old_name = Tree.tree_name tree in
+    let old_root = Tree.root tree in
+    let gen = Tree.generation tree + 1 in
+    let side = Side_file.create ~journal ~locks in
+    (match (resume, finish) with
+    | Some r, _ -> Side_file.restore_entries side r.r_side
+    | _, Some f -> Side_file.restore_entries side f.f_side
+    | None, None -> ());
+    Access.set_side_undo access (Side_file.remove side);
+    let builder =
+      match resume with
+      | None -> Builder.create ctx ~gen
+      | Some { r_closed; _ } -> Builder.restore ctx ~gen ~closed:r_closed
+    in
+    (* The new tree gets a scratch meta page so ordinary Tree operations can
+       run against it before the switch. *)
+    let scratch_meta = Alloc.alloc (Ctx.alloc ctx) Alloc.Internal in
+    let new_tree =
+      ref None (* becomes a Tree.t once the new root exists *)
+    in
+    (* λ-switch mode: once the root has flipped, base-page changes go
+       straight into the new tree — no side-file blocking at all (§7.4's
+       "updates could be made in the new tree's base pages without affecting
+       search correctness in the old tree"). *)
+    let post_switch = ref false in
+    (* §7.2 updater logic, installed behind the reorganization bit. *)
+    Access.set_on_base_update access (fun txn op ->
+        if !post_switch then apply_op ctx (Ctx.tree ctx) ~txn op
+        else begin
+          let behind =
+            match Rtable.ck ctx.Ctx.rtable with Some c -> key_of op < c | None -> false
+          in
+          if behind then
+            match Side_file.append side ~txn op with
+            | `Accepted -> ()
+            | `Redirect ->
+              (* The switch completed while this updater waited: its base-page
+                 change went to the old tree and must be redone on the new
+                 tree, which is the main tree by now (§7.4). *)
+              ignore !new_tree;
+              apply_op ctx (Ctx.tree ctx) ~txn op
+        end);
+    Tree.set_reorg_bit tree true;
+    (* ---- scan the base pages, building the new upper levels ---- *)
+    let resume_key =
+      match (resume, finish) with
+      | Some r, _ -> r.r_stable_key
+      | _, Some _ -> max_int (* scan already complete *)
+      | None, None -> min_int
+    in
+    Rtable.set_ck ctx.Ctx.rtable (Some resume_key);
+    let scanned = ref 0 in
+    let rec scan low =
+      match lock_base ctx ~low with
+      | None -> ()
+      | Some base ->
+        let p = Ctx.page ctx base in
+        let entries = Inode.entries p in
+        List.iter (fun e -> Builder.feed builder ~key:e.Inode.key ~child:e.Inode.child) entries;
+        incr scanned;
+        ctx.Ctx.metrics.Metrics.base_pages_scanned <-
+          ctx.Ctx.metrics.Metrics.base_pages_scanned + 1;
+        let this_low = Inode.low_mark p in
+        let next = Tree.next_base (Ctx.tree ctx) this_low in
+        let next_key =
+          match next with Some nb -> Inode.low_mark (Ctx.page ctx nb) | None -> max_int
+        in
+        (* Get_Current advances before the S lock is given up (§7.1). *)
+        Rtable.set_ck ctx.Ctx.rtable (Some next_key);
+        Ctx.release ctx (Resource.Page base) Mode.S;
+        if !scanned mod ctx.Ctx.config.Config.stable_every = 0 && next_key <> max_int then
+          Builder.stable_point builder ~next_key;
+        let pacing = ctx.Ctx.config.Config.scan_pacing in
+        if pacing > 0 then Engine.sleep pacing else Engine.yield ();
+        if next_key <> max_int then scan next_key
+    in
+    if finish = None then scan resume_key;
+    Rtable.set_ck ctx.Ctx.rtable (Some max_int);
+    (* ---- finalize the new upper levels ---- *)
+    let new_root =
+      match finish with
+      | Some f -> f.f_new_root
+      | None ->
+        let new_root = Builder.finalize builder in
+        let lsn =
+          Wal.Log.append (Ctx.log ctx) (Record.Stable_key { key = max_int; new_root })
+        in
+        Wal.Log.force (Ctx.log ctx) lsn;
+        new_root
+    in
+    Journal.physical journal ~page:scratch_meta ~off:0 ~len:Btree.Layout.body_start (fun p ->
+        Meta.init p ~root:new_root ~tree_name:(old_name + 1);
+        Meta.set_generation p gen);
+    let nt = Tree.attach ~journal ~alloc:(Ctx.alloc ctx) ~meta_pid:scratch_meta in
+    new_tree := Some nt;
+    (* ---- catch-up: apply the side file to the new tree ---- *)
+    let rec catch_up n =
+      match Side_file.take side with
+      | None -> ()
+      | Some op ->
+        apply_op ctx nt op;
+        if n mod 4 = 0 then Engine.yield ();
+        catch_up (n + 1)
+    in
+    catch_up 1;
+    (* ---- switch (§7.4) ---- *)
+    let rec acquire_side_x () =
+      try Ctx.acquire ctx Resource.Side_file Mode.X
+      with Lock_client.Deadlock_victim ->
+        Engine.sleep 2;
+        acquire_side_x ()
+    in
+    acquire_side_x ();
+    (* Final catch-up: only the entries appended while we waited. *)
+    catch_up 1;
+    ignore
+      (Ctx.log_reorg ctx
+         (Record.Switch
+            { old_root; new_root = Tree.root nt; old_name; new_name = old_name + 1 }));
+    Journal.physical journal ~page:(Tree.meta_pid tree) ~off:0 ~len:Btree.Layout.body_start
+      (fun p ->
+        Meta.set_root p (Tree.root nt);
+        Meta.set_tree_name p (old_name + 1);
+        Meta.set_generation p gen);
+    Wal.Log.force_all (Ctx.log ctx);
+    let cleanup () =
+      discard_old_internals ctx ~old_root;
+      Journal.physical journal ~page:scratch_meta ~off:0 ~len:1 (fun p ->
+          Pager.Page.set_kind p Pager.Page.kind_free);
+      Alloc.release (Ctx.alloc ctx) scratch_meta;
+      Tree.set_reorg_bit tree false;
+      Access.clear_on_base_update access;
+      Rtable.set_ck ctx.Ctx.rtable None;
+      Ctx.release ctx (Resource.Tree old_name) Mode.X;
+      Wal.Log.force_all (Ctx.log ctx)
+    in
+    if ctx.Ctx.config.Config.lambda_switch then begin
+      (* λ-tree variant: the side file is held only for an instant — new
+         base-page updates flow into the new tree directly, nobody is
+         forced to abort, and the old upper levels are reclaimed in the
+         background once the last old-tree transaction leaves. *)
+      post_switch := true;
+      Rtable.set_ck ctx.Ctx.rtable None;
+      Ctx.release ctx Resource.Side_file Mode.X;
+      Engine.spawn_child (fun () ->
+          let rec drain () =
+            match
+              Lock_mgr.try_acquire locks ~owner:ctx.Ctx.actor.Transact.Txn.id
+                (Resource.Tree old_name) Mode.X
+            with
+            | `Granted -> ()
+            | `Conflict _ ->
+              Engine.sleep 3;
+              drain ()
+          in
+          drain ();
+          cleanup ());
+      true
+    end
+    else begin
+      (* Wait for old-tree transactions to finish; after the time limit,
+         force the stragglers to abort. *)
+      let started = Engine.current_time () in
+      let rec drain () =
+        match Lock_mgr.try_acquire locks ~owner:ctx.Ctx.actor.Transact.Txn.id
+                (Resource.Tree old_name) Mode.X
+        with
+        | `Granted -> ()
+        | `Conflict blockers ->
+          if Engine.current_time () - started > ctx.Ctx.config.Config.switch_wait then
+            List.iter
+              (fun (owner, _) ->
+                if Lock_mgr.cancel_wait locks ~owner then
+                  ctx.Ctx.metrics.Metrics.forced_aborts <-
+                    ctx.Ctx.metrics.Metrics.forced_aborts + 1)
+              blockers;
+          Engine.sleep 3;
+          drain ()
+      in
+      drain ();
+      (* Old-tree users are gone: reclaim the old upper levels. *)
+      cleanup ();
+      Ctx.release ctx Resource.Side_file Mode.X;
+      true
+    end
+  end

@@ -1,0 +1,36 @@
+(** Pass 3 — shrink the tree (§7): rebuild the levels above the leaves in
+    new space, catch up concurrent changes through the side file, and switch.
+
+    Protocol summary:
+    + set the reorganization bit; updaters now test it after base-page
+      changes and mirror changes behind the scan cursor into the side file;
+    + scan the old tree's base pages left to right holding one S lock at a
+      time, feeding their entries to the bottom-up {!Builder}; CK
+      (Get_Current) advances before each S lock is released; a stable point
+      is forced every [stable_every] base pages;
+    + finalize the new upper levels, apply the side file to the new tree;
+    + {b switch}: X-lock the side file, final catch-up, log the [Switch]
+      record and flip the meta page (root location, tree lock name,
+      generation); X-lock the old tree name to wait out old-tree
+      transactions, forcing them to abort after [switch_wait] ticks (§7.4's
+      time limit); then discard the old upper levels and clear the bit.
+
+    Must run inside a scheduler process.  Returns [true] if a switch
+    happened ([false] when the tree had no upper levels to rebuild). *)
+
+type resume = {
+  r_stable_key : int;  (** resume the scan from this key *)
+  r_closed : (int * int) list;  (** durable new-generation level-1 pages *)
+  r_side : Wal.Record.side_op list;  (** surviving side-file entries *)
+}
+
+type finish = {
+  f_new_root : int;  (** the fully built new root (final stable point) *)
+  f_side : Wal.Record.side_op list;
+}
+
+val run : Ctx.t -> ?resume:resume -> ?finish:finish -> unit -> bool
+(** [resume] continues an interrupted scan from recovery state; [finish]
+    skips straight to catch-up + switch (the new tree was already complete
+    when the crash hit). *)
+

@@ -1,0 +1,758 @@
+module Page = Pager.Page
+module Buffer_pool = Pager.Buffer_pool
+module Alloc = Pager.Alloc
+module Lsn = Wal.Lsn
+module Log = Wal.Log
+module Record = Wal.Record
+module Journal = Transact.Journal
+module Txn_mgr = Transact.Txn_mgr
+module Leaf = Btree.Leaf
+module Inode = Btree.Inode
+module Tree = Btree.Tree
+module Access = Btree.Access
+
+type resume =
+  | No_reorg
+  | Resume_passes of { lk : int }
+  | Resume_pass3 of { stable_key : int; closed : (int * int) list }
+  | Finish_switch of { new_root : int }
+
+type outcome = {
+  resume : resume;
+  finished_unit : int option;
+  losers_undone : int;
+  redo_applied : int;
+  side_entries : Record.side_op list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type analysis = {
+  losers : (int * Lsn.t) list;
+  open_units : int list;  (** BEGUN but not ENDED — parallel mode can leave several *)
+  rt : Record.reorg_table;
+  unit_types : (int, Record.reorg_type) Hashtbl.t;
+  stable_key : int option;  (** most recent Stable_key's key *)
+  final_root : int option;  (** new_root of a Stable_key{key=max_int} *)
+  switched : bool;
+  side : Record.side_op list;  (** oldest first, survivors *)
+  max_txn_id : int;
+}
+
+let analyze log =
+  let txns : (int, Lsn.t) Hashtbl.t = Hashtbl.create 16 in
+  let unit_types = Hashtbl.create 8 in
+  let open_units : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let rt_lk = ref min_int and rt_unit = ref None in
+  let rt_begin = ref Lsn.nil and rt_last = ref Lsn.nil and rt_ck = ref None in
+  let stable_key = ref None and final_root = ref None and switched = ref false in
+  let side : (int * Record.side_op) list ref = ref [] (* newest first, with txn *) in
+  let max_txn = ref 0 in
+  let note_txn t lsn =
+    max_txn := max !max_txn t;
+    Hashtbl.replace txns t lsn
+  in
+  let drop_side op =
+    let rec go = function
+      | [] -> []
+      | (t, o) :: rest -> if o = op then rest else (t, o) :: go rest
+    in
+    (* entries are newest-first; drop the oldest matching one *)
+    side := List.rev (go (List.rev !side))
+  in
+  Log.iter log (fun lsn body ->
+      match body with
+      | Record.Txn_begin t -> note_txn t lsn
+      | Record.Txn_commit t | Record.Txn_abort t ->
+        max_txn := max !max_txn t;
+        Hashtbl.remove txns t
+      | Record.Update { txn; _ } when txn <> 0 -> note_txn txn lsn
+      | Record.Update _ -> ()
+      | Record.Leaf_insert { txn; _ } | Record.Leaf_delete { txn; _ } -> note_txn txn lsn
+      | Record.Clr { txn; _ } | Record.Nta_end { txn; _ } -> note_txn txn lsn
+      | Record.Reorg_begin { unit_id; rtype; _ } ->
+        Hashtbl.replace unit_types unit_id rtype;
+        Hashtbl.replace open_units unit_id ();
+        rt_unit := Some unit_id;
+        rt_begin := lsn;
+        rt_last := lsn
+      | Record.Reorg_move { unit_id; _ } | Record.Reorg_modify { unit_id; _ } ->
+        if !rt_unit = Some unit_id then rt_last := lsn
+      | Record.Reorg_end { unit_id; largest_key; _ } ->
+        Hashtbl.remove open_units unit_id;
+        if !rt_unit = Some unit_id then begin
+          rt_unit := None;
+          rt_begin := Lsn.nil;
+          rt_last := Lsn.nil
+        end;
+        if largest_key > !rt_lk then rt_lk := largest_key
+      | Record.Side_file { txn; op; _ } ->
+        note_txn txn lsn;
+        side := (txn, op) :: !side
+      | Record.Side_applied { op } -> drop_side op
+      | Record.Stable_key { key; new_root } ->
+        stable_key := Some key;
+        rt_ck := Some key;
+        if key = max_int && new_root <> 0 then final_root := Some new_root
+      | Record.Switch _ ->
+        switched := true;
+        rt_ck := None;
+        side := []
+      | Record.Checkpoint { active_txns; reorg; _ } ->
+        Hashtbl.reset txns;
+        List.iter (fun (t, l) -> note_txn t l) active_txns;
+        rt_lk := reorg.Record.rt_lk;
+        rt_unit := reorg.rt_unit;
+        rt_begin := reorg.rt_begin_lsn;
+        rt_last := reorg.rt_last_lsn;
+        rt_ck := reorg.rt_ck);
+  (* Undoing a loser removes its side-file entries (its CLRs would have,
+     had the rollback run before the crash). *)
+  let losers = Hashtbl.fold (fun t l acc -> (t, l) :: acc) txns [] in
+  let loser_ids = List.map fst losers in
+  let side_ops =
+    List.rev !side
+    |> List.filter_map (fun (t, op) -> if List.mem t loser_ids then None else Some op)
+  in
+  (* §7.3: entries beyond the most recent stable key refer to base pages the
+     resumed scan will re-read — drop them. *)
+  let key_of = function
+    | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
+  in
+  let side_ops =
+    match !stable_key with
+    | Some sk when not !switched && !final_root = None ->
+      List.filter (fun op -> key_of op < sk) side_ops
+    | _ -> side_ops
+  in
+  {
+    losers;
+    open_units = Hashtbl.fold (fun u () acc -> u :: acc) open_units [] |> List.sort compare;
+    rt =
+      {
+        Record.rt_lk = !rt_lk;
+        rt_unit = !rt_unit;
+        rt_begin_lsn = !rt_begin;
+        rt_last_lsn = !rt_last;
+        rt_ck = !rt_ck;
+      };
+    unit_types;
+    stable_key = !stable_key;
+    final_root = !final_root;
+    switched = !switched;
+    side = side_ops;
+    max_txn_id = !max_txn;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Redo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let set_contents p records =
+  Leaf.clear p;
+  List.iter (fun r -> assert (Leaf.insert p r)) records
+
+let redo ~tree ~unit_types log =
+  let pool = Tree.pool tree in
+  let applied = ref 0 in
+  let stamp pid lsn =
+    let p = Buffer_pool.get pool pid in
+    Page.set_lsn p (Lsn.to_int64 lsn);
+    Buffer_pool.mark_dirty pool pid;
+    incr applied
+  in
+  let needs pid lsn = Page.lsn (Buffer_pool.get pool pid) < Lsn.to_int64 lsn in
+  let skip = Hashtbl.create 4 in
+  Log.iter log (fun lsn body ->
+      if not (Hashtbl.mem skip lsn) then
+        match body with
+        | Record.Update { page; off; after; _ } ->
+          if needs page lsn then begin
+            let p = Buffer_pool.get pool page in
+            Bytes.blit_string after 0 p off (String.length after);
+            stamp page lsn
+          end
+        | Record.Leaf_insert { page; key; payload; _ } ->
+          if needs page lsn then begin
+            ignore (Leaf.replace (Buffer_pool.get pool page) { Leaf.key; payload });
+            stamp page lsn
+          end
+        | Record.Leaf_delete { page; key; _ } ->
+          if needs page lsn then begin
+            ignore (Leaf.delete (Buffer_pool.get pool page) key);
+            stamp page lsn
+          end
+        | Record.Clr { action; _ } -> begin
+          (* Idempotent logical redo of compensation. *)
+          match action with
+          | Record.Undo_insert { key } -> Tree.apply_delete tree key
+          | Record.Undo_delete { key; payload } -> Tree.apply_insert tree ~key ~payload
+          | Record.Undo_side _ -> ()
+          | Record.Undo_phys { page; off; bytes } ->
+            if needs page lsn then begin
+              let p = Buffer_pool.get pool page in
+              Bytes.blit_string bytes 0 p off (String.length bytes);
+              stamp page lsn
+            end
+        end
+        | Record.Reorg_modify { base; edits; _ } ->
+          if needs base lsn then begin
+            let bp = Buffer_pool.get pool base in
+            List.iter
+              (fun edit ->
+                match edit with
+                | Record.Delete_entry { key; _ } -> ignore (Inode.delete_key bp key)
+                | Record.Insert_entry { key; child } ->
+                  ignore (Inode.insert bp { Inode.key; child })
+                | Record.Update_entry { org_key; new_key; new_child; _ } -> begin
+                  match Inode.find_key bp org_key with
+                  | Some i ->
+                    Inode.delete_at bp i;
+                    ignore (Inode.insert bp { Inode.key = new_key; child = new_child })
+                  | None -> ()
+                end)
+              edits;
+            stamp base lsn
+          end
+        | Record.Reorg_move { unit_id; org; dest; payload; _ } -> begin
+          let rtype =
+            match Hashtbl.find_opt unit_types unit_id with
+            | Some t -> t
+            | None -> Record.Compact
+          in
+          match rtype with
+          | Record.Compact | Record.Move -> begin
+            match payload with
+            | Record.Full_records recs ->
+              if needs dest lsn then begin
+                let dp = Buffer_pool.get pool dest in
+                List.iter (fun (key, payload) -> ignore (Leaf.replace dp { Leaf.key; payload })) recs;
+                stamp dest lsn
+              end;
+              if needs org lsn then begin
+                let op = Buffer_pool.get pool org in
+                List.iter (fun (key, _) -> ignore (Leaf.delete op key)) recs;
+                stamp org lsn
+              end
+            | Record.Keys_only keys ->
+              if needs dest lsn then begin
+                (* Careful writing guarantees the org page on disk still
+                   holds the records: re-move them. *)
+                let op = Buffer_pool.get pool org in
+                let dp = Buffer_pool.get pool dest in
+                List.iter
+                  (fun key ->
+                    match Leaf.find op key with
+                    | Some payload ->
+                      ignore (Leaf.replace dp { Leaf.key; payload });
+                      ignore (Leaf.delete op key)
+                    | None -> ())
+                  keys;
+                stamp dest lsn;
+                stamp org lsn;
+                (try Buffer_pool.add_dependency pool ~blocked:org ~prereq:dest
+                 with Buffer_pool.Cycle _ -> Buffer_pool.flush_page pool dest)
+              end
+              else if needs org lsn then begin
+                let op = Buffer_pool.get pool org in
+                List.iter (fun key -> ignore (Leaf.delete op key)) keys;
+                stamp org lsn
+              end
+          end
+          | Record.Swap -> begin
+            (* Find the partner MOVE (b -> a) and redo the pair as one
+               action, stamping both pages with the partner's LSN. *)
+            let partner = ref None in
+            Log.iter ~from:(lsn + 1) log (fun l b ->
+                if !partner = None then
+                  match b with
+                  | Record.Reorg_move { unit_id = u; payload = p; _ } when u = unit_id ->
+                    partner := Some (l, p)
+                  | _ -> ());
+            match !partner with
+            | None -> () (* torn pair cannot happen (appends are atomic) *)
+            | Some (m2, payload2) ->
+              Hashtbl.replace skip m2 ();
+              let a = org and b = dest in
+              let a_done = not (needs a m2) and b_done = not (needs b m2) in
+              let recs_of_payload = function
+                | Record.Full_records recs ->
+                  Some (List.map (fun (key, payload) -> { Leaf.key; payload }) recs)
+                | Record.Keys_only _ -> None
+              in
+              let recs_a = recs_of_payload payload in
+              if (not a_done) && not b_done then begin
+                let pa = Buffer_pool.get pool a and pb = Buffer_pool.get pool b in
+                let recs_b =
+                  match recs_of_payload payload2 with
+                  | Some r -> r
+                  | None -> Leaf.records pb (* pre-swap contents, by careful writing *)
+                in
+                set_contents pb (Option.get recs_a);
+                set_contents pa recs_b;
+                stamp a m2;
+                stamp b m2;
+                (try Buffer_pool.add_dependency pool ~blocked:b ~prereq:a
+                 with Buffer_pool.Cycle _ -> Buffer_pool.flush_page pool a)
+              end
+              else if a_done && not b_done then begin
+                set_contents (Buffer_pool.get pool b) (Option.get recs_a);
+                stamp b m2
+              end
+              else if b_done && not a_done then begin
+                match recs_of_payload payload2 with
+                | Some recs_b ->
+                  set_contents (Buffer_pool.get pool a) recs_b;
+                  stamp a m2
+                | None ->
+                  (* Impossible under careful writing (b durable implies a
+                     durable); nothing safe to do otherwise. *)
+                  ()
+              end
+          end
+        end
+        | Record.Txn_begin _ | Record.Txn_commit _ | Record.Txn_abort _ | Record.Nta_end _
+        | Record.Reorg_begin _ | Record.Reorg_end _ | Record.Side_file _ | Record.Side_applied _
+        | Record.Stable_key _ | Record.Switch _ | Record.Checkpoint _ ->
+          ());
+  !applied
+
+(* ------------------------------------------------------------------ *)
+(* Forward completion of the in-flight unit (§5.1)                     *)
+(* ------------------------------------------------------------------ *)
+
+let unit_records log ~unit_id =
+  let begin_info = ref None and moves = ref [] and modifies = ref 0 in
+  Log.iter log (fun _ body ->
+      match body with
+      | Record.Reorg_begin { unit_id = u; rtype; base_pages; leaf_pages } when u = unit_id ->
+        begin_info := Some (rtype, base_pages, leaf_pages)
+      | Record.Reorg_move { unit_id = u; org; dest; payload; _ } when u = unit_id ->
+        moves := (org, dest, payload) :: !moves
+      | Record.Reorg_modify { unit_id = u; _ } when u = unit_id -> incr modifies
+      | _ -> ());
+  (!begin_info, List.rev !moves, !modifies)
+
+let opt_pid = function None -> Btree.Layout.nil_pid | Some p -> p
+
+(* Complete a compact/move unit whose MOVEs are all logged (the only
+   crash window after work started is the base-lock upgrade). *)
+let complete_compact ctx ~unit_id ~base ~leaves ~dest =
+  let pool = Ctx.pool ctx in
+  let bp = Ctx.page ctx base in
+  let first = List.hd leaves and last = List.nth leaves (List.length leaves - 1) in
+  let low_mark =
+    match Inode.find_child bp first with
+    | Some i -> (Inode.entry_at bp i).Inode.key
+    | None -> Leaf.low_mark (Ctx.page ctx first)
+  in
+  (* Any leaf still holding records and not the dest was not yet moved. *)
+  List.iter
+    (fun org ->
+      if org <> dest then begin
+        let op = Ctx.page ctx org in
+        if Leaf.is_leaf op && Leaf.nrecords op > 0 then begin
+          let records = Leaf.records op in
+          let prev = Rtable.last_lsn ctx.Ctx.rtable in
+          let payload =
+            if ctx.Ctx.config.Config.careful_writing then
+              Record.Keys_only (List.map (fun r -> r.Leaf.key) records)
+            else
+              Record.Full_records (List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) records)
+          in
+          let lsn =
+            Ctx.log_reorg ctx
+              (Record.Reorg_move { unit_id; org; dest; payload; dest_init = None; prev })
+          in
+          let dp = Ctx.page ctx dest in
+          List.iter (fun r -> ignore (Leaf.replace dp r)) records;
+          Leaf.clear op;
+          Ctx.stamp ctx ~page:org lsn;
+          Ctx.stamp ctx ~page:dest lsn
+        end
+      end)
+    leaves;
+  (* Headers, side pointers, deallocation, MODIFY, END — recomputed from the
+     current state (idempotent under the log's physical records). *)
+  let prev_n = Leaf.prev (Ctx.page ctx first) in
+  let next_n = Leaf.next (Ctx.page ctx last) in
+  let prev_n = if first = dest then prev_n else prev_n in
+  let journal = Ctx.journal ctx in
+  Journal.physical journal ~page:dest ~off:Btree.Layout.off_low_mark
+    ~len:(Btree.Layout.off_next + 4 - Btree.Layout.off_low_mark) (fun p ->
+      Leaf.set_low_mark p low_mark;
+      Leaf.set_prev p prev_n;
+      Leaf.set_next p next_n);
+  (match prev_n with
+  | Some p when p <> dest ->
+    Journal.physical journal ~page:p ~off:Btree.Layout.off_next ~len:4 (fun q ->
+        Leaf.set_next q (Some dest))
+  | _ -> ());
+  (match next_n with
+  | Some p when p <> dest ->
+    Journal.physical journal ~page:p ~off:Btree.Layout.off_prev ~len:4 (fun q ->
+        Leaf.set_prev q (Some dest))
+  | _ -> ());
+  List.iter
+    (fun org ->
+      if org <> dest && Page.kind (Buffer_pool.get pool org) <> Page.kind_free then begin
+        Journal.physical journal ~page:org ~off:0 ~len:1 (fun p ->
+            Page.set_kind p Page.kind_free);
+        if not (Alloc.is_free (Ctx.alloc ctx) org) then Alloc.release (Ctx.alloc ctx) org
+      end)
+    leaves;
+  let edits =
+    List.filter_map
+      (fun leaf ->
+        match Inode.find_child (Ctx.page ctx base) leaf with
+        | Some i ->
+          let e = Inode.entry_at (Ctx.page ctx base) i in
+          Some (Record.Delete_entry { key = e.Inode.key; child = e.Inode.child })
+        | None -> None)
+      leaves
+    @ [ Record.Insert_entry { key = low_mark; child = dest } ]
+  in
+  let prev = Rtable.last_lsn ctx.Ctx.rtable in
+  let mlsn = Ctx.log_reorg ctx (Record.Reorg_modify { unit_id; base; edits; prev }) in
+  let bp = Ctx.page ctx base in
+  List.iter
+    (fun edit ->
+      match edit with
+      | Record.Delete_entry { key; _ } -> ignore (Inode.delete_key bp key)
+      | Record.Insert_entry { key; child } -> ignore (Inode.insert bp { Inode.key; child })
+      | Record.Update_entry _ -> ())
+    edits;
+  Ctx.stamp ctx ~page:base mlsn;
+  let largest =
+    match Leaf.max_key (Ctx.page ctx dest) with
+    | Some k -> k
+    | None -> Rtable.lk ctx.Ctx.rtable
+  in
+  let prev = Rtable.last_lsn ctx.Ctx.rtable in
+  ignore (Ctx.log_reorg ctx (Record.Reorg_end { unit_id; largest_key = largest; prev }));
+  Rtable.end_unit ctx.Ctx.rtable ~largest_key:largest
+
+(* Complete a swap unit whose two MOVE records are stable (so redo has
+   already exchanged the contents).  Everything after the moves — headers,
+   neighbour pointers, parent entries, END — is re-derived from observable
+   state, because the stable log can have been truncated anywhere inside the
+   unit's record sequence:
+   - the entry keys {la, lb} survive in the base pages (MODIFY only changes
+     children, never keys); which of them bounds the content now in [b]
+     (= the old content of [a]) is decided with the keys from the MOVE
+     payload;
+   - header rewrites are ordered b-then-a in the executor, so the only
+     partial state is "b done, a pending", and the pre-swap links of [a] are
+     recoverable from [b]'s final header ([tr] is an involution). *)
+let complete_swap ctx ~unit_id ~bases ~a ~b ~recs_a_keys =
+  let journal = Ctx.journal ctx in
+  let pa = Ctx.page ctx a and pb = Ctx.page ctx b in
+  let tr = function Some p when p = a -> Some b | Some p when p = b -> Some a | x -> x in
+  (* Entry keys covering the pair, from the bases. *)
+  let entry_keys =
+    List.concat_map
+      (fun base ->
+        List.filter_map
+          (fun e ->
+            if e.Inode.child = a || e.Inode.child = b then Some e.Inode.key else None)
+          (Inode.entries (Ctx.page ctx base)))
+      bases
+    |> List.sort_uniq compare
+  in
+  let la, lb =
+    match (entry_keys, recs_a_keys) with
+    | [ k1; k2 ], mk :: _ ->
+      (* la bounds the content that was in a (now in b). *)
+      if mk >= k2 then (k2, k1) else (k1, k2)
+    | [ k ], _ -> (k, k)
+    | _ ->
+      (* Fallback: trust the page headers (pre-swap state). *)
+      (Leaf.low_mark pa, Leaf.low_mark pb)
+  in
+  let b_header_done = Leaf.low_mark pb = la && la <> lb in
+  let a_header_done = Leaf.low_mark pa = lb && la <> lb in
+  (* Recover the pre-swap chain links. *)
+  let links_a =
+    if a_header_done then
+      (* a holds tr(old links of b); never reached with b pending. *)
+      (tr (Leaf.prev pb), tr (Leaf.next pb))
+    else if b_header_done then (tr (Leaf.prev pb), tr (Leaf.next pb))
+    else (Leaf.prev pa, Leaf.next pa)
+  in
+  let links_b =
+    if a_header_done then (tr (Leaf.prev pa), tr (Leaf.next pa))
+    else (Leaf.prev pb, Leaf.next pb)
+  in
+  let set_header pid ~low ~prev ~next =
+    Journal.physical journal ~page:pid ~off:Btree.Layout.off_low_mark
+      ~len:(Btree.Layout.off_next + 4 - Btree.Layout.off_low_mark) (fun p ->
+        Leaf.set_low_mark p low;
+        Leaf.set_prev p prev;
+        Leaf.set_next p next)
+  in
+  if not b_header_done then
+    set_header b ~low:la ~prev:(tr (fst links_a)) ~next:(tr (snd links_a));
+  if not a_header_done then
+    set_header a ~low:lb ~prev:(tr (fst links_b)) ~next:(tr (snd links_b));
+  let fix n ~prev ~to_ =
+    match n with
+    | Some p when p <> a && p <> b ->
+      if prev then
+        Journal.physical journal ~page:p ~off:Btree.Layout.off_prev ~len:4 (fun q ->
+            Leaf.set_prev q (Some to_))
+      else
+        Journal.physical journal ~page:p ~off:Btree.Layout.off_next ~len:4 (fun q ->
+            Leaf.set_next q (Some to_))
+    | _ -> ()
+  in
+  fix (fst links_a) ~prev:false ~to_:b;
+  fix (snd links_a) ~prev:true ~to_:b;
+  fix (fst links_b) ~prev:false ~to_:a;
+  fix (snd links_b) ~prev:true ~to_:a;
+  List.iter
+    (fun base ->
+      let bp = Ctx.page ctx base in
+      let edits = ref [] in
+      (match Inode.find_key bp la with
+      | Some i when (Inode.entry_at bp i).Inode.child = a ->
+        edits :=
+          Record.Update_entry { org_key = la; org_child = a; new_key = la; new_child = b }
+          :: !edits
+      | _ -> ());
+      (match Inode.find_key bp lb with
+      | Some i when (Inode.entry_at bp i).Inode.child = b ->
+        edits :=
+          Record.Update_entry { org_key = lb; org_child = b; new_key = lb; new_child = a }
+          :: !edits
+      | _ -> ());
+      if !edits <> [] then begin
+        let prev = Rtable.last_lsn ctx.Ctx.rtable in
+        let mlsn =
+          Ctx.log_reorg ctx (Record.Reorg_modify { unit_id; base; edits = !edits; prev })
+        in
+        List.iter
+          (fun edit ->
+            match edit with
+            | Record.Update_entry { org_key; new_key; new_child; _ } -> begin
+              match Inode.find_key bp org_key with
+              | Some i ->
+                Inode.delete_at bp i;
+                ignore (Inode.insert bp { Inode.key = new_key; child = new_child })
+              | None -> ()
+            end
+            | _ -> ())
+          !edits;
+        Ctx.stamp ctx ~page:base mlsn
+      end)
+    bases;
+  let largest =
+    max
+      (match Leaf.max_key (Ctx.page ctx a) with Some k -> k | None -> min_int)
+      (match Leaf.max_key (Ctx.page ctx b) with Some k -> k | None -> min_int)
+  in
+  let largest = max largest (Rtable.lk ctx.Ctx.rtable) in
+  let prev = Rtable.last_lsn ctx.Ctx.rtable in
+  ignore (Ctx.log_reorg ctx (Record.Reorg_end { unit_id; largest_key = largest; prev }));
+  Rtable.end_unit ctx.Ctx.rtable ~largest_key:largest
+
+let finish_one ctx log ~unit_id =
+  begin
+    match unit_records log ~unit_id with
+    | None, _, _ ->
+      (* BEGIN never became stable: the unit never existed. *)
+      ()
+    | Some (rtype, bases, leaves), moves, modifies ->
+      (match (rtype, moves) with
+      | _, [] | Record.Swap, [ _ ] ->
+        (* Nothing moved yet: end the unit as a no-op; the restarted pass
+           will re-plan this group. *)
+        let prev = Rtable.last_lsn ctx.Ctx.rtable in
+        ignore
+          (Ctx.log_reorg ctx
+             (Record.Reorg_end { unit_id; largest_key = Rtable.lk ctx.Ctx.rtable; prev }));
+        Rtable.end_unit ctx.Ctx.rtable ~largest_key:(Rtable.lk ctx.Ctx.rtable)
+      | (Record.Compact | Record.Move), (_, dest, _) :: _ ->
+        if modifies > 0 then begin
+          (* Everything but END was done. *)
+          let largest =
+            match Leaf.max_key (Ctx.page ctx dest) with
+            | Some k -> k
+            | None -> Rtable.lk ctx.Ctx.rtable
+          in
+          let prev = Rtable.last_lsn ctx.Ctx.rtable in
+          ignore (Ctx.log_reorg ctx (Record.Reorg_end { unit_id; largest_key = largest; prev }));
+          Rtable.end_unit ctx.Ctx.rtable ~largest_key:largest
+        end
+        else begin
+          (match rtype, bases with
+          | _, base :: _ ->
+            (* Claim the new-place destination if the crash lost it. *)
+            if Alloc.is_free (Ctx.alloc ctx) dest then Alloc.alloc_specific (Ctx.alloc ctx) dest;
+            complete_compact ctx ~unit_id ~base ~leaves ~dest
+          | _ -> ())
+        end
+      | Record.Swap, (_, _, payload1) :: _ -> begin
+        ignore modifies;
+        match leaves with
+        | [ a; b ] ->
+          let recs_a_keys =
+            match payload1 with
+            | Record.Full_records rs -> List.map fst rs
+            | Record.Keys_only ks -> ks
+          in
+          (* State-driven and idempotent: partial headers / MODIFYs are
+             detected and only the missing steps are re-performed. *)
+          complete_swap ctx ~unit_id ~bases ~a ~b ~recs_a_keys
+        | _ -> ()
+      end)
+  end
+
+let finish_units ctx log ~open_units =
+  List.iter (fun unit_id -> finish_one ctx log ~unit_id) open_units;
+  (* The system table no longer carries an in-flight unit. *)
+  Rtable.end_unit ctx.Ctx.rtable ~largest_key:(Rtable.lk ctx.Ctx.rtable);
+  match open_units with [] -> None | u :: _ -> Some u
+
+(* ------------------------------------------------------------------ *)
+(* Pass-3 state reconstruction                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Free internal pages of generations older than the current one (post-
+   switch garbage), and any stray meta pages in the internal zone. *)
+let sweep_old_generation ctx =
+  let tree = Ctx.tree ctx in
+  let pool = Ctx.pool ctx in
+  let alloc = Ctx.alloc ctx in
+  let cur = Tree.generation tree in
+  let disk = Buffer_pool.disk pool in
+  let _, leaf_hi = Alloc.leaf_zone alloc in
+  for pid = leaf_hi to Pager.Disk.page_count disk - 1 do
+    let p = Buffer_pool.get pool pid in
+    let stale_internal = Inode.is_internal p && Inode.generation p < cur in
+    let stray_meta = Page.kind p = Btree.Layout.kind_meta && pid <> Tree.meta_pid tree in
+    if stale_internal || stray_meta then begin
+      Journal.physical (Ctx.journal ctx) ~page:pid ~off:0 ~len:1 (fun q ->
+          Page.set_kind q Page.kind_free);
+      if not (Alloc.is_free alloc pid) then Alloc.release alloc pid
+    end
+  done
+
+(* Adopt the durable new-generation level-1 pages below the stable key;
+   free the rest of the interrupted build. *)
+let rebuild_builder_state ctx ~stable_key =
+  let tree = Ctx.tree ctx in
+  let pool = Ctx.pool ctx in
+  let alloc = Ctx.alloc ctx in
+  let gen = Tree.generation tree + 1 in
+  let disk = Buffer_pool.disk pool in
+  let _, leaf_hi = Alloc.leaf_zone alloc in
+  let keep = ref [] in
+  for pid = leaf_hi to Pager.Disk.page_count disk - 1 do
+    let p = Buffer_pool.get pool pid in
+    if Inode.is_internal p && Inode.generation p = gen then
+      if Inode.level p = 1 && Inode.low_mark p < stable_key then
+        keep := (Inode.low_mark p, pid) :: !keep
+      else begin
+        Journal.physical (Ctx.journal ctx) ~page:pid ~off:0 ~len:1 (fun q ->
+            Page.set_kind q Page.kind_free);
+        if not (Alloc.is_free alloc pid) then Alloc.release alloc pid
+      end
+  done;
+  List.sort compare !keep
+
+(* ------------------------------------------------------------------ *)
+(* Restart                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let restart ~access ~config =
+  let tree = Access.tree access in
+  let mgr = Access.mgr access in
+  let journal = Tree.journal tree in
+  let log = Journal.log journal in
+  let pool = Tree.pool tree in
+  let a = analyze log in
+  (* Redo everything stable; page-LSN guards make it exact. *)
+  let redo_applied = redo ~tree ~unit_types:a.unit_types log in
+  Alloc.rebuild (Tree.alloc tree);
+  Txn_mgr.ensure_next_id mgr (a.max_txn_id + 1);
+  (* Undo loser transactions (logical undo via the tree). *)
+  List.iter
+    (fun (id, last) ->
+      let tx = Transact.Txn.make id in
+      tx.Transact.Txn.last_lsn <- last;
+      Txn_mgr.undo_chain mgr tx ~last;
+      ignore (Log.append log (Record.Txn_abort id)))
+    a.losers;
+  (* Physical undo can flip allocation kind bytes (e.g. resurrect the pages
+     of a torn block operation): recompute the free sets. *)
+  if a.losers <> [] then Alloc.rebuild (Tree.alloc tree);
+  (* Forward recovery of the reorganizer's state. *)
+  let ctx = Ctx.make ~access ~config in
+  Rtable.restore ctx.Ctx.rtable a.rt;
+  let finished_unit = finish_units ctx log ~open_units:a.open_units in
+  let resume =
+    if a.switched then begin
+      sweep_old_generation ctx;
+      if Tree.reorg_bit tree then Tree.set_reorg_bit tree false;
+      No_reorg
+    end
+    else if Tree.reorg_bit tree then begin
+      match a.final_root with
+      | Some new_root -> Finish_switch { new_root }
+      | None ->
+        let stable_key = match a.stable_key with Some k -> k | None -> min_int in
+        let closed = rebuild_builder_state ctx ~stable_key in
+        Resume_pass3 { stable_key; closed }
+    end
+    else if Rtable.lk ctx.Ctx.rtable > min_int || finished_unit <> None then
+      (* With several interrupted units (parallel mode), some ranges below
+         LK may be unfinished: rescan from the start — pass 1 skips
+         already-compacted groups, so this is only slower, never wrong. *)
+      if List.length a.open_units > 1 then Resume_passes { lk = min_int }
+      else Resume_passes { lk = Rtable.lk ctx.Ctx.rtable }
+    else No_reorg
+  in
+  (* End of restart: everything durable, fresh checkpoint. *)
+  Buffer_pool.flush_all pool;
+  Log.force_all log;
+  Ctx.checkpoint ctx;
+  ( ctx,
+    {
+      resume;
+      finished_unit;
+      losers_undone = List.length a.losers;
+      redo_applied;
+      side_entries = a.side;
+    } )
+
+let resume_reorganization ctx outcome =
+  match outcome.resume with
+  | No_reorg -> None
+  | Resume_passes _ -> Some (Driver.run ctx)
+  | Resume_pass3 { stable_key; closed } ->
+    let switched =
+      Pass3.run ctx
+        ~resume:
+          { Pass3.r_stable_key = stable_key; r_closed = closed; r_side = outcome.side_entries }
+        ()
+    in
+    Some
+      {
+        Driver.empty_report with
+        Driver.switched;
+        height_after = Tree.height (Ctx.tree ctx);
+      }
+  | Finish_switch { new_root } ->
+    let switched =
+      Pass3.run ctx ~finish:{ Pass3.f_new_root = new_root; f_side = outcome.side_entries } ()
+    in
+    Some
+      {
+        Driver.empty_report with
+        Driver.switched;
+        height_after = Tree.height (Ctx.tree ctx);
+      }
+
+let _ = opt_pid

@@ -1,0 +1,53 @@
+module Record = Wal.Record
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+module Lock_client = Transact.Lock_client
+module Journal = Transact.Journal
+
+type t = {
+  journal : Journal.t;
+  locks : Lockmgr.Lock_mgr.t;
+  mutable items : Record.side_op list; (* newest first *)
+}
+
+let create ~journal ~locks = { journal; locks; items = [] }
+
+let key_of = function
+  | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
+
+let append t ~txn op =
+  match Lock_client.try_acquire t.locks ~txn Resource.Side_file Mode.IX with
+  | `Granted ->
+    Lock_client.acquire t.locks ~txn (Resource.Side_key (key_of op)) Mode.X;
+    ignore
+      (Journal.log_for t.journal ~txn (fun ~prev ->
+           Record.Side_file { txn = txn.Transact.Txn.id; op; prev }));
+    t.items <- op :: t.items;
+    `Accepted
+  | `Conflict _ ->
+    (* Switching is in progress: wait it out with an instant-duration IX,
+       then redirect the update to the new tree (§7.4). *)
+    Lock_client.instant t.locks ~txn Resource.Side_file Mode.IX;
+    `Redirect
+
+let take t =
+  match List.rev t.items with
+  | [] -> None
+  | oldest :: rest ->
+    t.items <- List.rev rest;
+    ignore (Wal.Log.append (Journal.log t.journal) (Record.Side_applied { op = oldest }));
+    Some oldest
+
+let remove t op =
+  let rec drop_first = function
+    | [] -> []
+    | x :: rest -> if x = op then rest else x :: drop_first rest
+  in
+  t.items <- drop_first t.items
+
+let size t = List.length t.items
+let is_empty t = t.items = []
+
+let restore_entries t ops = t.items <- List.rev ops
+
+let entries t = List.rev t.items

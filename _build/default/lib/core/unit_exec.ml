@@ -1,0 +1,592 @@
+module Page = Pager.Page
+module Buffer_pool = Pager.Buffer_pool
+module Alloc = Pager.Alloc
+module Record = Wal.Record
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+module Lock_client = Transact.Lock_client
+module Journal = Transact.Journal
+module Leaf = Btree.Leaf
+module Inode = Btree.Inode
+module Layout = Btree.Layout
+
+type plan =
+  | Compact of {
+      base : int;
+      leaves : int list;
+      dest : [ `In_place of int | `New_place of int ];
+    }
+  | Swap of { a_base : int; a : int; b_base : int; b : int }
+  | Move of { base : int; org : int; dest : int }
+
+type outcome = Done of int | Stale | Gave_up
+
+exception Stale_plan
+
+let pp_plan ppf = function
+  | Compact { base; leaves; dest } ->
+    let d = match dest with `In_place p -> Printf.sprintf "in-place:%d" p | `New_place p -> Printf.sprintf "new-place:%d" p in
+    Format.fprintf ppf "compact base=%d leaves=[%s] dest=%s" base
+      (String.concat ";" (List.map string_of_int leaves))
+      d
+  | Swap { a_base; a; b_base; b } -> Format.fprintf ppf "swap %d(%d) <-> %d(%d)" a a_base b b_base
+  | Move { base; org; dest } -> Format.fprintf ppf "move %d -> %d (base %d)" org dest base
+
+(* ------------------------------------------------------------------ *)
+(* Lock bookkeeping                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let acquire ctx held res mode =
+  Ctx.acquire ctx res mode;
+  held := (res, mode) :: !held
+
+let release_all ctx held = Ctx.release_unit_locks ctx held
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let opt_pid = function None -> Layout.nil_pid | Some p -> p
+let pid_opt p = if p = Layout.nil_pid then None else Some p
+
+let move_payload ~careful records =
+  if careful then Record.Keys_only (List.map (fun r -> r.Leaf.key) records)
+  else Record.Full_records (List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) records)
+
+(* Attempt the careful-writing write-order constraint BEFORE logging the
+   MOVE.  When the dependency would close a cycle, the paper's rule applies
+   ("there is no way to avoid logging at least one of the full page
+   contents"): the caller logs full contents instead.  [force] because the
+   prerequisite is about to be dirtied with the protected records. *)
+let plan_careful ctx ~blocked ~prereq =
+  ctx.Ctx.config.Config.careful_writing
+  &&
+  match Buffer_pool.add_dependency ~force:true (Ctx.pool ctx) ~blocked ~prereq with
+  | () -> true
+  | exception Buffer_pool.Cycle _ -> false
+
+let log_move ctx ~unit_id ~org ~dest ~careful records =
+  let prev = Rtable.last_lsn ctx.Ctx.rtable in
+  Ctx.log_reorg ctx
+    (Record.Reorg_move
+       { unit_id; org; dest; payload = move_payload ~careful records; dest_init = None; prev })
+
+(* Update the headers (low mark + side pointers) of a leaf with a narrow
+   physical record, so redo is absolute and independent of record layout. *)
+let set_leaf_header ctx pid ~low_mark ~prev ~next =
+  Journal.physical (Ctx.journal ctx) ~page:pid ~off:Layout.off_low_mark
+    ~len:(Layout.off_next + 4 - Layout.off_low_mark) (fun p ->
+      Leaf.set_low_mark p low_mark;
+      Leaf.set_prev p (pid_opt prev);
+      Leaf.set_next p (pid_opt next))
+
+let set_neighbor_next ctx pid next =
+  Journal.physical (Ctx.journal ctx) ~page:pid ~off:Layout.off_next ~len:4 (fun p ->
+      Leaf.set_next p next)
+
+let set_neighbor_prev ctx pid prev =
+  Journal.physical (Ctx.journal ctx) ~page:pid ~off:Layout.off_prev ~len:4 (fun p ->
+      Leaf.set_prev p prev)
+
+(* Format a fresh leaf with a narrow header-only physical record.  Residual
+   body bytes of a recycled page are unreachable because the header declares
+   the page empty. *)
+let format_dest ctx pid ~low_mark ~prev ~next =
+  Journal.physical (Ctx.journal ctx) ~page:pid ~off:0 ~len:Layout.body_start (fun p ->
+      Leaf.init p ~low_mark;
+      Leaf.set_prev p (pid_opt prev);
+      Leaf.set_next p (pid_opt next))
+
+let dealloc_org ctx ~org ~dest =
+  Journal.physical (Ctx.journal ctx) ~page:org ~off:0 ~len:1 (fun p ->
+      Page.set_kind p Page.kind_free);
+  if ctx.Ctx.config.Config.careful_writing then
+    (* The page may not be reused until its contents are durable in dest. *)
+    Alloc.defer_release (Ctx.alloc ctx) ~page:org ~until_durable:dest
+  else Alloc.release (Ctx.alloc ctx) org
+
+let apply_edits_to_base ctx ~base ~edits ~lsn =
+  let bp = Ctx.page ctx base in
+  List.iter
+    (fun edit ->
+      match edit with
+      | Record.Delete_entry { key; _ } -> ignore (Inode.delete_key bp key)
+      | Record.Insert_entry { key; child } ->
+        ignore (Inode.insert bp { Inode.key; child })
+      | Record.Update_entry { org_key; new_key; new_child; _ } -> begin
+        match Inode.find_key bp org_key with
+        | Some i ->
+          Inode.delete_at bp i;
+          ignore (Inode.insert bp { Inode.key = new_key; child = new_child })
+        | None -> ()
+      end)
+    edits;
+  Ctx.stamp ctx ~page:base lsn
+
+let log_modify ctx ~unit_id ~base ~edits =
+  let prev = Rtable.last_lsn ctx.Ctx.rtable in
+  let lsn = Ctx.log_reorg ctx (Record.Reorg_modify { unit_id; base; edits; prev }) in
+  apply_edits_to_base ctx ~base ~edits ~lsn
+
+let log_end ctx ~unit_id ~largest_key =
+  let prev = Rtable.last_lsn ctx.Ctx.rtable in
+  ignore (Ctx.log_reorg ctx (Record.Reorg_end { unit_id; largest_key; prev }));
+  Rtable.end_unit ctx.Ctx.rtable ~largest_key
+
+(* Consecutive-children check: every leaf must be a child of [base] and the
+   entries must be adjacent, in order. *)
+let entries_for_leaves ctx ~base ~leaves =
+  let bp = Ctx.page ctx base in
+  if not (Inode.is_internal bp) || Inode.level bp <> 1 then raise Stale_plan;
+  let idxs =
+    List.map
+      (fun leaf ->
+        match Inode.find_child bp leaf with Some i -> i | None -> raise Stale_plan)
+      leaves
+  in
+  (match idxs with
+  | [] -> raise Stale_plan
+  | first :: rest ->
+    let rec consecutive prev = function
+      | [] -> ()
+      | i :: rest -> if i <> prev + 1 then raise Stale_plan else consecutive i rest
+    in
+    consecutive first rest);
+  List.map (fun i -> Inode.entry_at bp i) idxs
+
+(* ------------------------------------------------------------------ *)
+(* Compact / Move                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* §5.2 undo: records were moved but the base-page X upgrade deadlocked.
+   Reverse the moves (logging full-content reverse MOVE records) and end the
+   unit as a no-op. *)
+let undo_moves ctx ~unit_id ~dest ~dest_fresh ~saved =
+  ctx.Ctx.metrics.Metrics.units_undone <- ctx.Ctx.metrics.Metrics.units_undone + 1;
+  List.iter
+    (fun (org, records, low_mark, prev, next) ->
+      let lsn =
+        let p = Rtable.last_lsn ctx.Ctx.rtable in
+        Ctx.log_reorg ctx
+          (Record.Reorg_move
+             {
+               unit_id;
+               org = dest;
+               dest = org;
+               payload =
+                 Record.Full_records (List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) records);
+               dest_init = None;
+               prev = p;
+             })
+      in
+      let op = Ctx.page ctx org in
+      Leaf.init op ~low_mark;
+      Leaf.set_prev op prev;
+      Leaf.set_next op next;
+      List.iter (fun r -> assert (Leaf.insert op r)) records;
+      Ctx.stamp ctx ~page:org lsn;
+      let dp = Ctx.page ctx dest in
+      List.iter (fun r -> ignore (Leaf.delete dp r.Leaf.key)) records;
+      Ctx.stamp ctx ~page:dest lsn)
+    saved;
+  if dest_fresh then begin
+    Journal.physical (Ctx.journal ctx) ~page:dest ~off:0 ~len:1 (fun p ->
+        Page.set_kind p Page.kind_free);
+    Alloc.release (Ctx.alloc ctx) dest
+  end;
+  log_end ctx ~unit_id ~largest_key:(Rtable.lk ctx.Ctx.rtable)
+
+let execute_compact ctx ~base ~leaves ~dest =
+  let held = ref [] in
+  try
+    acquire ctx held (Resource.Page base) Mode.R;
+    let entries = entries_for_leaves ctx ~base ~leaves in
+    List.iter (fun leaf -> acquire ctx held (Resource.Page leaf) Mode.RX) leaves;
+    (* Re-read contents under the RX locks. *)
+    let contents = List.map (fun l -> (l, Leaf.records (Ctx.page ctx l))) leaves in
+    let total_bytes =
+      List.fold_left
+        (fun acc (_, rs) -> List.fold_left (fun a r -> a + Leaf.record_bytes r) acc rs)
+        0 contents
+    in
+    if total_bytes > Ctx.usable_bytes ctx then raise Stale_plan;
+    let dest_pid, dest_fresh =
+      match dest with
+      | `In_place d ->
+        if not (List.mem d leaves) then raise Stale_plan;
+        (d, false)
+      | `New_place e ->
+        if not (Alloc.is_free (Ctx.alloc ctx) e) then raise Stale_plan;
+        (e, true)
+    in
+    let orgs = List.filter (fun l -> l <> dest_pid) leaves in
+    if orgs = [] then begin
+      release_all ctx held;
+      Done
+        (match List.concat_map snd contents with
+        | [] -> Rtable.lk ctx.Ctx.rtable
+        | rs -> List.fold_left (fun a r -> max a r.Leaf.key) min_int rs)
+    end
+    else begin
+      let first = List.hd leaves and last = List.nth leaves (List.length leaves - 1) in
+      let low_mark = (List.hd entries).Inode.key in
+      let prev_n = Leaf.prev (Ctx.page ctx first) in
+      let next_n = Leaf.next (Ctx.page ctx last) in
+      (* X locks on side-pointer neighbours outside the unit (§4.3). *)
+      List.iter
+        (fun n ->
+          match n with
+          | Some pid when not (List.mem pid leaves) ->
+            acquire ctx held (Resource.Page pid) Mode.X
+          | _ -> ())
+        [ prev_n; next_n ];
+      (* All locks held: the unit begins. *)
+      let unit_id = Rtable.next_unit_id ctx.Ctx.rtable in
+      let begin_lsn =
+        Ctx.log_reorg ctx
+          (Record.Reorg_begin
+             { unit_id; rtype = Record.Compact; base_pages = [ base ]; leaf_pages = leaves })
+      in
+      Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
+      if dest_fresh then begin
+        Alloc.alloc_specific (Ctx.alloc ctx) dest_pid;
+        format_dest ctx dest_pid ~low_mark ~prev:(opt_pid prev_n) ~next:(opt_pid next_n)
+      end;
+      (* Move records, saving enough to undo (§5.2). *)
+      let saved = ref [] in
+      List.iter
+        (fun (org, records) ->
+          if org <> dest_pid then begin
+            let op = Ctx.page ctx org in
+            let org_low = Leaf.low_mark op in
+            let org_prev = Leaf.prev op and org_next = Leaf.next op in
+            let careful = plan_careful ctx ~blocked:org ~prereq:dest_pid in
+            let lsn = log_move ctx ~unit_id ~org ~dest:dest_pid ~careful records in
+            let dp = Ctx.page ctx dest_pid in
+            List.iter (fun r -> assert (Leaf.insert dp r)) records;
+            Leaf.clear op;
+            Ctx.stamp ctx ~page:org lsn;
+            Ctx.stamp ctx ~page:dest_pid lsn;
+            ctx.Ctx.metrics.Metrics.records_moved <-
+              ctx.Ctx.metrics.Metrics.records_moved + List.length records;
+            saved := (org, records, org_low, org_prev, org_next) :: !saved
+          end)
+        contents;
+      (* Upgrade the base lock for the short exclusive MODIFY step. *)
+      (match Lock_client.try_acquire (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X with
+      | `Granted -> held := (Resource.Page base, Mode.X) :: !held
+      | `Conflict _ -> begin
+        try
+          Lock_client.wait_queued (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X;
+          held := (Resource.Page base, Mode.X) :: !held
+        with Lock_client.Deadlock_victim ->
+          undo_moves ctx ~unit_id ~dest:dest_pid ~dest_fresh ~saved:(List.rev !saved);
+          release_all ctx held;
+          raise Lock_client.Deadlock_victim
+      end);
+      (* Side pointers: dest takes the group's chain position. *)
+      set_leaf_header ctx dest_pid ~low_mark ~prev:(opt_pid prev_n) ~next:(opt_pid next_n);
+      (match prev_n with
+      | Some p when p <> dest_pid -> set_neighbor_next ctx p (Some dest_pid)
+      | _ -> ());
+      (match next_n with
+      | Some p when p <> dest_pid -> set_neighbor_prev ctx p (Some dest_pid)
+      | _ -> ());
+      (* Deallocate the emptied org pages (deferred under careful writing). *)
+      List.iter (fun org -> dealloc_org ctx ~org ~dest:dest_pid) orgs;
+      (* MODIFY: replace the group's entries by one entry for dest. *)
+      let edits =
+        List.map
+          (fun e -> Record.Delete_entry { key = e.Inode.key; child = e.Inode.child })
+          entries
+        @ [ Record.Insert_entry { key = low_mark; child = dest_pid } ]
+      in
+      log_modify ctx ~unit_id ~base ~edits;
+      let largest_key =
+        match List.concat_map snd contents with
+        | [] -> Rtable.lk ctx.Ctx.rtable
+        | rs -> List.fold_left (fun a r -> max a r.Leaf.key) min_int rs
+      in
+      log_end ctx ~unit_id ~largest_key;
+      release_all ctx held;
+      let m = ctx.Ctx.metrics in
+      m.Metrics.units <- m.Metrics.units + 1;
+      if dest_fresh then m.Metrics.new_place_units <- m.Metrics.new_place_units + 1
+      else m.Metrics.in_place_units <- m.Metrics.in_place_units + 1;
+      m.Metrics.pages_compacted <- m.Metrics.pages_compacted + List.length orgs;
+      Done largest_key
+    end
+  with
+  | Stale_plan ->
+    release_all ctx held;
+    Stale
+  | Lock_client.Deadlock_victim ->
+    release_all ctx held;
+    Gave_up
+
+(* A pass-2 move is a single-org copying-switching unit whose MODIFY keeps
+   the entry key and redirects the child. *)
+let execute_move ctx ~base ~org ~dest =
+  let held = ref [] in
+  try
+    acquire ctx held (Resource.Page base) Mode.R;
+    let entries = entries_for_leaves ctx ~base ~leaves:[ org ] in
+    let entry = List.hd entries in
+    acquire ctx held (Resource.Page org) Mode.RX;
+    if not (Alloc.is_free (Ctx.alloc ctx) dest) then raise Stale_plan;
+    let op = Ctx.page ctx org in
+    let records = Leaf.records op in
+    let low_mark = Leaf.low_mark op in
+    let prev_n = Leaf.prev op and next_n = Leaf.next op in
+    List.iter
+      (fun n ->
+        match n with
+        | Some pid when pid <> org -> acquire ctx held (Resource.Page pid) Mode.X
+        | _ -> ())
+      [ prev_n; next_n ];
+    let unit_id = Rtable.next_unit_id ctx.Ctx.rtable in
+    let begin_lsn =
+      Ctx.log_reorg ctx
+        (Record.Reorg_begin
+           { unit_id; rtype = Record.Move; base_pages = [ base ]; leaf_pages = [ org ] })
+    in
+    Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
+    Alloc.alloc_specific (Ctx.alloc ctx) dest;
+    format_dest ctx dest ~low_mark ~prev:(opt_pid prev_n) ~next:(opt_pid next_n);
+    let careful = plan_careful ctx ~blocked:org ~prereq:dest in
+    let lsn = log_move ctx ~unit_id ~org ~dest ~careful records in
+    let dp = Ctx.page ctx dest in
+    List.iter (fun r -> assert (Leaf.insert dp r)) records;
+    Leaf.clear (Ctx.page ctx org);
+    Ctx.stamp ctx ~page:org lsn;
+    Ctx.stamp ctx ~page:dest lsn;
+    ctx.Ctx.metrics.Metrics.records_moved <-
+      ctx.Ctx.metrics.Metrics.records_moved + List.length records;
+    (match
+       Lock_client.try_acquire (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X
+     with
+    | `Granted -> held := (Resource.Page base, Mode.X) :: !held
+    | `Conflict _ -> begin
+      try
+        Lock_client.wait_queued (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X;
+        held := (Resource.Page base, Mode.X) :: !held
+      with Lock_client.Deadlock_victim ->
+        undo_moves ctx ~unit_id ~dest ~dest_fresh:true
+          ~saved:[ (org, records, low_mark, prev_n, next_n) ];
+        release_all ctx held;
+        raise Lock_client.Deadlock_victim
+    end);
+    (match prev_n with Some p -> set_neighbor_next ctx p (Some dest) | None -> ());
+    (match next_n with Some p -> set_neighbor_prev ctx p (Some dest) | None -> ());
+    dealloc_org ctx ~org ~dest;
+    log_modify ctx ~unit_id ~base
+      ~edits:
+        [
+          Record.Update_entry
+            {
+              org_key = entry.Inode.key;
+              org_child = org;
+              new_key = entry.Inode.key;
+              new_child = dest;
+            };
+        ];
+    let largest_key =
+      match records with
+      | [] -> Rtable.lk ctx.Ctx.rtable
+      | rs -> List.fold_left (fun a r -> max a r.Leaf.key) min_int rs
+    in
+    log_end ctx ~unit_id ~largest_key;
+    release_all ctx held;
+    let m = ctx.Ctx.metrics in
+    m.Metrics.units <- m.Metrics.units + 1;
+    m.Metrics.move_units <- m.Metrics.move_units + 1;
+    Done largest_key
+  with
+  | Stale_plan ->
+    release_all ctx held;
+    Stale
+  | Lock_client.Deadlock_victim ->
+    release_all ctx held;
+    Gave_up
+
+(* ------------------------------------------------------------------ *)
+(* Swap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let execute_swap ctx ~a_base ~a ~b_base ~b =
+  let held = ref [] in
+  try
+    if a = b then raise Stale_plan;
+    acquire ctx held (Resource.Page a_base) Mode.R;
+    if b_base <> a_base then acquire ctx held (Resource.Page b_base) Mode.R;
+    let ea = List.hd (entries_for_leaves ctx ~base:a_base ~leaves:[ a ]) in
+    let eb = List.hd (entries_for_leaves ctx ~base:b_base ~leaves:[ b ]) in
+    acquire ctx held (Resource.Page a) Mode.RX;
+    acquire ctx held (Resource.Page b) Mode.RX;
+    let pa = Ctx.page ctx a and pb = Ctx.page ctx b in
+    let recs_a = Leaf.records pa and recs_b = Leaf.records pb in
+    let low_a = Leaf.low_mark pa and low_b = Leaf.low_mark pb in
+    let links_a = (Leaf.prev pa, Leaf.next pa) and links_b = (Leaf.prev pb, Leaf.next pb) in
+    (* Translate pointers that reference the swapped pages themselves. *)
+    let tr = function
+      | Some p when p = a -> Some b
+      | Some p when p = b -> Some a
+      | x -> x
+    in
+    let neighbors =
+      List.filter_map
+        (fun n -> match n with Some p when p <> a && p <> b -> Some p | _ -> None)
+        [ fst links_a; snd links_a; fst links_b; snd links_b ]
+      |> List.sort_uniq compare
+    in
+    List.iter (fun n -> acquire ctx held (Resource.Page n) Mode.X) neighbors;
+    let unit_id = Rtable.next_unit_id ctx.Ctx.rtable in
+    let base_pages = if a_base = b_base then [ a_base ] else [ a_base; b_base ] in
+    let begin_lsn =
+      Ctx.log_reorg ctx
+        (Record.Reorg_begin { unit_id; rtype = Record.Swap; base_pages; leaf_pages = [ a; b ] })
+    in
+    Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
+    (* MOVE a->b must carry full contents; MOVE b->a may be keys-only under
+       careful writing ("there is no way to avoid logging at least one of
+       the full page contents"). *)
+    let prev = Rtable.last_lsn ctx.Ctx.rtable in
+    ignore
+      (Ctx.log_reorg ctx
+         (Record.Reorg_move
+            {
+              unit_id;
+              org = a;
+              dest = b;
+              payload =
+                Record.Full_records (List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) recs_a);
+              dest_init = None;
+              prev;
+            }));
+    let careful = plan_careful ctx ~blocked:b ~prereq:a in
+    let m2 = log_move ctx ~unit_id ~org:b ~dest:a ~careful recs_b in
+    (* Apply the content exchange. *)
+    Leaf.clear pa;
+    List.iter (fun r -> assert (Leaf.insert pa r)) recs_b;
+    Leaf.clear pb;
+    List.iter (fun r -> assert (Leaf.insert pb r)) recs_a;
+    Ctx.stamp ctx ~page:a m2;
+    Ctx.stamp ctx ~page:b m2;
+    ctx.Ctx.metrics.Metrics.records_moved <-
+      ctx.Ctx.metrics.Metrics.records_moved + List.length recs_a + List.length recs_b;
+    (* Upgrade both bases. *)
+    let upgrade base =
+      match
+        Lock_client.try_acquire (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X
+      with
+      | `Granted -> held := (Resource.Page base, Mode.X) :: !held
+      | `Conflict _ ->
+        Lock_client.wait_queued (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X;
+        held := (Resource.Page base, Mode.X) :: !held
+    in
+    (try
+       upgrade a_base;
+       if b_base <> a_base then upgrade b_base
+     with Lock_client.Deadlock_victim ->
+       (* Undo the exchange (§5.2). *)
+       ctx.Ctx.metrics.Metrics.units_undone <- ctx.Ctx.metrics.Metrics.units_undone + 1;
+       let p = Rtable.last_lsn ctx.Ctx.rtable in
+       let lsn =
+         Ctx.log_reorg ctx
+           (Record.Reorg_move
+              {
+                unit_id;
+                org = b;
+                dest = a;
+                payload =
+                  Record.Full_records (List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) recs_a);
+                dest_init = None;
+                prev = p;
+              })
+       in
+       Leaf.clear pa;
+       List.iter (fun r -> assert (Leaf.insert pa r)) recs_a;
+       Leaf.clear pb;
+       List.iter (fun r -> assert (Leaf.insert pb r)) recs_b;
+       Ctx.stamp ctx ~page:a lsn;
+       Ctx.stamp ctx ~page:b lsn;
+       log_end ctx ~unit_id ~largest_key:(Rtable.lk ctx.Ctx.rtable);
+       release_all ctx held;
+       raise Lock_client.Deadlock_victim);
+    (* Headers follow the contents. *)
+    set_leaf_header ctx b ~low_mark:low_a
+      ~prev:(opt_pid (tr (fst links_a)))
+      ~next:(opt_pid (tr (snd links_a)));
+    set_leaf_header ctx a ~low_mark:low_b
+      ~prev:(opt_pid (tr (fst links_b)))
+      ~next:(opt_pid (tr (snd links_b)));
+    (* External neighbours re-point to the page that now holds the content
+       they were adjacent to. *)
+    (match fst links_a with
+    | Some p when p <> a && p <> b -> set_neighbor_next ctx p (Some b)
+    | _ -> ());
+    (match snd links_a with
+    | Some p when p <> a && p <> b -> set_neighbor_prev ctx p (Some b)
+    | _ -> ());
+    (match fst links_b with
+    | Some p when p <> a && p <> b -> set_neighbor_next ctx p (Some a)
+    | _ -> ());
+    (match snd links_b with
+    | Some p when p <> a && p <> b -> set_neighbor_prev ctx p (Some a)
+    | _ -> ());
+    (* MODIFY both parents: the key ranges keep their keys, the children
+       exchange. *)
+    let edit_a =
+      Record.Update_entry
+        { org_key = ea.Inode.key; org_child = a; new_key = ea.Inode.key; new_child = b }
+    in
+    let edit_b =
+      Record.Update_entry
+        { org_key = eb.Inode.key; org_child = b; new_key = eb.Inode.key; new_child = a }
+    in
+    if a_base = b_base then log_modify ctx ~unit_id ~base:a_base ~edits:[ edit_a; edit_b ]
+    else begin
+      log_modify ctx ~unit_id ~base:a_base ~edits:[ edit_a ];
+      log_modify ctx ~unit_id ~base:b_base ~edits:[ edit_b ]
+    end;
+    let largest_key =
+      List.fold_left (fun acc r -> max acc r.Leaf.key) (Rtable.lk ctx.Ctx.rtable) (recs_a @ recs_b)
+    in
+    log_end ctx ~unit_id ~largest_key;
+    release_all ctx held;
+    let m = ctx.Ctx.metrics in
+    m.Metrics.units <- m.Metrics.units + 1;
+    m.Metrics.swap_units <- m.Metrics.swap_units + 1;
+    Done largest_key
+  with
+  | Stale_plan ->
+    release_all ctx held;
+    Stale
+  | Lock_client.Deadlock_victim ->
+    release_all ctx held;
+    Gave_up
+
+(* ------------------------------------------------------------------ *)
+
+let execute_once ctx = function
+  | Compact { base; leaves; dest } -> execute_compact ctx ~base ~leaves ~dest
+  | Swap { a_base; a; b_base; b } -> execute_swap ctx ~a_base ~a ~b_base ~b
+  | Move { base; org; dest } -> execute_move ctx ~base ~org ~dest
+
+let execute ctx plan =
+  let limit = ctx.Ctx.config.Config.unit_retry_limit in
+  let rec go attempt =
+    match execute_once ctx plan with
+    | Gave_up when attempt < limit ->
+      ctx.Ctx.metrics.Metrics.unit_retries <- ctx.Ctx.metrics.Metrics.unit_retries + 1;
+      Sched.Engine.sleep (1 + attempt);
+      go (attempt + 1)
+    | Done _ as outcome ->
+      (* Model the unit's page I/O; overlapping these sleeps is where
+         parallel workers win. *)
+      if ctx.Ctx.config.Config.io_pacing > 0 then
+        Sched.Engine.sleep ctx.Ctx.config.Config.io_pacing;
+      outcome
+    | outcome -> outcome
+  in
+  go 0

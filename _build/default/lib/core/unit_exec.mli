@@ -1,0 +1,39 @@
+(** Execution of one reorganization unit (§4–§5).
+
+    A unit is the paper's atom of leaf reorganization: compacting a group of
+    leaves under one base page (in place or into a chosen empty page),
+    swapping two leaves, or moving one leaf to an empty page.
+
+    The executor follows §4.1.1 exactly:
+    - IX on the tree lock is assumed held by the pass driver;
+    - R locks on the base page(s), then RX locks on every leaf of the unit,
+      then X locks on side-pointer neighbours — {e all before} any record
+      moves;
+    - the BEGIN log record is written only after all leaf locks are held;
+    - records are moved (logged as MOVE records — keys only under careful
+      writing, with write-order dependencies and deferred deallocation);
+    - the base lock is upgraded R -> X for the short MODIFY step;
+    - END completes the unit and advances LK in the system table.
+
+    If the reorganizer is chosen as a deadlock victim before anything moved,
+    it releases everything and the unit is retried.  If the victim moment is
+    the R->X upgrade (records already moved), §5.2's undo runs: reverse MOVE
+    records are logged, the records go back, and the unit ends as a no-op. *)
+
+type plan =
+  | Compact of {
+      base : int;
+      leaves : int list;  (** ≥ 1 children of [base], consecutive, in key order *)
+      dest : [ `In_place of int | `New_place of int ];
+    }
+  | Swap of { a_base : int; a : int; b_base : int; b : int }
+  | Move of { base : int; org : int; dest : int }
+
+type outcome =
+  | Done of int  (** largest key processed *)
+  | Stale  (** the tree changed between planning and locking; re-plan *)
+  | Gave_up  (** deadlock-victim retries exhausted, or undo-at-deadlock ran *)
+
+val execute : Ctx.t -> plan -> outcome
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,1 @@
+lib/lock/lock_mgr.ml: Hashtbl List Mode Resource

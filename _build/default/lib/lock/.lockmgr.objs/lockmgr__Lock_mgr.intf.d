@@ -1,0 +1,1 @@
+lib/lock/lock_mgr.mli: Mode Resource

@@ -1,0 +1,1 @@
+lib/lock/resource.ml: Format Hashtbl Printf

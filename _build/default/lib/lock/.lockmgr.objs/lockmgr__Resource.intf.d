@@ -1,0 +1,1 @@
+lib/lock/resource.mli: Format

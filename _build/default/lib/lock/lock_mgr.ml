@@ -1,0 +1,426 @@
+type owner = int
+
+type grant = Granted | Deadlock
+
+type outcome = [ `Granted | `Conflict of (owner * Mode.t) list ]
+
+type stats = {
+  acquires : int;
+  waits : int;
+  grants_after_wait : int;
+  instant_signals : int;
+  deadlocks : int;
+  releases : int;
+}
+
+type waiter = {
+  w_owner : owner;
+  w_mode : Mode.t;
+  w_instant : bool;
+  w_conversion : bool;
+  w_wake : grant -> unit;
+}
+
+type entry = {
+  mutable holders : (owner * (Mode.t * int) list) list;
+      (* owner -> modes held with multiplicity; assoc lists stay tiny *)
+  mutable queue : waiter list; (* FIFO, head first *)
+}
+
+module Rtbl = Hashtbl.Make (struct
+  type t = Resource.t
+
+  let equal = Resource.equal
+  let hash = Resource.hash
+end)
+
+type t = {
+  entries : entry Rtbl.t;
+  owner_index : (owner, Resource.t list ref) Hashtbl.t;
+  max_locked : (owner, int) Hashtbl.t;
+  pending : (owner, Resource.t) Hashtbl.t; (* owner -> resource it waits on *)
+  mutable reorganizers : owner list;
+  mutable acquires : int;
+  mutable waits : int;
+  mutable grants_after_wait : int;
+  mutable instant_signals : int;
+  mutable deadlocks : int;
+  mutable releases : int;
+}
+
+let create () =
+  {
+    entries = Rtbl.create 64;
+    owner_index = Hashtbl.create 16;
+    max_locked = Hashtbl.create 8;
+    pending = Hashtbl.create 8;
+    reorganizers = [];
+    acquires = 0;
+    waits = 0;
+    grants_after_wait = 0;
+    instant_signals = 0;
+    deadlocks = 0;
+    releases = 0;
+  }
+
+let register_reorganizer t o =
+  if not (List.mem o t.reorganizers) then t.reorganizers <- o :: t.reorganizers
+
+let entry t res =
+  match Rtbl.find_opt t.entries res with
+  | Some e -> e
+  | None ->
+    let e = { holders = []; queue = [] } in
+    Rtbl.replace t.entries res e;
+    e
+
+let entry_opt t res = Rtbl.find_opt t.entries res
+
+let gc_entry t res e = if e.holders = [] && e.queue = [] then Rtbl.remove t.entries res
+
+let owner_modes e o = match List.assoc_opt o e.holders with Some ms -> ms | None -> []
+
+let other_holder_modes e o =
+  List.concat_map (fun (o', ms) -> if o' = o then [] else List.map fst ms) e.holders
+
+let index_add t o res =
+  let l =
+    match Hashtbl.find_opt t.owner_index o with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.owner_index o l;
+      l
+  in
+  if not (List.exists (Resource.equal res) !l) then begin
+    l := res :: !l;
+    let n = List.length !l in
+    match Hashtbl.find_opt t.max_locked o with
+    | Some m when m >= n -> ()
+    | _ -> Hashtbl.replace t.max_locked o n
+  end
+
+let index_remove t o res =
+  match Hashtbl.find_opt t.owner_index o with
+  | None -> ()
+  | Some l ->
+    l := List.filter (fun r -> not (Resource.equal r res)) !l;
+    if !l = [] then Hashtbl.remove t.owner_index o
+
+let add_holding t e o res mode =
+  let ms = owner_modes e o in
+  let ms' =
+    match List.assoc_opt mode ms with
+    | Some n -> (mode, n + 1) :: List.remove_assoc mode ms
+    | None -> (mode, 1) :: ms
+  in
+  e.holders <- (o, ms') :: List.remove_assoc o e.holders;
+  index_add t o res
+
+let remove_holding t e o res mode =
+  let ms = owner_modes e o in
+  match List.assoc_opt mode ms with
+  | None -> invalid_arg "Lock_mgr.release: mode not held"
+  | Some n ->
+    let ms' = if n > 1 then (mode, n - 1) :: List.remove_assoc mode ms else List.remove_assoc mode ms in
+    if ms' = [] then begin
+      e.holders <- List.remove_assoc o e.holders;
+      index_remove t o res
+    end
+    else e.holders <- (o, ms') :: List.remove_assoc o e.holders
+
+(* Can [o] be granted [mode] given current holders (ignoring its own
+   holdings)? *)
+let compat_with_holders e o mode =
+  List.for_all (fun m -> Mode.compat m mode) (other_holder_modes e o)
+
+let compat_with_queue e o mode =
+  (* A new (non-conversion) request must not overtake queued waiters it
+     conflicts with. *)
+  List.for_all (fun w -> w.w_owner = o || Mode.compat w.w_mode mode) e.queue
+
+let blockers e o mode =
+  let hs =
+    List.filter_map
+      (fun (o', ms) ->
+        if o' = o then None
+        else
+          let conflicting = List.filter (fun (m, _) -> not (Mode.compat m mode)) ms in
+          match conflicting with [] -> None | (m, _) :: _ -> Some (o', m))
+      e.holders
+  in
+  let ws =
+    List.filter_map
+      (fun w ->
+        if w.w_owner <> o && not (Mode.compat w.w_mode mode) then Some (w.w_owner, w.w_mode)
+        else None)
+      e.queue
+  in
+  hs @ ws
+
+(* Re-examine the queue after holders changed: grant (or signal, for instant
+   requests) every waiter that is compatible with the holders and with all
+   still-blocked waiters ahead of it. *)
+let process_queue t e =
+  let blocked_modes = ref [] in
+  let still_waiting = ref [] in
+  let to_wake = ref [] in
+  List.iter
+    (fun w ->
+      let ok =
+        compat_with_holders e w.w_owner w.w_mode
+        && List.for_all (fun m -> Mode.compat m w.w_mode) !blocked_modes
+      in
+      if ok then begin
+        if w.w_instant then t.instant_signals <- t.instant_signals + 1
+        else begin
+          (* Resource is recovered lazily below; holders list needs it only
+             for the index, which add_holding handles. *)
+          t.grants_after_wait <- t.grants_after_wait + 1
+        end;
+        to_wake := w :: !to_wake
+      end
+      else begin
+        blocked_modes := w.w_mode :: !blocked_modes;
+        still_waiting := w :: !still_waiting
+      end)
+    e.queue;
+  e.queue <- List.rev !still_waiting;
+  List.rev !to_wake
+
+let fire t res e woken =
+  List.iter
+    (fun w ->
+      Hashtbl.remove t.pending w.w_owner;
+      if not w.w_instant then add_holding t e w.w_owner res w.w_mode;
+      w.w_wake Granted)
+    woken;
+  gc_entry t res e
+
+let try_acquire t ~owner res mode =
+  let e = entry t res in
+  let held = owner_modes e owner in
+  if List.exists (fun (m, _) -> Mode.covers ~held:m ~need:mode) held then begin
+    add_holding t e owner res mode;
+    t.acquires <- t.acquires + 1;
+    `Granted
+  end
+  else begin
+    let conversion = held <> [] in
+    let ok =
+      compat_with_holders e owner mode
+      && (conversion || compat_with_queue e owner mode)
+    in
+    if ok then begin
+      add_holding t e owner res mode;
+      t.acquires <- t.acquires + 1;
+      `Granted
+    end
+    else begin
+      gc_entry t res e;
+      `Conflict (blockers e owner mode)
+    end
+  end
+
+(* ---------------- deadlock detection ---------------- *)
+
+(* Waits-for edges of a waiting owner: the holders and earlier waiters whose
+   modes conflict with its pending request. *)
+let wait_edges t o =
+  match Hashtbl.find_opt t.pending o with
+  | None -> []
+  | Some res -> begin
+    match entry_opt t res with
+    | None -> []
+    | Some e -> begin
+      match List.find_opt (fun w -> w.w_owner = o) e.queue with
+      | None -> []
+      | Some w ->
+        let holder_edges =
+          List.filter_map
+            (fun (o', ms) ->
+              if o' <> o && List.exists (fun (m, _) -> not (Mode.compat m w.w_mode)) ms then
+                Some o'
+              else None)
+            e.holders
+        in
+        let rec earlier acc = function
+          | [] -> acc
+          | w' :: _ when w' == w -> acc
+          | w' :: rest ->
+            let acc =
+              if w'.w_owner <> o && not (Mode.compat w'.w_mode w.w_mode) then w'.w_owner :: acc
+              else acc
+            in
+            earlier acc rest
+        in
+        holder_edges @ earlier [] e.queue
+    end
+  end
+
+let find_cycle t start =
+  (* DFS from [start]; return the cycle through [start] if one exists. *)
+  let rec dfs path o =
+    let next = wait_edges t o in
+    List.fold_left
+      (fun acc o' ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if o' = start then Some (List.rev (o' :: path))
+          else if List.mem o' path then None (* cycle not through start *)
+          else dfs (o' :: path) o')
+      None next
+  in
+  dfs [ start ] start
+
+let remove_waiter t o =
+  match Hashtbl.find_opt t.pending o with
+  | None -> None
+  | Some res -> begin
+    match entry_opt t res with
+    | None -> None
+    | Some e -> begin
+      match List.find_opt (fun w -> w.w_owner = o) e.queue with
+      | None -> None
+      | Some w ->
+        e.queue <- List.filter (fun w' -> not (w' == w)) e.queue;
+        Hashtbl.remove t.pending o;
+        Some (res, e, w)
+    end
+  end
+
+let resolve_deadlock t cycle =
+  let victim =
+    match List.find_opt (fun o -> List.mem o t.reorganizers) cycle with
+    | Some r -> r
+    | None -> List.hd (List.rev cycle) (* the requester that closed the cycle *)
+  in
+  match remove_waiter t victim with
+  | None -> ()
+  | Some (res, e, w) ->
+    t.deadlocks <- t.deadlocks + 1;
+    (* Removing the victim may unblock others. *)
+    let woken = process_queue t e in
+    fire t res e woken;
+    w.w_wake Deadlock
+
+let enqueue t ~owner res mode ~instant ~wake =
+  if Hashtbl.mem t.pending owner then
+    invalid_arg "Lock_mgr.enqueue: owner already waiting";
+  let e = entry t res in
+  let conversion = owner_modes e owner <> [] in
+  let w = { w_owner = owner; w_mode = mode; w_instant = instant; w_conversion = conversion; w_wake = wake } in
+  (* Conversions park ahead of ordinary waiters. *)
+  if conversion then begin
+    let convs, rest = List.partition (fun w' -> w'.w_conversion) e.queue in
+    e.queue <- convs @ [ w ] @ rest
+  end
+  else e.queue <- e.queue @ [ w ];
+  Hashtbl.replace t.pending owner res;
+  t.waits <- t.waits + 1;
+  match find_cycle t owner with
+  | Some cycle -> resolve_deadlock t cycle
+  | None -> ()
+
+let cancel_wait t ~owner =
+  match remove_waiter t owner with
+  | None -> false
+  | Some (res, e, w) ->
+    t.deadlocks <- t.deadlocks + 1;
+    let woken = process_queue t e in
+    fire t res e woken;
+    w.w_wake Deadlock;
+    true
+
+let release t ~owner res mode =
+  match entry_opt t res with
+  | None -> invalid_arg "Lock_mgr.release: resource not locked"
+  | Some e ->
+    remove_holding t e owner res mode;
+    t.releases <- t.releases + 1;
+    let woken = process_queue t e in
+    fire t res e woken
+
+let downgrade t ~owner res ~from_ ~to_ =
+  match entry_opt t res with
+  | None -> invalid_arg "Lock_mgr.downgrade: resource not locked"
+  | Some e ->
+    remove_holding t e owner res from_;
+    add_holding t e owner res to_;
+    let woken = process_queue t e in
+    fire t res e woken
+
+let release_all t ~owner =
+  (match remove_waiter t owner with
+  | Some (res, e, _) ->
+    let woken = process_queue t e in
+    fire t res e woken
+  | None -> ());
+  match Hashtbl.find_opt t.owner_index owner with
+  | None -> ()
+  | Some l ->
+    let resources = !l in
+    Hashtbl.remove t.owner_index owner;
+    List.iter
+      (fun res ->
+        match entry_opt t res with
+        | None -> ()
+        | Some e ->
+          e.holders <- List.remove_assoc owner e.holders;
+          t.releases <- t.releases + 1;
+          let woken = process_queue t e in
+          fire t res e woken)
+      resources
+
+let holds t ~owner res =
+  match entry_opt t res with None -> [] | Some e -> List.map fst (owner_modes e owner)
+
+let held_resources t ~owner =
+  match Hashtbl.find_opt t.owner_index owner with
+  | None -> []
+  | Some l -> List.map (fun res -> (res, holds t ~owner res)) !l
+
+let holders t res =
+  match entry_opt t res with
+  | None -> []
+  | Some e -> List.map (fun (o, ms) -> (o, List.map fst ms)) e.holders
+
+let waiters t res =
+  match entry_opt t res with
+  | None -> []
+  | Some e -> List.map (fun w -> (w.w_owner, w.w_mode)) e.queue
+
+let is_waiting t ~owner = Hashtbl.mem t.pending owner
+
+let locked_count t ~owner =
+  match Hashtbl.find_opt t.owner_index owner with None -> 0 | Some l -> List.length !l
+
+let max_locked_count t ~owner =
+  match Hashtbl.find_opt t.max_locked owner with Some m -> m | None -> 0
+
+let reset_max_locked t ~owner = Hashtbl.remove t.max_locked owner
+
+let clear t =
+  Rtbl.reset t.entries;
+  Hashtbl.reset t.owner_index;
+  Hashtbl.reset t.max_locked;
+  Hashtbl.reset t.pending
+
+let stats t =
+  {
+    acquires = t.acquires;
+    waits = t.waits;
+    grants_after_wait = t.grants_after_wait;
+    instant_signals = t.instant_signals;
+    deadlocks = t.deadlocks;
+    releases = t.releases;
+  }
+
+let reset_stats t =
+  t.acquires <- 0;
+  t.waits <- 0;
+  t.grants_after_wait <- 0;
+  t.instant_signals <- 0;
+  t.deadlocks <- 0;
+  t.releases <- 0

@@ -1,0 +1,106 @@
+(** Lock manager with queues, instant-duration requests and deadlock
+    detection.
+
+    The manager is scheduler-agnostic: {!try_acquire} never blocks; a caller
+    that decides to wait parks itself with {!enqueue}, supplying a [wake]
+    thunk that the manager calls with [Granted] (or [Deadlock] if the wait was
+    chosen as a deadlock victim).  The cooperative scheduler's lock client
+    wraps this into a blocking call.
+
+    Grant policy:
+    - a new request is granted iff its mode is compatible with every other
+      holder {e and} every queued waiter (FIFO fairness — requests do not
+      overtake the queue);
+    - a {e conversion} (the owner already holds the resource and asks for a
+      stronger mode, e.g. the reorganizer's R->X upgrade on base pages) only
+      checks other holders and, when queued, goes to the front;
+    - an {e instant-duration} request (the paper's unconditional RS, and the
+      instant IX on the side file during the switch) is signalled when it
+      becomes grantable but never actually granted (§4, [Moh90]).
+
+    Deadlock handling follows the paper: detection on a waits-for graph at
+    enqueue time; "whenever the reorganizer gets in a deadlock, we always
+    force the reorganizer to give up" — owners registered with
+    {!register_reorganizer} are preferred victims; otherwise the requester
+    that closed the cycle is chosen. *)
+
+type t
+
+type owner = int
+
+type grant = Granted | Deadlock
+
+type outcome =
+  [ `Granted  (** lock acquired (or already covered by a held mode) *)
+  | `Conflict of (owner * Mode.t) list  (** blockers: holders and queued waiters *)
+  ]
+
+type stats = {
+  acquires : int;  (** successful immediate grants *)
+  waits : int;  (** requests that had to queue *)
+  grants_after_wait : int;
+  instant_signals : int;
+  deadlocks : int;  (** victims woken with [Deadlock] *)
+  releases : int;
+}
+
+val create : unit -> t
+
+val register_reorganizer : t -> owner -> unit
+(** Mark [owner] as the reorganization process for victim selection. *)
+
+val try_acquire : t -> owner:owner -> Resource.t -> Mode.t -> outcome
+(** Non-blocking acquire.  Re-acquiring a mode already covered by a held mode
+    on the same resource is granted re-entrantly. *)
+
+val enqueue :
+  t -> owner:owner -> Resource.t -> Mode.t -> instant:bool -> wake:(grant -> unit) -> unit
+(** Park a request that {!try_acquire} refused.  [wake] fires later, exactly
+    once.  Raises [Invalid_argument] if the owner already has a pending wait
+    (cooperative processes wait on one thing at a time). *)
+
+val release : t -> owner:owner -> Resource.t -> Mode.t -> unit
+(** Release one acquisition of [mode].  Raises [Invalid_argument] if not
+    held. *)
+
+val cancel_wait : t -> owner:owner -> bool
+(** Wake the owner's pending wait with [Deadlock], if it has one — used by
+    the switch's §7.4 time limit to force old-tree transactions (blocked on
+    the side file) to abort.  Returns whether a wait was cancelled. *)
+
+val release_all : t -> owner:owner -> unit
+(** Drop every lock held by [owner] and cancel its pending wait, if any
+    (the wait's [wake] is {e not} called). *)
+
+val downgrade : t -> owner:owner -> Resource.t -> from_:Mode.t -> to_:Mode.t -> unit
+(** Atomically replace one held mode by a weaker one (e.g. S -> IS after
+    reading), then re-examine the queue. *)
+
+val holds : t -> owner:owner -> Resource.t -> Mode.t list
+(** Modes currently held by [owner] on the resource (with multiplicity 1 per
+    distinct mode). *)
+
+val held_resources : t -> owner:owner -> (Resource.t * Mode.t list) list
+
+val holders : t -> Resource.t -> (owner * Mode.t list) list
+
+val waiters : t -> Resource.t -> (owner * Mode.t) list
+
+val is_waiting : t -> owner:owner -> bool
+
+val locked_count : t -> owner:owner -> int
+(** Number of distinct resources on which [owner] holds at least one mode —
+    the "how much of the tree does the reorganizer lock" metric. *)
+
+val max_locked_count : t -> owner:owner -> int
+(** High-water mark of {!locked_count} since creation or the last
+    {!reset_max_locked}. *)
+
+val reset_max_locked : t -> owner:owner -> unit
+
+val clear : t -> unit
+(** Drop every lock and pending wait without waking anyone — crash
+    simulation (lock state is volatile). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

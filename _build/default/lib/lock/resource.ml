@@ -1,0 +1,18 @@
+type t =
+  | Tree of int
+  | Page of int
+  | Rec of int
+  | Side_file
+  | Side_key of int
+
+let equal (a : t) (b : t) = a = b
+let hash = Hashtbl.hash
+
+let to_string = function
+  | Tree n -> Printf.sprintf "tree:%d" n
+  | Page p -> Printf.sprintf "page:%d" p
+  | Rec k -> Printf.sprintf "rec:%d" k
+  | Side_file -> "side-file"
+  | Side_key k -> Printf.sprintf "side-key:%d" k
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

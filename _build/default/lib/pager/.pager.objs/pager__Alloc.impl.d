@@ -1,0 +1,1 @@
+lib/pager/alloc.ml: Buffer_pool Disk Hashtbl Int Page Printf Set

@@ -1,0 +1,1 @@
+lib/pager/alloc.mli: Buffer_pool

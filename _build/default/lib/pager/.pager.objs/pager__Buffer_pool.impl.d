@@ -1,0 +1,1 @@
+lib/pager/buffer_pool.ml: Disk Fun Hashtbl List Page

@@ -1,0 +1,1 @@
+lib/pager/buffer_pool.mli: Disk Page

@@ -1,0 +1,1 @@
+lib/pager/disk.ml: Array Bytes Page Printf

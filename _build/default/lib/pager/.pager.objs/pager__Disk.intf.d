@@ -1,0 +1,1 @@
+lib/pager/disk.mli: Page

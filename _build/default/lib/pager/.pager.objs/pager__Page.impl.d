@@ -1,0 +1,1 @@
+lib/pager/page.ml: Bytes Char Int32 Int64

@@ -1,0 +1,1 @@
+lib/pager/page.mli:

@@ -1,0 +1,202 @@
+exception Cycle of int * int
+
+type frame = {
+  pid : int;
+  data : Page.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_use : int;
+}
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable tick : int;
+  mutable before_write : int64 -> unit;
+  (* blocked pid -> prerequisite pids that must be durable before it may be
+     written.  Entries are removed as they are satisfied. *)
+  deps : (int, int list ref) Hashtbl.t;
+  waiters : (int, (unit -> unit) list ref) Hashtbl.t;
+  mutable flushes : int;
+}
+
+let create ?(capacity = max_int) disk =
+  {
+    disk;
+    capacity;
+    frames = Hashtbl.create 64;
+    tick = 0;
+    before_write = (fun _ -> ());
+    deps = Hashtbl.create 16;
+    waiters = Hashtbl.create 16;
+    flushes = 0;
+  }
+
+let disk t = t.disk
+
+let set_before_write t f = t.before_write <- f
+
+let is_dirty t pid =
+  match Hashtbl.find_opt t.frames pid with Some f -> f.dirty | None -> false
+
+let in_pool t pid = Hashtbl.mem t.frames pid
+
+let is_durable t pid = not (is_dirty t pid)
+
+let prereqs t pid =
+  match Hashtbl.find_opt t.deps pid with Some l -> !l | None -> []
+
+(* Would adding blocked -> prereq close a cycle?  I.e. can we already reach
+   [blocked] from [prereq] through the dependency graph? *)
+let reaches t ~src ~dst =
+  let seen = Hashtbl.create 8 in
+  let rec go p =
+    p = dst
+    || (not (Hashtbl.mem seen p)
+        && begin
+             Hashtbl.replace seen p ();
+             List.exists go (prereqs t p)
+           end)
+  in
+  go src
+
+let add_dependency ?(force = false) t ~blocked ~prereq =
+  if blocked = prereq then raise (Cycle (blocked, prereq));
+  if force || not (is_durable t prereq) then begin
+    if reaches t ~src:prereq ~dst:blocked then raise (Cycle (blocked, prereq));
+    let l =
+      match Hashtbl.find_opt t.deps blocked with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace t.deps blocked l;
+        l
+    in
+    if not (List.mem prereq !l) then l := prereq :: !l
+  end
+
+let forget_dependencies t pid = Hashtbl.remove t.deps pid
+
+let fire_waiters t pid =
+  match Hashtbl.find_opt t.waiters pid with
+  | None -> ()
+  | Some fs ->
+    Hashtbl.remove t.waiters pid;
+    List.iter (fun f -> f ()) (List.rev !fs)
+
+let on_durable t pid f =
+  if is_durable t pid then f ()
+  else
+    match Hashtbl.find_opt t.waiters pid with
+    | Some fs -> fs := f :: !fs
+    | None -> Hashtbl.replace t.waiters pid (ref [ f ])
+
+(* A write-order constraint is discharged the moment its prerequisite
+   reaches disk; leaving it around would manufacture false cycles when the
+   (by then durable) pages are recycled by later units. *)
+let discharge_deps_on t pid =
+  let empty = ref [] in
+  Hashtbl.iter
+    (fun blocked l ->
+      l := List.filter (fun p -> p <> pid) !l;
+      if !l = [] then empty := blocked :: !empty)
+    t.deps;
+  List.iter (Hashtbl.remove t.deps) !empty
+
+let rec flush_frame t fr =
+  if fr.dirty then begin
+    (* Careful writing: prerequisites first. *)
+    let ps = prereqs t fr.pid in
+    Hashtbl.remove t.deps fr.pid;
+    List.iter (fun p -> flush_page t p) ps;
+    (* WAL rule. *)
+    t.before_write (Page.lsn fr.data);
+    Disk.write t.disk fr.pid fr.data;
+    t.flushes <- t.flushes + 1;
+    fr.dirty <- false;
+    discharge_deps_on t fr.pid;
+    fire_waiters t fr.pid
+  end
+
+and flush_page t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | None ->
+    (* Not cached: the disk image is current by definition. *)
+    Hashtbl.remove t.deps pid;
+    fire_waiters t pid
+  | Some fr -> flush_frame t fr
+
+let evict_one t =
+  (* LRU among unpinned frames; prefer clean victims to avoid write-order
+     work on the eviction path. *)
+  let best = ref None in
+  let consider fr =
+    if fr.pins = 0 then
+      match !best with
+      | None -> best := Some fr
+      | Some b ->
+        let better =
+          if fr.dirty <> b.dirty then b.dirty (* clean wins *)
+          else fr.last_use < b.last_use
+        in
+        if better then best := Some fr
+  in
+  Hashtbl.iter (fun _ fr -> consider fr) t.frames;
+  match !best with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some fr ->
+    flush_frame t fr;
+    Hashtbl.remove t.frames fr.pid
+
+let load t pid =
+  if Hashtbl.length t.frames >= t.capacity then evict_one t;
+  let data = Disk.read t.disk pid in
+  let fr = { pid; data; dirty = false; pins = 0; last_use = t.tick } in
+  Hashtbl.replace t.frames pid fr;
+  fr
+
+let frame t pid =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.frames pid with
+  | Some fr ->
+    fr.last_use <- t.tick;
+    fr
+  | None -> load t pid
+
+let get t pid = (frame t pid).data
+
+let pin t pid =
+  let fr = frame t pid in
+  fr.pins <- fr.pins + 1;
+  fr.data
+
+let unpin t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some fr when fr.pins > 0 -> fr.pins <- fr.pins - 1
+  | _ -> invalid_arg "Buffer_pool.unpin: page not pinned"
+
+let with_page t pid f =
+  let data = pin t pid in
+  Fun.protect ~finally:(fun () -> unpin t pid) (fun () -> f data)
+
+let mark_dirty t pid =
+  match Hashtbl.find_opt t.frames pid with
+  | Some fr -> fr.dirty <- true
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not cached"
+
+let flush_all t =
+  let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.frames [] in
+  List.iter (fun pid -> flush_page t pid) (List.sort compare pids)
+
+let crash t =
+  Hashtbl.reset t.frames;
+  Hashtbl.reset t.deps;
+  Hashtbl.reset t.waiters
+
+let dirty_pages t =
+  Hashtbl.fold (fun pid fr acc -> if fr.dirty then pid :: acc else acc) t.frames []
+  |> List.sort compare
+
+let frame_count t = Hashtbl.length t.frames
+let flushes t = t.flushes

@@ -1,0 +1,96 @@
+(** Write-back buffer pool with the WAL rule and {e careful writing}.
+
+    The pool caches page frames over a {!Disk.t}.  Dirty frames reach disk
+    through {!flush_page} / {!flush_all} / eviction, and a crash
+    ({!crash}) discards every frame, so only flushed state survives — exactly
+    the failure model the paper's recovery section assumes.
+
+    Two write-ordering mechanisms are provided:
+
+    - {b WAL rule}: before a dirty page is written, the hook installed with
+      {!set_before_write} is called with the page's LSN; the log manager uses
+      it to force the log up to that LSN.
+    - {b Careful writing} (paper §5): {!add_dependency} records that page
+      [blocked] must not be written to disk before page [prereq] is durable.
+      Flushing a blocked page first flushes its prerequisites.  Registering a
+      dependency that would close a cycle raises {!Cycle} — this is precisely
+      the swap case where the paper says full-content logging cannot be
+      avoided.
+
+    {!on_durable} callbacks support the paper's deferred deallocation: a page
+    whose contents were copied out "cannot be deallocated until the new page
+    ... is on disk". *)
+
+type t
+
+exception Cycle of int * int
+(** [Cycle (blocked, prereq)] — the requested write-order dependency would be
+    circular. *)
+
+val create : ?capacity:int -> Disk.t -> t
+(** [capacity] is the maximum number of frames (default: unbounded). *)
+
+val disk : t -> Disk.t
+
+val set_before_write : t -> (int64 -> unit) -> unit
+(** Install the WAL-rule hook ([fun lsn -> Log.force log lsn]). *)
+
+(** {2 Frame access} *)
+
+val get : t -> int -> Page.t
+(** [get t pid] returns the frame bytes for [pid], reading from disk on a
+    miss.  The caller may mutate the bytes and must then call
+    {!mark_dirty}. *)
+
+val pin : t -> int -> Page.t
+val unpin : t -> int -> unit
+
+val with_page : t -> int -> (Page.t -> 'a) -> 'a
+(** Pin, apply, unpin (also on exception). *)
+
+val mark_dirty : t -> int -> unit
+
+val is_dirty : t -> int -> bool
+val in_pool : t -> int -> bool
+
+(** {2 Durability} *)
+
+val flush_page : t -> int -> unit
+(** Write the frame (and, first, its unsatisfied prerequisites) to disk.
+    No-op if the page is not cached or clean. *)
+
+val flush_all : t -> unit
+
+val is_durable : t -> int -> bool
+(** True when the on-disk image is current (frame absent or clean). *)
+
+val add_dependency : ?force:bool -> t -> blocked:int -> prereq:int -> unit
+(** Careful-writing order: [blocked] cannot be written before [prereq] is
+    durable.  Raises {!Cycle} when this would create a write-order cycle.
+    No-op if [prereq] is already durable, unless [force] is set — used when
+    the prerequisite is {e about} to be dirtied with the contents the
+    constraint protects. *)
+
+val forget_dependencies : t -> int -> unit
+(** Drop any write-order constraints in which this page is the blocked one —
+    called when a free page is recycled: a constraint still attached at that
+    point is necessarily stale (the deallocation that freed the page already
+    required its prerequisite to be durable). *)
+
+val on_durable : t -> int -> (unit -> unit) -> unit
+(** [on_durable t pid f] runs [f] as soon as [pid] is durable — immediately if
+    it already is, otherwise right after the flush that makes it so.
+    Callbacks do not survive a crash. *)
+
+(** {2 Failure} *)
+
+val crash : t -> unit
+(** Discard all frames, dependencies and pending callbacks.  The disk image is
+    untouched. *)
+
+(** {2 Introspection} *)
+
+val dirty_pages : t -> int list
+val frame_count : t -> int
+val flushes : t -> int
+(** Number of page writes issued by this pool since creation. *)

@@ -1,0 +1,43 @@
+(** Simulated disk: an array of fixed-size pages with I/O accounting.
+
+    The paper's evaluation concerns I/O counts and physical contiguity of leaf
+    pages (range scans over a reorganized tree read sequential pages).  The
+    disk therefore tracks, besides raw read/write counts, how many reads were
+    {e sequential} (page id = previously accessed id + 1), so experiments can
+    apply a seek/transfer cost model. *)
+
+type t
+
+type stats = {
+  reads : int;
+  writes : int;
+  seq_reads : int; (** reads at [last accessed + 1] *)
+  rand_reads : int;
+}
+
+val create : ?initial_pages:int -> page_size:int -> unit -> t
+
+val page_size : t -> int
+val page_count : t -> int
+
+val read : t -> int -> Page.t
+(** [read disk pid] returns a {e copy} of the on-disk image.  Raises
+    [Invalid_argument] if [pid] is out of range. *)
+
+val write : t -> int -> Page.t -> unit
+(** Store a copy of the page image. *)
+
+val grow : t -> int -> unit
+(** [grow disk n] ensures at least [n] pages exist (new ones zeroed/free). *)
+
+val peek : t -> int -> Page.t
+(** Like {!read} but without touching the I/O counters — for assertions and
+    recovery-time scans, which the cost model should not observe. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val io_cost : ?seek_cost:float -> ?transfer_cost:float -> stats -> float
+(** Simple cost model: each random read pays [seek_cost + transfer_cost]; each
+    sequential read pays [transfer_cost]; writes pay [transfer_cost].
+    Defaults: seek 10.0, transfer 1.0. *)

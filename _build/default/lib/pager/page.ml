@@ -1,0 +1,42 @@
+type t = bytes
+
+let header_size = 9
+let kind_free = 0
+
+let create ~size =
+  if size < 64 then invalid_arg "Page.create: size too small";
+  Bytes.make size '\000'
+
+let get_u8 p off = Char.code (Bytes.get p off)
+let set_u8 p off v = Bytes.set p off (Char.chr (v land 0xFF))
+
+let get_u16 p off = Bytes.get_uint16_be p off
+let set_u16 p off v = Bytes.set_uint16_be p off v
+
+let get_u32 p off = Int32.to_int (Bytes.get_int32_be p off) land 0xFFFFFFFF
+let set_u32 p off v = Bytes.set_int32_be p off (Int32.of_int v)
+
+let get_i64 p off = Bytes.get_int64_be p off
+let set_i64 p off v = Bytes.set_int64_be p off v
+
+let get_key p off = Int64.to_int (get_i64 p off)
+let set_key p off k = set_i64 p off (Int64.of_int k)
+
+let kind p = get_u8 p 0
+let set_kind p k = set_u8 p 0 k
+
+let lsn p = get_i64 p 1
+let set_lsn p v = set_i64 p 1 v
+
+let blit ~src ~src_off ~dst ~dst_off ~len = Bytes.blit src src_off dst dst_off len
+
+let sub p off len = Bytes.sub_string p off len
+
+let fill p off len c = Bytes.fill p off len c
+
+let copy_into ~src ~dst =
+  if Bytes.length src <> Bytes.length dst then
+    invalid_arg "Page.copy_into: size mismatch";
+  Bytes.blit src 0 dst 0 (Bytes.length src)
+
+let equal = Bytes.equal

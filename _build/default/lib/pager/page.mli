@@ -1,0 +1,53 @@
+(** Fixed-size binary pages.
+
+    A page is a [bytes] buffer with a small header owned by the pager:
+
+    {v
+      offset 0      : kind (u8)    -- 0 = free, other values owned by layers above
+      offsets 1..8  : page LSN (i64, big-endian)
+    v}
+
+    Everything from {!header_size} on belongs to the layer that owns the page
+    (the B+-tree defines leaf / internal / meta layouts there).  All multi-byte
+    integers are big-endian so page images are deterministic and comparable. *)
+
+type t = bytes
+
+val header_size : int
+(** First offset available to higher layers (= 9). *)
+
+val kind_free : int
+(** The [kind] value of an unallocated page (= 0). *)
+
+val create : size:int -> t
+(** A zeroed page; its kind is {!kind_free}. *)
+
+val kind : t -> int
+val set_kind : t -> int -> unit
+
+val lsn : t -> int64
+val set_lsn : t -> int64 -> unit
+
+(** {2 Raw accessors}  Bounds-checked by the underlying [Bytes] primitives. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+
+val get_key : t -> int -> int
+(** Keys are stored as i64 but used as OCaml ints. *)
+
+val set_key : t -> int -> int -> unit
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+val sub : t -> int -> int -> string
+val fill : t -> int -> int -> char -> unit
+val copy_into : src:t -> dst:t -> unit
+(** Whole-page copy; the two pages must have equal size. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/sched/engine.ml: Effect List Util

@@ -1,0 +1,1 @@
+lib/sched/waitq.ml: Engine List

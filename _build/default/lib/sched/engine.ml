@@ -1,0 +1,150 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Sleep : int -> unit Effect.t
+  | Now : int Effect.t
+  | Spawn : (string option * (unit -> unit)) -> unit Effect.t
+
+type t = {
+  mutable runq : (unit -> unit) list; (* reversed tail for O(1) push *)
+  mutable runq_front : (unit -> unit) list;
+  mutable timers : (int * (unit -> unit)) list; (* sorted by time *)
+  mutable time : int;
+  mutable stop : bool;
+  mutable live : int;
+  rng : Util.Rng.t option;
+}
+
+let create ?(seed = 0) ?(random = false) () =
+  {
+    runq = [];
+    runq_front = [];
+    timers = [];
+    time = 0;
+    stop = false;
+    live = 0;
+    rng = (if random then Some (Util.Rng.create seed) else None);
+  }
+
+let enqueue t thunk = t.runq <- thunk :: t.runq
+
+let runq_len t = List.length t.runq + List.length t.runq_front
+
+let pop_fifo t =
+  match t.runq_front with
+  | x :: rest ->
+    t.runq_front <- rest;
+    Some x
+  | [] -> begin
+    match List.rev t.runq with
+    | [] -> None
+    | x :: rest ->
+      t.runq <- [];
+      t.runq_front <- rest;
+      Some x
+  end
+
+let pop_random t rng =
+  let n = runq_len t in
+  if n = 0 then None
+  else begin
+    let all = t.runq_front @ List.rev t.runq in
+    let i = Util.Rng.int rng n in
+    let picked = List.nth all i in
+    let rest = List.filteri (fun j _ -> j <> i) all in
+    t.runq_front <- rest;
+    t.runq <- [];
+    Some picked
+  end
+
+let pop t = match t.rng with Some rng -> pop_random t rng | None -> pop_fifo t
+
+let add_timer t at thunk =
+  let rec insert = function
+    | [] -> [ (at, thunk) ]
+    | ((a, _) as hd) :: rest when a <= at -> hd :: insert rest
+    | rest -> (at, thunk) :: rest
+  in
+  t.timers <- insert t.timers
+
+let rec exec t fn =
+  match_with fn ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = (fun e -> t.live <- t.live - 1; raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some (fun (k : (a, _) continuation) -> enqueue t (fun () -> continue k ()))
+          | Suspend register ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let resumed = ref false in
+                register (fun () ->
+                    if !resumed then invalid_arg "Engine: resume called twice";
+                    resumed := true;
+                    enqueue t (fun () -> continue k ())))
+          | Sleep n ->
+            Some (fun (k : (a, _) continuation) ->
+                add_timer t (t.time + max 1 n) (fun () -> continue k ()))
+          | Now -> Some (fun (k : (a, _) continuation) -> continue k t.time)
+          | Spawn (name, f) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                spawn t ?name f;
+                continue k ())
+          | _ -> None);
+    }
+
+and spawn t ?name fn =
+  ignore name;
+  t.live <- t.live + 1;
+  enqueue t (fun () -> exec t fn)
+
+let release_due_timers t =
+  let rec go () =
+    match t.timers with
+    | (at, thunk) :: rest when at <= t.time ->
+      t.timers <- rest;
+      enqueue t thunk;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let run t =
+  let rec loop () =
+    if t.stop then ()
+    else begin
+      release_due_timers t;
+      match pop t with
+      | Some thunk ->
+        t.time <- t.time + 1;
+        thunk ();
+        loop ()
+      | None -> begin
+        (* Idle: jump to the next timer. *)
+        match t.timers with
+        | [] -> ()
+        | (at, _) :: _ ->
+          t.time <- max t.time at;
+          loop ()
+      end
+    end
+  in
+  loop ()
+
+let stop t = t.stop <- true
+let stopped t = t.stop
+let now t = t.time
+let live t = t.live
+
+let yield () = perform Yield
+let suspend register = perform (Suspend register)
+let sleep n = perform (Sleep n)
+let current_time () = perform Now
+let spawn_child ?name fn = perform (Spawn (name, fn))

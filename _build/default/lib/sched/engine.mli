@@ -1,0 +1,53 @@
+(** Deterministic cooperative scheduler.
+
+    Concurrency in this repository — readers, updaters and the reorganizer
+    running "simultaneously" — is expressed as cooperative processes on this
+    engine, built on OCaml 5 effect handlers.  Interleavings are driven purely
+    by a seed, so every concurrency and crash experiment replays exactly.
+
+    Time is logical: {!now} counts dispatches, and {!sleep} parks a process
+    for that many dispatches.  Blocked time measured in these units is the
+    unit of the paper's "how long do user transactions wait" comparisons. *)
+
+type t
+
+val create : ?seed:int -> ?random:bool -> unit -> t
+(** [random:true] picks the next runnable pseudo-randomly (seeded) instead of
+    FIFO — used by stress tests to explore interleavings. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Register a process.  It starts running at the next dispatch. *)
+
+val run : t -> unit
+(** Dispatch until no process is runnable and no timer is pending, or until
+    {!stop}.  Processes still suspended at that point (e.g. parked on a lock
+    that nobody will release, or beyond a {!stop}) simply never resume —
+    which is exactly what a crash does to them. *)
+
+val stop : t -> unit
+(** Make {!run} return after the current slice — the crash switch. *)
+
+val stopped : t -> bool
+
+val now : t -> int
+val live : t -> int
+(** Processes spawned but not yet finished. *)
+
+(** {2 Primitives usable only inside a process} *)
+
+val yield : unit -> unit
+(** Give up the processor; resume after currently queued work. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] captures the continuation and calls
+    [register resume].  The process sleeps until [resume ()] is called
+    (calling it more than once is an error). *)
+
+val sleep : int -> unit
+(** Park for [n] dispatch ticks. *)
+
+val current_time : unit -> int
+(** {!now} from inside a process. *)
+
+val spawn_child : ?name:string -> (unit -> unit) -> unit
+(** Spawn from inside a process. *)

@@ -1,0 +1,19 @@
+type t = { mutable waiters : (unit -> unit) list (* FIFO: head = oldest *) }
+
+let create () = { waiters = [] }
+
+let wait t = Engine.suspend (fun resume -> t.waiters <- t.waiters @ [ resume ])
+
+let signal t =
+  match t.waiters with
+  | [] -> ()
+  | resume :: rest ->
+    t.waiters <- rest;
+    resume ()
+
+let broadcast t =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (fun resume -> resume ()) ws
+
+let waiting t = List.length t.waiters

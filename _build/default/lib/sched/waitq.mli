@@ -1,0 +1,15 @@
+(** Condition-variable-style wait queue for cooperative processes. *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> unit
+(** Park the calling process until {!signal} or {!broadcast}. *)
+
+val signal : t -> unit
+(** Wake the longest-waiting process, if any. *)
+
+val broadcast : t -> unit
+
+val waiting : t -> int

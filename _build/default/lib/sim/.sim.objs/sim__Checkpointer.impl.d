@@ -1,0 +1,1 @@
+lib/sim/checkpointer.ml: Db Reorg Sched

@@ -1,0 +1,1 @@
+lib/sim/checkpointer.mli: Db Reorg Sched

@@ -1,0 +1,1 @@
+lib/sim/db.ml: Btree Lockmgr Pager Printf Transact Wal

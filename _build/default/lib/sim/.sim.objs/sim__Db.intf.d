@@ -1,0 +1,1 @@
+lib/sim/db.mli: Btree Lockmgr Pager Transact Wal

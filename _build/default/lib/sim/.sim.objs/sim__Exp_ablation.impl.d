@@ -1,0 +1,1 @@
+lib/sim/exp_ablation.ml: Btree Db List Pager Reorg Scenario Sys Transact Util

@@ -1,0 +1,1 @@
+lib/sim/exp_concurrency.ml: Baseline Db List Printf Reorg Scenario Sched Util Workload

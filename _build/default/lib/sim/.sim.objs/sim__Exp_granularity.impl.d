@@ -1,0 +1,1 @@
+lib/sim/exp_granularity.ml: Baseline Btree Db List Lockmgr Printf Reorg Scenario Sched Util Wal

@@ -1,0 +1,1 @@
+lib/sim/exp_lock_table.ml: List Lockmgr Printf Util

@@ -1,0 +1,1 @@
+lib/sim/exp_logsize.ml: Btree Db List Reorg Scenario Util

@@ -1,0 +1,1 @@
+lib/sim/exp_passes.ml: Btree Bytes Char Db List Pager Printf Reorg Scenario Sched Util

@@ -1,0 +1,1 @@
+lib/sim/exp_range.ml: Btree Db List Pager Printf Scenario Transact Util

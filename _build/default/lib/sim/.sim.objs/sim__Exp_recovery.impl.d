@@ -1,0 +1,1 @@
+lib/sim/exp_recovery.ml: Baseline Btree Db List Reorg Scenario Sched Sim_util Util

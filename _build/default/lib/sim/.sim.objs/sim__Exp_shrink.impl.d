@@ -1,0 +1,1 @@
+lib/sim/exp_shrink.ml: Btree Db List Lockmgr Printf Reorg Scenario Sched Transact Util

@@ -1,0 +1,1 @@
+lib/sim/exp_swaps.ml: Btree Db List Printf Reorg Scenario Util

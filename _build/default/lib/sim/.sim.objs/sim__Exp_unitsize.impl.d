@@ -1,0 +1,1 @@
+lib/sim/exp_unitsize.ml: Btree Db List Reorg Scenario Sched Util Workload

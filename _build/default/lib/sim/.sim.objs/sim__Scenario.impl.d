@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Btree Db List Reorg Sched Transact Util Workload

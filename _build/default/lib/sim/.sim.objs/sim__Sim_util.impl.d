@@ -1,0 +1,1 @@
+lib/sim/sim_util.ml: Db List Pager Util

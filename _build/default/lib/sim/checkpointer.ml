@@ -1,0 +1,11 @@
+module Engine = Sched.Engine
+
+let spawn ?ctx eng ~db ~every ~stop =
+  Engine.spawn eng (fun () ->
+      while not (stop ()) do
+        Engine.sleep every;
+        if not (stop ()) then
+          match ctx with
+          | Some ctx -> Reorg.Ctx.checkpoint ctx
+          | None -> Db.checkpoint db ()
+      done)

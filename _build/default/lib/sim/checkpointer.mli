@@ -1,0 +1,9 @@
+(** Background checkpointer: periodically writes a checkpoint record
+    carrying the active-transaction table and — when a reorganization is
+    running — the §5 system table, so restart analysis can pick up from the
+    most recent checkpoint rather than the log's beginning. *)
+
+val spawn :
+  ?ctx:Reorg.Ctx.t -> Sched.Engine.t -> db:Db.t -> every:int -> stop:(unit -> bool) -> unit
+(** Spawns a process that checkpoints every [every] ticks until [stop ()]
+    is true.  When [ctx] is given, its reorganization table is included. *)

@@ -1,0 +1,91 @@
+module Disk = Pager.Disk
+module Buffer_pool = Pager.Buffer_pool
+module Alloc = Pager.Alloc
+module Journal = Transact.Journal
+module Txn_mgr = Transact.Txn_mgr
+module Tree = Btree.Tree
+module Access = Btree.Access
+module Record = Wal.Record
+
+type t = {
+  disk : Disk.t;
+  pool : Buffer_pool.t;
+  log : Wal.Log.t;
+  journal : Journal.t;
+  locks : Lockmgr.Lock_mgr.t;
+  mgr : Txn_mgr.t;
+  alloc : Alloc.t;
+  tree : Tree.t;
+  access : Access.t;
+}
+
+let wire_undo mgr tree access =
+  Txn_mgr.set_logical_undo mgr (fun _txn action ->
+      match action with
+      | Record.Undo_insert { key } -> Tree.apply_delete tree key
+      | Record.Undo_delete { key; payload } -> Tree.apply_insert tree ~key ~payload
+      | Record.Undo_side op -> Access.run_side_undo access op
+      | Record.Undo_phys _ ->
+        (* Physical compensation is performed by the transaction manager
+           itself; it never reaches the logical-undo hook. *)
+        assert false)
+
+let assemble ?(record_locking = false) ~page_size ~leaf_pages ~capacity ~mk_tree () =
+  let disk = Disk.create ~page_size () in
+  let pool =
+    match capacity with
+    | Some c -> Buffer_pool.create ~capacity:c disk
+    | None -> Buffer_pool.create disk
+  in
+  let log = Wal.Log.create () in
+  let journal = Journal.create pool log in
+  let locks = Lockmgr.Lock_mgr.create () in
+  let mgr = Txn_mgr.create journal locks in
+  let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages in
+  let tree = mk_tree ~journal ~alloc in
+  let access = Access.create ~tree ~mgr ~record_locking () in
+  wire_undo mgr tree access;
+  { disk; pool; log; journal; locks; mgr; alloc; tree; access }
+
+let create ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking () =
+  let t =
+    assemble ?record_locking ~page_size ~leaf_pages ~capacity
+      ~mk_tree:(fun ~journal ~alloc -> Tree.create ~journal ~alloc ~meta_pid:0 ~tree_name:1)
+      ()
+  in
+  (* The freshly formatted tree is durable, as after CREATE DATABASE. *)
+  Buffer_pool.flush_all t.pool;
+  Wal.Log.force_all t.log;
+  t
+
+let load ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking ~fill ?internal_fill
+    records =
+  assemble ?record_locking ~page_size ~leaf_pages ~capacity
+    ~mk_tree:(fun ~journal ~alloc ->
+      Btree.Bulk.load ~journal ~alloc ~meta_pid:0 ~tree_name:1 ~fill ?internal_fill records)
+    ()
+
+let checkpoint t ?(reorg_table = Record.empty_reorg_table) () =
+  let body =
+    Record.Checkpoint
+      {
+        active_txns = Txn_mgr.active_txns t.mgr;
+        reorg = reorg_table;
+        dirty_pages = Buffer_pool.dirty_pages t.pool;
+      }
+  in
+  let lsn = Wal.Log.append t.log body in
+  Wal.Log.force t.log lsn
+
+let crash t =
+  Wal.Log.crash t.log;
+  Buffer_pool.crash t.pool;
+  Lockmgr.Lock_mgr.clear t.locks;
+  Txn_mgr.clear_active t.mgr;
+  Access.clear_on_base_update t.access
+
+let flush_all t =
+  Buffer_pool.flush_all t.pool;
+  Wal.Log.force_all t.log
+
+let payload_for k = Printf.sprintf "value-%08d" k

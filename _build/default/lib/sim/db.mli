@@ -1,0 +1,45 @@
+(** Database assembly: one object wiring every subsystem together — disk,
+    buffer pool, log, lock manager, transaction manager, allocator, B+-tree
+    and the concurrent access layer — with the cross-module hooks installed
+    (WAL rule, logical undo).  Tests, examples and experiments all start
+    here. *)
+
+type t = {
+  disk : Pager.Disk.t;
+  pool : Pager.Buffer_pool.t;
+  log : Wal.Log.t;
+  journal : Transact.Journal.t;
+  locks : Lockmgr.Lock_mgr.t;
+  mgr : Transact.Txn_mgr.t;
+  alloc : Pager.Alloc.t;
+  tree : Btree.Tree.t;
+  access : Btree.Access.t;
+}
+
+val create :
+  ?page_size:int -> ?leaf_pages:int -> ?capacity:int -> ?record_locking:bool -> unit -> t
+(** Empty tree.  Defaults: 512-byte pages, 1024-page leaf zone, unbounded
+    pool, page-level user locking (see {!Btree.Access.create}). *)
+
+val load :
+  ?page_size:int ->
+  ?leaf_pages:int ->
+  ?capacity:int ->
+  ?record_locking:bool ->
+  fill:float ->
+  ?internal_fill:float ->
+  (int * string) list ->
+  t
+(** Bulk-loaded tree (sorted records), flushed to disk. *)
+
+val checkpoint : t -> ?reorg_table:Wal.Record.reorg_table -> unit -> unit
+(** Write and force a checkpoint record. *)
+
+val crash : t -> unit
+(** Lose the buffer pool and the volatile log tail.  Combine with
+    {!Reorg.Recovery.restart} to come back up. *)
+
+val flush_all : t -> unit
+
+val payload_for : int -> string
+(** Canonical test payload for a key. *)

@@ -1,0 +1,58 @@
+(* The paper's stated future work: "exploration of parallelism in
+   reorganization."
+
+   Pass 1 is range-partitioned across N worker processes, each with its own
+   lock identity and unit-id lattice.  With io_pacing > 0 (each unit pays a
+   simulated I/O sleep), the workers overlap their I/O and pass 1's elapsed
+   time shrinks; total work (units) stays the same, and concurrent readers
+   keep reading throughout. *)
+
+module Engine = Sched.Engine
+
+let run_one ~workers =
+  let db, expected = Scenario.aged ~seed:71 ~n:2500 ~f1:0.25 () in
+  let config =
+    { Reorg.Config.default with io_pacing = 4; swap_pass = false; shrink_pass = false }
+  in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let eng = Engine.create () in
+  let finished = ref false in
+  let elapsed = ref 0 in
+  Engine.spawn eng (fun () ->
+      let t0 = Engine.current_time () in
+      ignore (Reorg.Driver.run ~pass1_workers:workers ctx);
+      elapsed := Engine.current_time () - t0;
+      finished := true);
+  let stats =
+    Workload.Mix.spawn_users eng ~access:db.Db.access ~seed:5 ~users:4 ~ops_per_user:100_000
+      ~key_space:2500
+      ~stop:(fun () -> !finished)
+      ~mix:Workload.Mix.read_only ()
+  in
+  Engine.run eng;
+  Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
+  Btree.Invariant.check_consistent_with db.Db.tree ~expected;
+  (!elapsed, ctx.Reorg.Ctx.metrics.Reorg.Metrics.units, stats)
+
+let run () =
+  let table =
+    Util.Table.create
+      ~title:
+        "Future work — parallel pass 1 (range-partitioned workers; unit I/O\n\
+         pacing 4 ticks; 4 concurrent readers)"
+      [ ("workers", Util.Table.Right); ("pass-1 ticks", Util.Table.Right);
+        ("speedup", Util.Table.Right); ("units", Util.Table.Right);
+        ("reader ops done", Util.Table.Right); ("reader give-ups", Util.Table.Right) ]
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun workers ->
+      let elapsed, units, stats = run_one ~workers in
+      if workers = 1 then base := float_of_int elapsed;
+      Util.Table.add_row table
+        [ string_of_int workers; Util.Table.fmt_int elapsed;
+          Util.Table.fmt_ratio (Util.Stats.ratio !base (float_of_int elapsed));
+          string_of_int units; Util.Table.fmt_int stats.Workload.Mix.committed;
+          string_of_int stats.Workload.Mix.give_ups ])
+    [ 1; 2; 4; 8 ];
+  table

@@ -1,0 +1,69 @@
+module Engine = Sched.Engine
+module Tree = Btree.Tree
+module Txn_mgr = Transact.Txn_mgr
+
+let records_for n = List.init n (fun i -> (2 * i, Db.payload_for (2 * i)))
+
+let aged ?(page_size = 512) ?(leaf_pages = 4096) ?(span_factor = 1.4) ?record_locking ~seed ~n
+    ~f1 () =
+  let records = records_for n in
+  (* Upper levels degrade less than leaves: load them moderately sparse. *)
+  let db =
+    Db.load ~page_size ~leaf_pages ?record_locking ~fill:f1 ~internal_fill:(max f1 0.5) records
+  in
+  let rng = Util.Rng.create seed in
+  Workload.Scramble.spread_leaves db.Db.tree rng ~span_factor;
+  Db.flush_all db;
+  (db, records)
+
+let thinned ?(page_size = 512) ~seed ~n ~survive () =
+  let rng = Util.Rng.create seed in
+  let scenario = Workload.Sparse.uniform_thinning ~rng ~n ~survive in
+  let db = Db.load ~page_size ~fill:0.95 scenario.Workload.Sparse.initial in
+  let tx = Txn_mgr.begin_txn db.Db.mgr in
+  List.iter
+    (fun k -> ignore (Tree.delete db.Db.tree ~txn:tx k))
+    scenario.Workload.Sparse.deletes;
+  Txn_mgr.commit db.Db.mgr tx;
+  Db.flush_all db;
+  let expected =
+    List.filter
+      (fun (k, _) -> not (List.mem k scenario.Workload.Sparse.deletes))
+      scenario.Workload.Sparse.initial
+  in
+  (db, expected)
+
+let purged ?(page_size = 512) ~seed ~n ~ranges ~width () =
+  let rng = Util.Rng.create seed in
+  let scenario = Workload.Sparse.range_purge ~rng ~n ~ranges ~width in
+  let db = Db.load ~page_size ~fill:0.92 scenario.Workload.Sparse.initial in
+  let tx = Txn_mgr.begin_txn db.Db.mgr in
+  List.iter
+    (fun k -> ignore (Tree.delete db.Db.tree ~txn:tx k))
+    scenario.Workload.Sparse.deletes;
+  Txn_mgr.commit db.Db.mgr tx;
+  Db.flush_all db;
+  let expected =
+    List.filter
+      (fun (k, _) -> not (List.mem k scenario.Workload.Sparse.deletes))
+      scenario.Workload.Sparse.initial
+  in
+  (db, expected)
+
+let run_reorg ?(config = Reorg.Config.default) ?(users = 0) ?(user_mix = Workload.Mix.read_mostly)
+    ?(user_ops = 10_000) ?(seed = 1) db =
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let eng = Engine.create () in
+  let report = ref None in
+  Engine.spawn eng (fun () -> report := Some (Reorg.Driver.run ctx));
+  let ustats =
+    if users > 0 then
+      Workload.Mix.spawn_users eng ~access:db.Db.access ~seed ~users ~ops_per_user:user_ops
+        ~stop:(fun () -> !report <> None)
+        ~mix:user_mix ()
+    else Workload.Mix.create_stats ()
+  in
+  Engine.run eng;
+  match !report with
+  | Some r -> (ctx, r, ustats)
+  | None -> failwith "Scenario.run_reorg: reorganizer did not finish"

@@ -1,0 +1,48 @@
+(** Canonical database states used by the experiments.
+
+    All generators are deterministic from the seed.  Keys are even (inserts
+    by concurrent updaters use odd keys), payloads come from
+    {!Db.payload_for}. *)
+
+val aged :
+  ?page_size:int ->
+  ?leaf_pages:int ->
+  ?span_factor:float ->
+  ?record_locking:bool ->
+  seed:int ->
+  n:int ->
+  f1:float ->
+  unit ->
+  Db.t * (int * string) list
+(** The paper's §2 tree: [n] records at leaf fill factor [f1], leaves
+    scattered over the leaf zone ([span_factor] slots per leaf, default 1.4)
+    with free pages interleaved — a file aged by splits and free-at-empty.
+    Everything is flushed (the state is durable).  Returns the db and its
+    contents. *)
+
+val thinned :
+  ?page_size:int -> seed:int -> n:int -> survive:float -> unit -> Db.t * (int * string) list
+(** Dense load then transactional uniform deletion down to [survive]:
+    sparseness produced by real free-at-empty deletes. *)
+
+val purged :
+  ?page_size:int ->
+  seed:int ->
+  n:int ->
+  ranges:int ->
+  width:float ->
+  unit ->
+  Db.t * (int * string) list
+(** Clustered range deletions (retention purges). *)
+
+val run_reorg :
+  ?config:Reorg.Config.t ->
+  ?users:int ->
+  ?user_mix:Workload.Mix.mix ->
+  ?user_ops:int ->
+  ?seed:int ->
+  Db.t ->
+  Reorg.Ctx.t * Reorg.Driver.report * Workload.Mix.stats
+(** Run the full reorganization inside a fresh scheduler, optionally with
+    concurrent users (they stop when the reorganizer finishes or after
+    [user_ops], default 10_000 each). *)

@@ -1,0 +1,10 @@
+(* Small shared helpers for experiments and crash tests. *)
+
+(* Flush a seeded random subset of dirty pages before a crash — the
+   arbitrary disk states a buffer manager can leave behind.  flush_page
+   honours the WAL rule and careful-writing order. *)
+let partial_flush db seed =
+  let rng = Util.Rng.create seed in
+  List.iter
+    (fun pid -> if Util.Rng.chance rng 0.5 then Pager.Buffer_pool.flush_page db.Db.pool pid)
+    (Pager.Buffer_pool.dirty_pages db.Db.pool)

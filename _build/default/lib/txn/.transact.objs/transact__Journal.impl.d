@@ -1,0 +1,1 @@
+lib/txn/journal.ml: Pager String Txn Wal

@@ -1,0 +1,1 @@
+lib/txn/journal.mli: Pager Txn Wal

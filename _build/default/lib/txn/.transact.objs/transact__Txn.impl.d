@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Format Wal

@@ -1,0 +1,1 @@
+lib/txn/txn_mgr.ml: Bytes Hashtbl Journal Lockmgr Pager String Txn Wal

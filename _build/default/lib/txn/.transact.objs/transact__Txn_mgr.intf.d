@@ -1,0 +1,1 @@
+lib/txn/txn_mgr.mli: Journal Lockmgr Txn Wal

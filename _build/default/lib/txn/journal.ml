@@ -1,0 +1,66 @@
+module Page = Pager.Page
+module Buffer_pool = Pager.Buffer_pool
+module Log = Wal.Log
+module Record = Wal.Record
+
+type t = { pool : Buffer_pool.t; log : Log.t }
+
+let create pool log =
+  Buffer_pool.set_before_write pool (fun lsn -> Log.force log (Wal.Lsn.of_int64 lsn));
+  { pool; log }
+
+let pool t = t.pool
+let log t = t.log
+
+let append t body = Log.append t.log body
+
+let stamp t ~page lsn =
+  let p = Buffer_pool.get t.pool page in
+  Page.set_lsn p (Wal.Lsn.to_int64 lsn);
+  Buffer_pool.mark_dirty t.pool page
+
+let log_for t ~txn mk =
+  let lsn = Log.append t.log (mk ~prev:txn.Txn.last_lsn) in
+  txn.Txn.last_lsn <- lsn;
+  lsn
+
+let physical t ?txn ~page ~off ~len f =
+  let p = Buffer_pool.get t.pool page in
+  let before = Page.sub p off len in
+  f p;
+  let after = Page.sub p off len in
+  if String.equal before after then ()
+  else begin
+    let txn_id, prev =
+      match txn with Some tx -> (tx.Txn.id, tx.Txn.last_lsn) | None -> (0, Wal.Lsn.nil)
+    in
+    let lsn = Log.append t.log (Record.Update { txn = txn_id; page; off; before; after; prev }) in
+    (match txn with Some tx -> tx.Txn.last_lsn <- lsn | None -> ());
+    stamp t ~page lsn
+  end
+
+let log_leaf_insert t ~txn ~page ~key ~payload =
+  let lsn =
+    log_for t ~txn (fun ~prev -> Record.Leaf_insert { txn = txn.Txn.id; page; key; payload; prev })
+  in
+  stamp t ~page lsn;
+  lsn
+
+let log_leaf_delete t ~txn ~page ~key ~payload =
+  let lsn =
+    log_for t ~txn (fun ~prev -> Record.Leaf_delete { txn = txn.Txn.id; page; key; payload; prev })
+  in
+  stamp t ~page lsn;
+  lsn
+
+let with_nta t ?txn f =
+  match txn with
+  | None -> f ()
+  | Some tx ->
+    let before = tx.Txn.last_lsn in
+    let result = f () in
+    if tx.Txn.last_lsn <> before then begin
+      let lsn = Log.append t.log (Record.Nta_end { txn = tx.Txn.id; undo_next = before }) in
+      tx.Txn.last_lsn <- lsn
+    end;
+    result

@@ -1,0 +1,45 @@
+(** Logged page mutation: the glue between the buffer pool and the log.
+
+    All durable state changes go through this module so that the WAL
+    invariants hold by construction: a mutation is logged first, the page is
+    then changed in the pool, stamped with the record's LSN and marked dirty.
+    The pool's before-write hook (installed by {!create}) forces the log up to
+    a page's LSN before that page reaches disk. *)
+
+type t
+
+val create : Pager.Buffer_pool.t -> Wal.Log.t -> t
+(** Wires the WAL rule into the pool. *)
+
+val pool : t -> Pager.Buffer_pool.t
+val log : t -> Wal.Log.t
+
+val append : t -> Wal.Record.body -> Wal.Lsn.t
+(** Raw log append (for records that do not change pages, or whose page
+    stamping the caller does itself with {!stamp}). *)
+
+val stamp : t -> page:int -> Wal.Lsn.t -> unit
+(** Set the page's LSN and mark it dirty. *)
+
+val physical : t -> ?txn:Txn.t -> page:int -> off:int -> len:int -> (Pager.Page.t -> unit) -> unit
+(** [physical t ~page ~off ~len f] captures the [len] bytes at [off] as the
+    before-image, applies [f] to the frame, captures the after-image, logs a
+    redo-only [Update], stamps and dirties the page.  If the mutation changed
+    nothing, no record is written.  When [txn] is given the record joins its
+    chain. *)
+
+val log_leaf_insert : t -> txn:Txn.t -> page:int -> key:int -> payload:string -> Wal.Lsn.t
+(** Append the logical [Leaf_insert] record (chained to [txn]) and stamp the
+    page; the caller performs the actual in-page insertion. *)
+
+val log_leaf_delete : t -> txn:Txn.t -> page:int -> key:int -> payload:string -> Wal.Lsn.t
+
+val log_for : t -> txn:Txn.t -> (prev:Wal.Lsn.t -> Wal.Record.body) -> Wal.Lsn.t
+(** Append a record chained to [txn]'s log chain and advance [txn.last_lsn]. *)
+
+val with_nta : t -> ?txn:Txn.t -> (unit -> 'a) -> 'a
+(** Run a structural sequence as a nested top action: if [f] logged anything
+    on [txn]'s chain, seal it with an [Nta_end] so rollback skips it whole.
+    A crash before the seal reaches the stable log leaves the sequence torn,
+    and restart undo reverses it physically.  No-op wrapper when [txn] is
+    absent. *)

@@ -1,0 +1,25 @@
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  mutable state : state;
+  mutable last_lsn : Wal.Lsn.t;
+  mutable waits : int;
+  mutable blocked_ticks : int;
+  mutable gave_up : int;
+}
+
+let make id =
+  { id; state = Active; last_lsn = Wal.Lsn.nil; waits = 0; blocked_ticks = 0; gave_up = 0 }
+
+let is_active t = t.state = Active
+
+let note_wait t ~ticks =
+  t.waits <- t.waits + 1;
+  t.blocked_ticks <- t.blocked_ticks + ticks
+
+let note_give_up t = t.gave_up <- t.gave_up + 1
+
+let pp ppf t =
+  let st = match t.state with Active -> "active" | Committed -> "committed" | Aborted -> "aborted" in
+  Format.fprintf ppf "txn#%d[%s]" t.id st

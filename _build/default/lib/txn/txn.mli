@@ -1,0 +1,26 @@
+(** Transaction (and, more generally, {e actor}) handles.
+
+    Every lock owner in the system — user readers, user updaters, and the
+    reorganization process itself — is represented by one of these.  The
+    handle carries the per-actor log chain ([last_lsn]) and the blocked-time
+    accounting the concurrency experiments report. *)
+
+type state = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  mutable state : state;
+  mutable last_lsn : Wal.Lsn.t;  (** most recent log record of this actor *)
+  mutable waits : int;  (** lock requests that had to block *)
+  mutable blocked_ticks : int;  (** scheduler ticks spent blocked on locks *)
+  mutable gave_up : int;  (** times an RX conflict made it restart (§4.1.2) *)
+}
+
+val make : int -> t
+
+val is_active : t -> bool
+
+val note_wait : t -> ticks:int -> unit
+val note_give_up : t -> unit
+
+val pp : Format.formatter -> t -> unit

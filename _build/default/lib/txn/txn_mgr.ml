@@ -1,0 +1,113 @@
+module Log = Wal.Log
+module Record = Wal.Record
+
+type t = {
+  journal : Journal.t;
+  locks : Lockmgr.Lock_mgr.t;
+  mutable next_id : int;
+  active : (int, Txn.t) Hashtbl.t;
+  mutable logical_undo : Txn.t -> Record.clr_action -> unit;
+}
+
+let create journal locks =
+  {
+    journal;
+    locks;
+    next_id = 1;
+    active = Hashtbl.create 16;
+    logical_undo = (fun _ _ -> failwith "Txn_mgr: no logical undo handler installed");
+  }
+
+let journal t = t.journal
+let lock_mgr t = t.locks
+
+let fresh_owner t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Txn.make id
+
+let begin_txn t =
+  let tx = fresh_owner t in
+  tx.Txn.last_lsn <- Log.append (Journal.log t.journal) (Record.Txn_begin tx.Txn.id);
+  Hashtbl.replace t.active tx.Txn.id tx;
+  tx
+
+let set_logical_undo t f = t.logical_undo <- f
+
+let commit t tx =
+  if not (Txn.is_active tx) then invalid_arg "Txn_mgr.commit: not active";
+  let lsn = Log.append (Journal.log t.journal) (Record.Txn_commit tx.Txn.id) in
+  Log.force (Journal.log t.journal) lsn;
+  tx.Txn.state <- Txn.Committed;
+  Hashtbl.remove t.active tx.Txn.id;
+  Lockmgr.Lock_mgr.release_all t.locks ~owner:tx.Txn.id
+
+(* Walk the undo chain from [last].  CLRs short-circuit via undo_next so a
+   rollback interrupted by a crash never undoes twice; Nta_end records jump
+   over complete (sealed) structural sequences, while unsealed Update
+   records are reversed physically from their before-images. *)
+let undo_chain t tx ~last =
+  let log = Journal.log t.journal in
+  let pool = Journal.pool t.journal in
+  let rec go lsn =
+    if lsn <> Wal.Lsn.nil then
+      match Log.read log lsn with
+      | Record.Leaf_insert { key; prev; _ } ->
+        let action = Record.Undo_insert { key } in
+        t.logical_undo tx action;
+        tx.Txn.last_lsn <-
+          Log.append log (Record.Clr { txn = tx.Txn.id; action; undo_next = prev });
+        go prev
+      | Record.Leaf_delete { key; payload; prev; _ } ->
+        let action = Record.Undo_delete { key; payload } in
+        t.logical_undo tx action;
+        tx.Txn.last_lsn <-
+          Log.append log (Record.Clr { txn = tx.Txn.id; action; undo_next = prev });
+        go prev
+      | Record.Side_file { op; prev; _ } ->
+        let action = Record.Undo_side op in
+        t.logical_undo tx action;
+        tx.Txn.last_lsn <-
+          Log.append log (Record.Clr { txn = tx.Txn.id; action; undo_next = prev });
+        go prev
+      | Record.Update { page; off; before; prev; _ } ->
+        (* Unsealed structural change (no Nta_end was reached first):
+           restore the before-image. *)
+        let action = Record.Undo_phys { page; off; bytes = before } in
+        let clr =
+          Wal.Log.append log (Record.Clr { txn = tx.Txn.id; action; undo_next = prev })
+        in
+        let p = Pager.Buffer_pool.get pool page in
+        Bytes.blit_string before 0 p off (String.length before);
+        Pager.Page.set_lsn p (Wal.Lsn.to_int64 clr);
+        Pager.Buffer_pool.mark_dirty pool page;
+        tx.Txn.last_lsn <- clr;
+        go prev
+      | Record.Nta_end { undo_next; _ } ->
+        (* Sealed structural sequence: keep it, skip over it. *)
+        go undo_next
+      | Record.Clr { undo_next; _ } -> go undo_next
+      | Record.Txn_begin _ -> ()
+      | _ -> ()
+  in
+  go last
+
+let abort t tx =
+  if not (Txn.is_active tx) then invalid_arg "Txn_mgr.abort: not active";
+  undo_chain t tx ~last:tx.Txn.last_lsn;
+  ignore (Log.append (Journal.log t.journal) (Record.Txn_abort tx.Txn.id));
+  tx.Txn.state <- Txn.Aborted;
+  Hashtbl.remove t.active tx.Txn.id;
+  Lockmgr.Lock_mgr.release_all t.locks ~owner:tx.Txn.id
+
+let finish_read_only t tx = Lockmgr.Lock_mgr.release_all t.locks ~owner:tx.Txn.id
+
+let active_txns t = Hashtbl.fold (fun id tx acc -> (id, tx.Txn.last_lsn) :: acc) t.active []
+
+let find_active t id = Hashtbl.find_opt t.active id
+
+let ensure_next_id t n = if n > t.next_id then t.next_id <- n
+
+let clear_active t = Hashtbl.reset t.active
+
+let active_count t = Hashtbl.length t.active

@@ -1,0 +1,53 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else if rank > n then n - 1 else rank - 1 in
+  sorted.(idx)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let m = mean xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int n
+  in
+  let mn = Array.fold_left min xs.(0) xs in
+  let mx = Array.fold_left max xs.(0) xs in
+  {
+    count = n;
+    mean = m;
+    stddev = sqrt var;
+    min = mn;
+    max = mx;
+    p50 = percentile xs 50.0;
+    p90 = percentile xs 90.0;
+    p99 = percentile xs 99.0;
+  }
+
+let ratio a b = if b = 0.0 then nan else a /. b
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,26 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** Summary of a sample. *)
+
+val summarize : float array -> summary
+(** Descriptive summary.  Raises [Invalid_argument] on an empty sample. *)
+
+val mean : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [[0,100]], nearest-rank on a sorted copy. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] = [a /. b], or [nan] when [b = 0]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,102 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  {
+    title;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        match row with
+        | Rule -> acc
+        | Cells cs -> List.map2 (fun w c -> max w (String.length c)) acc cs)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 256 in
+  let line ch =
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w ch))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells aligns =
+    List.iteri
+      (fun i (c, (w, a)) ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad a w c))
+      (List.map2 (fun c wa -> (c, wa)) cells (List.combine widths aligns));
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  emit t.headers (List.map (fun _ -> Left) t.headers);
+  line '-';
+  List.iter
+    (fun row ->
+      match row with Rule -> line '-' | Cells cs -> emit cs t.aligns)
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_int n =
+  (* Thousands separators make big I/O and byte counts scannable. *)
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float ?(digits = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" digits x
+
+let fmt_pct x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let fmt_ratio x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.2fx" x
+
+let fmt_bytes n =
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.0)
+  else Printf.sprintf "%.1f MiB" (float_of_int n /. (1024.0 *. 1024.0))

@@ -1,0 +1,38 @@
+(** Aligned plain-text tables for experiment output.
+
+    Every experiment harness prints its results through this module so that
+    bench output has one consistent, diff-able shape. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Raises [Invalid_argument] if the arity does not match the
+    header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render to a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] then [print_string]. *)
+
+(** Cell formatting helpers. *)
+
+val fmt_int : int -> string
+val fmt_float : ?digits:int -> float -> string
+val fmt_pct : float -> string
+(** Fraction -> "42.0%". *)
+
+val fmt_ratio : float -> string
+(** "3.1x", or "-" for nan. *)
+
+val fmt_bytes : int -> string
+(** Human-readable byte count ("1.5 KiB"). *)

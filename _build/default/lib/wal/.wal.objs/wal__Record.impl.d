@@ -1,0 +1,1 @@
+lib/wal/record.ml: Buffer Format Int64 List Lsn Printf String

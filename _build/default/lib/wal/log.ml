@@ -1,0 +1,100 @@
+type entry = { body : Record.body; size : int }
+
+type stats = { records : int; bytes : int; forced : int }
+
+type t = {
+  mutable entries : entry option array; (* index = lsn - base - 1 *)
+  mutable base : int; (* number of LSNs before entries.(0); always 0 here *)
+  mutable next : Lsn.t; (* next LSN to assign *)
+  mutable flushed : Lsn.t;
+  mutable ckpt : Lsn.t; (* last stable checkpoint, nil if none *)
+  mutable records : int;
+  mutable bytes : int;
+  mutable forced : int;
+}
+
+let create () =
+  {
+    entries = Array.make 64 None;
+    base = 0;
+    next = 1;
+    flushed = Lsn.nil;
+    ckpt = Lsn.nil;
+    records = 0;
+    bytes = 0;
+    forced = 0;
+  }
+
+let slot t lsn = lsn - t.base - 1
+
+let ensure t n =
+  if n > Array.length t.entries then begin
+    let fresh = Array.make (max n (2 * Array.length t.entries)) None in
+    Array.blit t.entries 0 fresh 0 (Array.length t.entries);
+    t.entries <- fresh
+  end
+
+let append t body =
+  let lsn = t.next in
+  t.next <- lsn + 1;
+  ensure t (slot t lsn + 1);
+  let size = Record.encoded_size body in
+  t.entries.(slot t lsn) <- Some { body; size };
+  t.records <- t.records + 1;
+  t.bytes <- t.bytes + size;
+  lsn
+
+let head_lsn t = t.next - 1
+
+let force t lsn =
+  let lsn = min lsn (head_lsn t) in
+  if lsn > t.flushed then begin
+    t.forced <- t.forced + 1;
+    (* Track the most recent checkpoint as it becomes stable. *)
+    for l = t.flushed + 1 to lsn do
+      match t.entries.(slot t l) with
+      | Some { body = Record.Checkpoint _; _ } -> t.ckpt <- l
+      | _ -> ()
+    done;
+    t.flushed <- lsn
+  end
+
+let force_all t = force t (head_lsn t)
+
+let flushed_lsn t = t.flushed
+
+let read t lsn =
+  if lsn < 1 || lsn > head_lsn t then raise Not_found;
+  match t.entries.(slot t lsn) with None -> raise Not_found | Some e -> e.body
+
+let iter ?(from = 1) ?upto t f =
+  let upto = match upto with None -> t.flushed | Some u -> min u t.flushed in
+  for lsn = max 1 from to upto do
+    match t.entries.(slot t lsn) with None -> () | Some e -> f lsn e.body
+  done
+
+let crash t =
+  (* Volatile tail vanishes; the LSN sequence continues (real systems reuse
+     offsets, but distinct LSNs keep page-LSN comparisons unambiguous). *)
+  for lsn = t.flushed + 1 to head_lsn t do
+    match t.entries.(slot t lsn) with
+    | Some e ->
+      t.records <- t.records - 1;
+      t.bytes <- t.bytes - e.size;
+      t.entries.(slot t lsn) <- None
+    | None -> ()
+  done
+
+let last_checkpoint t =
+  if t.ckpt = Lsn.nil then None
+  else
+    match t.entries.(slot t t.ckpt) with
+    | Some e -> Some (t.ckpt, e.body)
+    | None -> None
+
+let stats t = { records = t.records; bytes = t.bytes; forced = t.forced }
+
+let reset_stats t =
+  t.records <- 0;
+  t.bytes <- 0;
+  t.forced <- 0

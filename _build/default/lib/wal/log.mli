@@ -1,0 +1,51 @@
+(** Append-only write-ahead log with a stable / volatile boundary.
+
+    Records appended with {!append} sit in the volatile tail until {!force}d
+    (or until a page flush forces them through the buffer pool's WAL hook).
+    {!crash} discards the volatile tail — that, together with
+    {!Pager.Buffer_pool.crash}, is the whole failure model.
+
+    The log also keeps byte accounting ({!stats}): the paper treats log volume
+    as a first-class cost of reorganization ("since log size is a concern, we
+    try to make the amount of information logged small"). *)
+
+type t
+
+type stats = {
+  records : int;  (** records appended (stable + volatile) *)
+  bytes : int;  (** encoded bytes appended *)
+  forced : int;  (** number of force operations actually advancing the boundary *)
+}
+
+val create : unit -> t
+
+val append : t -> Record.body -> Lsn.t
+(** Append and return the record's LSN (LSNs start at 1). *)
+
+val force : t -> Lsn.t -> unit
+(** Make records up to and including the LSN durable.  No-op if already
+    durable. *)
+
+val force_all : t -> unit
+
+val flushed_lsn : t -> Lsn.t
+val head_lsn : t -> Lsn.t
+(** LSN of the most recently appended record ([Lsn.nil] when empty). *)
+
+val read : t -> Lsn.t -> Record.body
+(** Raises [Not_found] for out-of-range or discarded LSNs. *)
+
+val iter : ?from:Lsn.t -> ?upto:Lsn.t -> t -> (Lsn.t -> Record.body -> unit) -> unit
+(** In-LSN-order iteration over the {e stable} records in
+    [[from, upto]] (defaults: the whole stable log). *)
+
+val crash : t -> unit
+(** Discard the volatile tail.  Subsequent appends continue the LSN
+    sequence. *)
+
+val last_checkpoint : t -> (Lsn.t * Record.body) option
+(** Most recent stable [Checkpoint] record, tracked incrementally. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Zeroes the counters in {!stats} (the records themselves are kept). *)

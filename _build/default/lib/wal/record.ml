@@ -1,0 +1,537 @@
+type txn_id = int
+type key = int
+type page_id = int
+
+type reorg_type = Compact | Swap | Move
+
+type move_payload =
+  | Full_records of (key * string) list
+  | Keys_only of key list
+
+type dest_init = {
+  di_low_mark : key;
+  di_prev : page_id;
+  di_next : page_id;
+}
+
+type base_edit =
+  | Insert_entry of { key : key; child : page_id }
+  | Delete_entry of { key : key; child : page_id }
+  | Update_entry of { org_key : key; org_child : page_id; new_key : key; new_child : page_id }
+
+type side_op =
+  | Side_insert of { key : key; child : page_id }
+  | Side_delete of { key : key; child : page_id }
+
+type reorg_table = {
+  rt_lk : key;
+  rt_unit : int option;
+  rt_begin_lsn : Lsn.t;
+  rt_last_lsn : Lsn.t;
+  rt_ck : key option;
+}
+
+type clr_action =
+  | Undo_insert of { key : key }
+  | Undo_delete of { key : key; payload : string }
+  | Undo_side of side_op
+  | Undo_phys of { page : page_id; off : int; bytes : string }
+
+type body =
+  | Txn_begin of txn_id
+  | Txn_commit of txn_id
+  | Txn_abort of txn_id
+  | Update of {
+      txn : txn_id;
+      page : page_id;
+      off : int;
+      before : string;
+      after : string;
+      prev : Lsn.t;
+    }
+  | Leaf_insert of { txn : txn_id; page : page_id; key : key; payload : string; prev : Lsn.t }
+  | Leaf_delete of { txn : txn_id; page : page_id; key : key; payload : string; prev : Lsn.t }
+  | Clr of { txn : txn_id; action : clr_action; undo_next : Lsn.t }
+  | Nta_end of { txn : txn_id; undo_next : Lsn.t }
+  | Reorg_begin of {
+      unit_id : int;
+      rtype : reorg_type;
+      base_pages : page_id list;
+      leaf_pages : page_id list;
+    }
+  | Reorg_move of {
+      unit_id : int;
+      org : page_id;
+      dest : page_id;
+      payload : move_payload;
+      dest_init : dest_init option;
+      prev : Lsn.t;
+    }
+  | Reorg_modify of { unit_id : int; base : page_id; edits : base_edit list; prev : Lsn.t }
+  | Reorg_end of { unit_id : int; largest_key : key; prev : Lsn.t }
+  | Side_file of { txn : txn_id; op : side_op; prev : Lsn.t }
+  | Side_applied of { op : side_op }
+  | Stable_key of { key : key; new_root : page_id }
+  | Switch of { old_root : page_id; new_root : page_id; old_name : int; new_name : int }
+  | Checkpoint of {
+      active_txns : (txn_id * Lsn.t) list;
+      reorg : reorg_table;
+      dirty_pages : page_id list;
+    }
+
+let empty_reorg_table =
+  { rt_lk = min_int; rt_unit = None; rt_begin_lsn = Lsn.nil; rt_last_lsn = Lsn.nil; rt_ck = None }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_int buf n = Buffer.add_int64_be buf (Int64.of_int n)
+
+let add_string buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_list buf f xs =
+  add_int buf (List.length xs);
+  List.iter (f buf) xs
+
+let add_opt buf f = function
+  | None -> Buffer.add_char buf '\000'
+  | Some x ->
+    Buffer.add_char buf '\001';
+    f buf x
+
+let add_side_op buf = function
+  | Side_insert { key; child } ->
+    Buffer.add_char buf 'i';
+    add_int buf key;
+    add_int buf child
+  | Side_delete { key; child } ->
+    Buffer.add_char buf 'd';
+    add_int buf key;
+    add_int buf child
+
+let add_edit buf = function
+  | Insert_entry { key; child } ->
+    Buffer.add_char buf 'i';
+    add_int buf key;
+    add_int buf child
+  | Delete_entry { key; child } ->
+    Buffer.add_char buf 'd';
+    add_int buf key;
+    add_int buf child
+  | Update_entry { org_key; org_child; new_key; new_child } ->
+    Buffer.add_char buf 'u';
+    add_int buf org_key;
+    add_int buf org_child;
+    add_int buf new_key;
+    add_int buf new_child
+
+let reorg_type_tag = function Compact -> 'c' | Swap -> 's' | Move -> 'm'
+
+let encode body =
+  let buf = Buffer.create 64 in
+  (match body with
+  | Txn_begin txn ->
+    Buffer.add_char buf 'B';
+    add_int buf txn
+  | Txn_commit txn ->
+    Buffer.add_char buf 'C';
+    add_int buf txn
+  | Txn_abort txn ->
+    Buffer.add_char buf 'A';
+    add_int buf txn
+  | Update { txn; page; off; before; after; prev } ->
+    Buffer.add_char buf 'U';
+    add_int buf txn;
+    add_int buf page;
+    add_int buf off;
+    add_string buf before;
+    add_string buf after;
+    add_int buf prev
+  | Leaf_insert { txn; page; key; payload; prev } ->
+    Buffer.add_char buf 'I';
+    add_int buf txn;
+    add_int buf page;
+    add_int buf key;
+    add_string buf payload;
+    add_int buf prev
+  | Leaf_delete { txn; page; key; payload; prev } ->
+    Buffer.add_char buf 'T';
+    add_int buf txn;
+    add_int buf page;
+    add_int buf key;
+    add_string buf payload;
+    add_int buf prev
+  | Clr { txn; action; undo_next } ->
+    Buffer.add_char buf 'L';
+    add_int buf txn;
+    (match action with
+    | Undo_insert { key } ->
+      Buffer.add_char buf 'i';
+      add_int buf key
+    | Undo_delete { key; payload } ->
+      Buffer.add_char buf 'd';
+      add_int buf key;
+      add_string buf payload
+    | Undo_side op ->
+      Buffer.add_char buf 's';
+      add_side_op buf op
+    | Undo_phys { page; off; bytes } ->
+      Buffer.add_char buf 'p';
+      add_int buf page;
+      add_int buf off;
+      add_string buf bytes);
+    add_int buf undo_next
+  | Nta_end { txn; undo_next } ->
+    Buffer.add_char buf 'N';
+    add_int buf txn;
+    add_int buf undo_next
+  | Reorg_begin { unit_id; rtype; base_pages; leaf_pages } ->
+    Buffer.add_char buf 'R';
+    add_int buf unit_id;
+    Buffer.add_char buf (reorg_type_tag rtype);
+    add_list buf add_int base_pages;
+    add_list buf add_int leaf_pages
+  | Reorg_move { unit_id; org; dest; payload; dest_init; prev } ->
+    Buffer.add_char buf 'M';
+    add_int buf unit_id;
+    add_int buf org;
+    add_int buf dest;
+    (match payload with
+    | Full_records recs ->
+      Buffer.add_char buf 'f';
+      add_list buf
+        (fun buf (k, v) ->
+          add_int buf k;
+          add_string buf v)
+        recs
+    | Keys_only keys ->
+      Buffer.add_char buf 'k';
+      add_list buf add_int keys);
+    add_opt buf
+      (fun buf di ->
+        add_int buf di.di_low_mark;
+        add_int buf di.di_prev;
+        add_int buf di.di_next)
+      dest_init;
+    add_int buf prev
+  | Reorg_modify { unit_id; base; edits; prev } ->
+    Buffer.add_char buf 'D';
+    add_int buf unit_id;
+    add_int buf base;
+    add_list buf add_edit edits;
+    add_int buf prev
+  | Reorg_end { unit_id; largest_key; prev } ->
+    Buffer.add_char buf 'E';
+    add_int buf unit_id;
+    add_int buf largest_key;
+    add_int buf prev
+  | Side_file { txn; op; prev } ->
+    Buffer.add_char buf 'S';
+    add_int buf txn;
+    add_side_op buf op;
+    add_int buf prev
+  | Side_applied { op } ->
+    Buffer.add_char buf 'P';
+    add_side_op buf op
+  | Stable_key { key; new_root } ->
+    Buffer.add_char buf 'K';
+    add_int buf key;
+    add_int buf new_root
+  | Switch { old_root; new_root; old_name; new_name } ->
+    Buffer.add_char buf 'W';
+    add_int buf old_root;
+    add_int buf new_root;
+    add_int buf old_name;
+    add_int buf new_name
+  | Checkpoint { active_txns; reorg; dirty_pages } ->
+    Buffer.add_char buf 'X';
+    add_list buf
+      (fun buf (t, l) ->
+        add_int buf t;
+        add_int buf l)
+      active_txns;
+    add_int buf reorg.rt_lk;
+    add_opt buf add_int reorg.rt_unit;
+    add_int buf reorg.rt_begin_lsn;
+    add_int buf reorg.rt_last_lsn;
+    add_opt buf add_int reorg.rt_ck;
+    add_list buf add_int dirty_pages);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail () = failwith "Record.decode: malformed record"
+
+let read_char c =
+  if c.pos >= String.length c.s then fail ();
+  let ch = c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  ch
+
+let read_int c =
+  if c.pos + 8 > String.length c.s then fail ();
+  let v = Int64.to_int (String.get_int64_be c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let read_string c =
+  let n = read_int c in
+  if n < 0 || c.pos + n > String.length c.s then fail ();
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let read_list c f =
+  let n = read_int c in
+  if n < 0 then fail ();
+  List.init n (fun _ -> f c)
+
+let read_opt c f =
+  match read_char c with '\000' -> None | '\001' -> Some (f c) | _ -> fail ()
+
+let read_side_op c =
+  match read_char c with
+  | 'i' ->
+    let key = read_int c in
+    let child = read_int c in
+    Side_insert { key; child }
+  | 'd' ->
+    let key = read_int c in
+    let child = read_int c in
+    Side_delete { key; child }
+  | _ -> fail ()
+
+let read_edit c =
+  match read_char c with
+  | 'i' ->
+    let key = read_int c in
+    let child = read_int c in
+    Insert_entry { key; child }
+  | 'd' ->
+    let key = read_int c in
+    let child = read_int c in
+    Delete_entry { key; child }
+  | 'u' ->
+    let org_key = read_int c in
+    let org_child = read_int c in
+    let new_key = read_int c in
+    let new_child = read_int c in
+    Update_entry { org_key; org_child; new_key; new_child }
+  | _ -> fail ()
+
+let read_reorg_type c =
+  match read_char c with 'c' -> Compact | 's' -> Swap | 'm' -> Move | _ -> fail ()
+
+let decode s =
+  let c = { s; pos = 0 } in
+  let body =
+    match read_char c with
+    | 'B' -> Txn_begin (read_int c)
+    | 'C' -> Txn_commit (read_int c)
+    | 'A' -> Txn_abort (read_int c)
+    | 'U' ->
+      let txn = read_int c in
+      let page = read_int c in
+      let off = read_int c in
+      let before = read_string c in
+      let after = read_string c in
+      let prev = read_int c in
+      Update { txn; page; off; before; after; prev }
+    | 'I' ->
+      let txn = read_int c in
+      let page = read_int c in
+      let key = read_int c in
+      let payload = read_string c in
+      let prev = read_int c in
+      Leaf_insert { txn; page; key; payload; prev }
+    | 'T' ->
+      let txn = read_int c in
+      let page = read_int c in
+      let key = read_int c in
+      let payload = read_string c in
+      let prev = read_int c in
+      Leaf_delete { txn; page; key; payload; prev }
+    | 'L' ->
+      let txn = read_int c in
+      let action =
+        match read_char c with
+        | 'i' -> Undo_insert { key = read_int c }
+        | 'd' ->
+          let key = read_int c in
+          let payload = read_string c in
+          Undo_delete { key; payload }
+        | 's' -> Undo_side (read_side_op c)
+        | 'p' ->
+          let page = read_int c in
+          let off = read_int c in
+          let bytes = read_string c in
+          Undo_phys { page; off; bytes }
+        | _ -> fail ()
+      in
+      let undo_next = read_int c in
+      Clr { txn; action; undo_next }
+    | 'N' ->
+      let txn = read_int c in
+      let undo_next = read_int c in
+      Nta_end { txn; undo_next }
+    | 'R' ->
+      let unit_id = read_int c in
+      let rtype = read_reorg_type c in
+      let base_pages = read_list c read_int in
+      let leaf_pages = read_list c read_int in
+      Reorg_begin { unit_id; rtype; base_pages; leaf_pages }
+    | 'M' ->
+      let unit_id = read_int c in
+      let org = read_int c in
+      let dest = read_int c in
+      let payload =
+        match read_char c with
+        | 'f' ->
+          Full_records
+            (read_list c (fun c ->
+                 let k = read_int c in
+                 let v = read_string c in
+                 (k, v)))
+        | 'k' -> Keys_only (read_list c read_int)
+        | _ -> fail ()
+      in
+      let dest_init =
+        read_opt c (fun c ->
+            let di_low_mark = read_int c in
+            let di_prev = read_int c in
+            let di_next = read_int c in
+            { di_low_mark; di_prev; di_next })
+      in
+      let prev = read_int c in
+      Reorg_move { unit_id; org; dest; payload; dest_init; prev }
+    | 'D' ->
+      let unit_id = read_int c in
+      let base = read_int c in
+      let edits = read_list c read_edit in
+      let prev = read_int c in
+      Reorg_modify { unit_id; base; edits; prev }
+    | 'E' ->
+      let unit_id = read_int c in
+      let largest_key = read_int c in
+      let prev = read_int c in
+      Reorg_end { unit_id; largest_key; prev }
+    | 'S' ->
+      let txn = read_int c in
+      let op = read_side_op c in
+      let prev = read_int c in
+      Side_file { txn; op; prev }
+    | 'P' -> Side_applied { op = read_side_op c }
+    | 'K' ->
+      let key = read_int c in
+      let new_root = read_int c in
+      Stable_key { key; new_root }
+    | 'W' ->
+      let old_root = read_int c in
+      let new_root = read_int c in
+      let old_name = read_int c in
+      let new_name = read_int c in
+      Switch { old_root; new_root; old_name; new_name }
+    | 'X' ->
+      let active_txns =
+        read_list c (fun c ->
+            let t = read_int c in
+            let l = read_int c in
+            (t, l))
+      in
+      let rt_lk = read_int c in
+      let rt_unit = read_opt c read_int in
+      let rt_begin_lsn = read_int c in
+      let rt_last_lsn = read_int c in
+      let rt_ck = read_opt c read_int in
+      let dirty_pages = read_list c read_int in
+      Checkpoint
+        { active_txns; reorg = { rt_lk; rt_unit; rt_begin_lsn; rt_last_lsn; rt_ck }; dirty_pages }
+    | _ -> fail ()
+  in
+  if c.pos <> String.length s then fail ();
+  body
+
+let encoded_size body = String.length (encode body)
+
+let txn_of = function
+  | Txn_begin t | Txn_commit t | Txn_abort t -> Some t
+  | Update { txn; _ }
+  | Leaf_insert { txn; _ }
+  | Leaf_delete { txn; _ }
+  | Clr { txn; _ }
+  | Nta_end { txn; _ }
+  | Side_file { txn; _ } ->
+    Some txn
+  | Reorg_begin _ | Reorg_move _ | Reorg_modify _ | Reorg_end _ | Side_applied _ | Stable_key _
+  | Switch _ | Checkpoint _ ->
+    None
+
+let pages_touched = function
+  | Update { page; _ } | Leaf_insert { page; _ } | Leaf_delete { page; _ } -> [ page ]
+  | Reorg_move { org; dest; _ } -> [ org; dest ]
+  | Reorg_modify { base; _ } -> [ base ]
+  | Clr { action = Undo_phys { page; _ }; _ } -> [ page ]
+  | Txn_begin _ | Txn_commit _ | Txn_abort _ | Clr _ | Nta_end _ | Reorg_begin _ | Reorg_end _
+  | Side_file _ | Side_applied _ | Stable_key _ | Switch _ | Checkpoint _ ->
+    []
+
+let reorg_type_to_string = function Compact -> "compact" | Swap -> "swap" | Move -> "move"
+
+let pp_side_op ppf = function
+  | Side_insert { key; child } -> Format.fprintf ppf "ins(%d->%d)" key child
+  | Side_delete { key; child } -> Format.fprintf ppf "del(%d->%d)" key child
+
+let pp ppf = function
+  | Txn_begin t -> Format.fprintf ppf "BEGIN txn=%d" t
+  | Txn_commit t -> Format.fprintf ppf "COMMIT txn=%d" t
+  | Txn_abort t -> Format.fprintf ppf "ABORT txn=%d" t
+  | Update { txn; page; off; before; after; _ } ->
+    Format.fprintf ppf "UPDATE txn=%d page=%d off=%d len=%d/%d" txn page off
+      (String.length before) (String.length after)
+  | Leaf_insert { txn; page; key; _ } ->
+    Format.fprintf ppf "LEAF-INSERT txn=%d page=%d key=%d" txn page key
+  | Leaf_delete { txn; page; key; _ } ->
+    Format.fprintf ppf "LEAF-DELETE txn=%d page=%d key=%d" txn page key
+  | Clr { txn; action; undo_next } ->
+    let a =
+      match action with
+      | Undo_insert { key } -> Printf.sprintf "undo-ins(%d)" key
+      | Undo_delete { key; _ } -> Printf.sprintf "undo-del(%d)" key
+      | Undo_side _ -> "undo-side"
+      | Undo_phys { page; off; _ } -> Printf.sprintf "undo-phys(%d@%d)" page off
+    in
+    Format.fprintf ppf "CLR txn=%d %s undo-next=%d" txn a undo_next
+  | Nta_end { txn; undo_next } ->
+    Format.fprintf ppf "NTA-END txn=%d undo-next=%d" txn undo_next
+  | Reorg_begin { unit_id; rtype; base_pages; leaf_pages } ->
+    Format.fprintf ppf "REORG-BEGIN unit=%d type=%s bases=[%s] leaves=[%s]" unit_id
+      (reorg_type_to_string rtype)
+      (String.concat ";" (List.map string_of_int base_pages))
+      (String.concat ";" (List.map string_of_int leaf_pages))
+  | Reorg_move { unit_id; org; dest; payload; _ } ->
+    let pl =
+      match payload with
+      | Full_records rs -> Printf.sprintf "%d records" (List.length rs)
+      | Keys_only ks -> Printf.sprintf "%d keys" (List.length ks)
+    in
+    Format.fprintf ppf "REORG-MOVE unit=%d %d->%d (%s)" unit_id org dest pl
+  | Reorg_modify { unit_id; base; edits; _ } ->
+    Format.fprintf ppf "REORG-MODIFY unit=%d base=%d edits=%d" unit_id base (List.length edits)
+  | Reorg_end { unit_id; largest_key; _ } ->
+    Format.fprintf ppf "REORG-END unit=%d lk=%d" unit_id largest_key
+  | Side_file { txn; op; _ } -> Format.fprintf ppf "SIDE txn=%d %a" txn pp_side_op op
+  | Side_applied { op } -> Format.fprintf ppf "SIDE-APPLIED %a" pp_side_op op
+  | Stable_key { key; new_root } -> Format.fprintf ppf "STABLE-KEY %d root=%d" key new_root
+  | Switch { old_root; new_root; old_name; new_name } ->
+    Format.fprintf ppf "SWITCH root %d->%d name %d->%d" old_root new_root old_name new_name
+  | Checkpoint { active_txns; reorg; dirty_pages } ->
+    Format.fprintf ppf "CHECKPOINT txns=%d reorg-unit=%s dirty=%d" (List.length active_txns)
+      (match reorg.rt_unit with None -> "-" | Some u -> string_of_int u)
+      (List.length dirty_pages)

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Btree Sched Sparse Transact Util

@@ -1,0 +1,1 @@
+lib/workload/mix.mli: Btree Sched

@@ -1,0 +1,1 @@
+lib/workload/scramble.ml: Array Btree Hashtbl List Pager Transact Util

@@ -1,0 +1,1 @@
+lib/workload/scramble.mli: Btree Util

@@ -1,0 +1,1 @@
+lib/workload/sparse.ml: Hashtbl List Printf Util

@@ -1,0 +1,22 @@
+type t =
+  | Uniform of { n : int }
+  | Zipf of { n : int; theta : float }
+  | Sequential of { start : int }
+  | Clustered of { n : int; cluster : int }
+
+type counter = { mutable v : int }
+
+let counter ~start = { v = start }
+
+let next_seq c =
+  let v = c.v in
+  c.v <- v + 1;
+  v
+
+let next rng = function
+  | Uniform { n } -> Util.Rng.int rng n
+  | Zipf { n; theta } -> Util.Rng.zipf rng ~n ~theta
+  | Sequential { start } -> start
+  | Clustered { n; cluster } ->
+    let c = Util.Rng.int rng (max 1 (n / cluster)) in
+    (c * cluster) + Util.Rng.int rng cluster

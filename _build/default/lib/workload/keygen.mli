@@ -1,0 +1,17 @@
+(** Key generators for workloads. *)
+
+type t =
+  | Uniform of { n : int }  (** uniform over [0, n) *)
+  | Zipf of { n : int; theta : float }
+  | Sequential of { start : int }  (** monotonically increasing *)
+  | Clustered of { n : int; cluster : int }
+      (** picks a cluster of [cluster] consecutive keys, then a key within —
+          models hot ranges *)
+
+val next : Util.Rng.t -> t -> int
+(** Draw a key.  [Sequential] mutates no state: combine with {!counter}. *)
+
+type counter
+
+val counter : start:int -> counter
+val next_seq : counter -> int

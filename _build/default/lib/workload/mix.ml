@@ -1,0 +1,117 @@
+module Engine = Sched.Engine
+module Access = Btree.Access
+module Tree = Btree.Tree
+module Txn_mgr = Transact.Txn_mgr
+module Lock_client = Transact.Lock_client
+
+type mix = {
+  read_pct : float;
+  insert_pct : float;
+  delete_pct : float;
+  range_pct : float;
+  range_width : int;
+}
+
+let read_only =
+  { read_pct = 1.0; insert_pct = 0.0; delete_pct = 0.0; range_pct = 0.0; range_width = 64 }
+
+let read_mostly =
+  { read_pct = 0.8; insert_pct = 0.1; delete_pct = 0.1; range_pct = 0.0; range_width = 64 }
+
+let update_heavy =
+  { read_pct = 0.4; insert_pct = 0.3; delete_pct = 0.3; range_pct = 0.0; range_width = 64 }
+
+type stats = {
+  mutable reads : int;
+  mutable range_scans : int;
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable give_ups : int;
+  mutable blocked_ticks : int;
+  mutable op_ticks : int;
+  mutable max_op_ticks : int;
+}
+
+let create_stats () =
+  {
+    reads = 0;
+    range_scans = 0;
+    inserts = 0;
+    deletes = 0;
+    committed = 0;
+    aborted = 0;
+    give_ups = 0;
+    blocked_ticks = 0;
+    op_ticks = 0;
+    max_op_ticks = 0;
+  }
+
+type op = Read | Range | Insert | Delete
+
+let pick_op rng mix =
+  let x = Util.Rng.float rng 1.0 in
+  if x < mix.insert_pct then Insert
+  else if x < mix.insert_pct +. mix.delete_pct then Delete
+  else if x < mix.insert_pct +. mix.delete_pct +. mix.range_pct then Range
+  else Read
+
+let spawn_users eng ~access ~seed ~users ~ops_per_user ?(think = 1)
+    ?(start = fun () -> true) ?(stop = fun () -> false) ?(key_space = 4096) ~mix () =
+  let stats = create_stats () in
+  let mgr = Access.mgr access in
+  for u = 0 to users - 1 do
+    Engine.spawn eng (fun () ->
+        let rng = Util.Rng.create (seed + (u * 7919)) in
+        while not (start ()) && not (stop ()) do
+          Engine.sleep 1
+        done;
+        let ops = ref 0 in
+        while !ops < ops_per_user && not (stop ()) do
+          incr ops;
+          let op = pick_op rng mix in
+          let started = Engine.current_time () in
+          let tx =
+            match op with
+            | Read | Range -> Txn_mgr.fresh_owner mgr
+            | Insert | Delete -> Txn_mgr.begin_txn mgr
+          in
+          (try
+             (match op with
+             | Read ->
+               let k = 2 * Util.Rng.int rng key_space in
+               ignore (Access.read access ~txn:tx k);
+               stats.reads <- stats.reads + 1;
+               Txn_mgr.finish_read_only mgr tx
+             | Range ->
+               let lo = 2 * Util.Rng.int rng key_space in
+               ignore (Access.range_read access ~txn:tx ~lo ~hi:(lo + mix.range_width));
+               stats.range_scans <- stats.range_scans + 1;
+               Txn_mgr.finish_read_only mgr tx
+             | Insert ->
+               let k = (2 * Util.Rng.int rng key_space) + 1 in
+               (try Access.insert access ~txn:tx ~key:k ~payload:(Sparse.payload k)
+                with Tree.Duplicate_key _ -> ());
+               stats.inserts <- stats.inserts + 1;
+               Txn_mgr.commit mgr tx
+             | Delete ->
+               let k = 2 * Util.Rng.int rng key_space in
+               ignore (Access.delete access ~txn:tx k);
+               stats.deletes <- stats.deletes + 1;
+               Txn_mgr.commit mgr tx);
+             stats.committed <- stats.committed + 1;
+             let took = Engine.current_time () - started in
+             stats.op_ticks <- stats.op_ticks + took;
+             if took > stats.max_op_ticks then stats.max_op_ticks <- took
+           with Lock_client.Deadlock_victim ->
+             stats.aborted <- stats.aborted + 1;
+             (match op with
+             | Read | Range -> Txn_mgr.finish_read_only mgr tx
+             | Insert | Delete -> Txn_mgr.abort mgr tx));
+          stats.give_ups <- stats.give_ups + tx.Transact.Txn.gave_up;
+          stats.blocked_ticks <- stats.blocked_ticks + tx.Transact.Txn.blocked_ticks;
+          if think > 0 then Engine.sleep think else Engine.yield ()
+        done)
+  done;
+  stats

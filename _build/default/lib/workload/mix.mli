@@ -1,0 +1,58 @@
+(** Concurrent user load: readers and updaters running against the tree
+    while the reorganizer works — the traffic the paper's concurrency claims
+    are about.
+
+    Each user is a cooperative process issuing transactions drawn from an
+    operation mix.  Deadlock victims abort and count; the RX give-up
+    protocol's retries are accounted per transaction.  Users stop after a
+    fixed number of operations or when a stop predicate fires (e.g. "the
+    reorganizer finished"), whichever comes first. *)
+
+type mix = {
+  read_pct : float;
+  insert_pct : float;
+  delete_pct : float;
+  range_pct : float;  (** fractions must sum to <= 1; remainder = reads *)
+  range_width : int;  (** key span of range queries *)
+}
+
+val read_only : mix
+
+val read_mostly : mix
+(** 80% reads, 10% inserts, 10% deletes. *)
+
+val update_heavy : mix
+(** 40% reads, 30% inserts, 30% deletes. *)
+
+type stats = {
+  mutable reads : int;
+  mutable range_scans : int;
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable committed : int;
+  mutable aborted : int;  (** deadlock victims *)
+  mutable give_ups : int;  (** RX give-up retries (§4.1.2) *)
+  mutable blocked_ticks : int;  (** total ticks spent waiting on locks *)
+  mutable op_ticks : int;  (** total latency over completed operations *)
+  mutable max_op_ticks : int;
+}
+
+val create_stats : unit -> stats
+
+val spawn_users :
+  Sched.Engine.t ->
+  access:Btree.Access.t ->
+  seed:int ->
+  users:int ->
+  ops_per_user:int ->
+  ?think:int ->
+  ?start:(unit -> bool) ->
+  ?stop:(unit -> bool) ->
+  ?key_space:int ->
+  mix:mix ->
+  unit ->
+  stats
+(** Spawns the user processes on the engine (they run when the caller runs
+    it) and returns the shared stats they fill in.  [key_space] bounds the
+    keys drawn (default 4096); existing keys are assumed even (the
+    convention of the workload generators), inserts draw odd keys. *)

@@ -1,0 +1,135 @@
+module Page = Pager.Page
+module Buffer_pool = Pager.Buffer_pool
+module Leaf = Btree.Leaf
+module Inode = Btree.Inode
+module Tree = Btree.Tree
+
+let whole_page tree pid f =
+  let size = Pager.Disk.page_size (Buffer_pool.disk (Tree.pool tree)) in
+  Transact.Journal.physical (Tree.journal tree) ~page:pid ~off:0 ~len:size f
+
+(* Locate the entry by its key (= the leaf's low mark): matching by child
+   would be ambiguous mid-swap when both leaves share a parent. *)
+let repoint_parent tree ~entry_key ~to_ =
+  match Tree.parent_of_leaf tree entry_key with
+  | None -> ()
+  | Some parent ->
+    whole_page tree parent (fun p ->
+        match Inode.find_key p entry_key with
+        | Some i ->
+          let e = Inode.entry_at p i in
+          Inode.update_at p i { e with Inode.child = to_ }
+        | None -> ())
+
+let swap_placement tree a b =
+  if a <> b then begin
+    let page = Tree.page tree in
+    let pa = page a and pb = page b in
+    if not (Leaf.is_leaf pa && Leaf.is_leaf pb) then
+      invalid_arg "Scramble.swap_placement: not leaves";
+    let ra = Leaf.records pa and rb = Leaf.records pb in
+    let la = Leaf.low_mark pa and lb = Leaf.low_mark pb in
+    let linka = (Leaf.prev pa, Leaf.next pa) and linkb = (Leaf.prev pb, Leaf.next pb) in
+    let tr = function Some p when p = a -> Some b | Some p when p = b -> Some a | x -> x in
+    (* Parents first (the descent still finds the old children). *)
+    repoint_parent tree ~entry_key:la ~to_:b;
+    repoint_parent tree ~entry_key:lb ~to_:a;
+    whole_page tree b (fun p ->
+        Leaf.init p ~low_mark:la;
+        List.iter (fun r -> assert (Leaf.insert p r)) ra;
+        Leaf.set_prev p (tr (fst linka));
+        Leaf.set_next p (tr (snd linka)));
+    whole_page tree a (fun p ->
+        Leaf.init p ~low_mark:lb;
+        List.iter (fun r -> assert (Leaf.insert p r)) rb;
+        Leaf.set_prev p (tr (fst linkb));
+        Leaf.set_next p (tr (snd linkb)));
+    let fix n ~prev ~to_ =
+      match n with
+      | Some p when p <> a && p <> b ->
+        whole_page tree p (fun q ->
+            if prev then Leaf.set_prev q (Some to_) else Leaf.set_next q (Some to_))
+      | _ -> ()
+    in
+    fix (fst linka) ~prev:false ~to_:b;
+    fix (snd linka) ~prev:true ~to_:b;
+    fix (fst linkb) ~prev:false ~to_:a;
+    fix (snd linkb) ~prev:true ~to_:a
+  end
+
+let move_placement tree ~org ~dest =
+  let page = Tree.page tree in
+  let po = page org in
+  if not (Leaf.is_leaf po) then invalid_arg "Scramble.move_placement: not a leaf";
+  let records = Leaf.records po in
+  let low = Leaf.low_mark po in
+  let prev = Leaf.prev po and next = Leaf.next po in
+  Pager.Alloc.alloc_specific (Tree.alloc tree) dest;
+  repoint_parent tree ~entry_key:low ~to_:dest;
+  whole_page tree dest (fun p ->
+      Leaf.init p ~low_mark:low;
+      List.iter (fun r -> assert (Leaf.insert p r)) records;
+      Leaf.set_prev p prev;
+      Leaf.set_next p next);
+  (match prev with
+  | Some q -> whole_page tree q (fun p -> Leaf.set_next p (Some dest))
+  | None -> ());
+  (match next with
+  | Some q -> whole_page tree q (fun p -> Leaf.set_prev p (Some dest))
+  | None -> ());
+  whole_page tree org (fun p -> Page.set_kind p Page.kind_free);
+  Pager.Alloc.release (Tree.alloc tree) org
+
+let spread_leaves tree rng ~span_factor =
+  if span_factor < 1.0 then invalid_arg "Scramble.spread_leaves";
+  let alloc = Tree.alloc tree in
+  let leaves = Array.of_list (Tree.leaf_pids tree) in
+  let n = Array.length leaves in
+  let lo, hi = Pager.Alloc.leaf_zone alloc in
+  let span = min (hi - lo) (int_of_float (span_factor *. float_of_int n)) in
+  (* Random distinct target slots for each key-order position. *)
+  let slots = Util.Rng.permutation rng span in
+  let targets = Array.init n (fun i -> lo + slots.(i)) in
+  (* Place leaf i at targets.(i): move when the slot is free, swap when
+     another leaf occupies it. *)
+  let pos = Hashtbl.create n in
+  Array.iteri (fun i pid -> Hashtbl.replace pos pid i) leaves;
+  for i = 0 to n - 1 do
+    let current = leaves.(i) in
+    let target = targets.(i) in
+    if current <> target then
+      if Pager.Alloc.is_free alloc target then begin
+        move_placement tree ~org:current ~dest:target;
+        Hashtbl.remove pos current;
+        Hashtbl.replace pos target i;
+        leaves.(i) <- target
+      end
+      else begin
+        match Hashtbl.find_opt pos target with
+        | Some j ->
+          swap_placement tree current target;
+          Hashtbl.replace pos target i;
+          Hashtbl.replace pos current j;
+          leaves.(i) <- target;
+          leaves.(j) <- current
+        | None ->
+          (* Occupied by a non-leaf page (should not happen in the leaf
+             zone); leave this leaf where it is. *)
+          ()
+      end
+  done
+
+let shuffle_leaves tree rng =
+  let leaves = Array.of_list (Tree.leaf_pids tree) in
+  let n = Array.length leaves in
+  (* Fisher–Yates over physical placements.  [leaves.(i)] tracks the page
+     currently holding the i-th (key-order) leaf. *)
+  for i = n - 1 downto 1 do
+    let j = Util.Rng.int rng (i + 1) in
+    if i <> j then begin
+      swap_placement tree leaves.(i) leaves.(j);
+      let tmp = leaves.(i) in
+      leaves.(i) <- leaves.(j);
+      leaves.(j) <- tmp
+    end
+  done

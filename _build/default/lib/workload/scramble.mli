@@ -1,0 +1,26 @@
+(** Disk-order scrambling: simulate an aged file.
+
+    Years of splits leave a real B+-tree's leaves in nearly random disk
+    order.  Rather than replaying years of history, {!shuffle_leaves}
+    permutes the physical placement of the existing leaves directly (page
+    contents, side pointers and parent entries all follow), producing the
+    "leaf pages within a key range are not in contiguous disk space"
+    degradation of §1 in one step.
+
+    Must be called quiescently (no concurrent transactions); the moves are
+    logged as ordinary physical records. *)
+
+val shuffle_leaves : Btree.Tree.t -> Util.Rng.t -> unit
+(** Random permutation of all leaf placements. *)
+
+val spread_leaves : Btree.Tree.t -> Util.Rng.t -> span_factor:float -> unit
+(** Scatter the leaves over random positions in the first
+    [span_factor * leaf_count] slots of the leaf zone, leaving free pages
+    interleaved with them — the placement profile of a file aged by splits
+    and free-at-empty deletions.  [span_factor >= 1.0]. *)
+
+val swap_placement : Btree.Tree.t -> int -> int -> unit
+(** Exchange the physical placement of two leaves (exposed for tests). *)
+
+val move_placement : Btree.Tree.t -> org:int -> dest:int -> unit
+(** Relocate one leaf to a free page. *)

@@ -1,0 +1,48 @@
+type scenario = {
+  initial : (int * string) list;
+  deletes : int list;
+  inserts : (int * string) list;
+}
+
+let payload k = Printf.sprintf "value-%08d" k
+
+let uniform_thinning ~rng ~n ~survive =
+  if survive <= 0.0 || survive > 1.0 then invalid_arg "Sparse.uniform_thinning";
+  let keys = List.init n (fun i -> 2 * i) in
+  let initial = List.map (fun k -> (k, payload k)) keys in
+  let deletes = List.filter (fun _ -> not (Util.Rng.chance rng survive)) keys in
+  { initial; deletes; inserts = [] }
+
+let range_purge ~rng ~n ~ranges ~width =
+  let keys = List.init n (fun i -> 2 * i) in
+  let initial = List.map (fun k -> (k, payload k)) keys in
+  let span = 2 * n in
+  let w = int_of_float (width *. float_of_int span) in
+  let starts = List.init ranges (fun _ -> Util.Rng.int rng (max 1 (span - w))) in
+  let in_purged k = List.exists (fun s -> k >= s && k < s + w) starts in
+  { initial; deletes = List.filter in_purged keys; inserts = [] }
+
+let churn ~rng ~n ~rounds ?(delete_frac = 0.3) ?(insert_frac = 0.25) () =
+  let keys = List.init n (fun i -> 4 * i) in
+  let initial = List.map (fun k -> (k, payload k)) keys in
+  let live = Hashtbl.create n in
+  List.iter (fun k -> Hashtbl.replace live k ()) keys;
+  let deletes = ref [] and inserts = ref [] in
+  let fresh = ref 1 in
+  for _ = 1 to rounds do
+    (* Delete a random batch... *)
+    Hashtbl.iter
+      (fun k () -> if Util.Rng.chance rng delete_frac then deletes := k :: !deletes)
+      (Hashtbl.copy live);
+    List.iter (fun k -> Hashtbl.remove live k) !deletes;
+    (* ...then insert fresh odd keys that force splits in random places. *)
+    for _ = 1 to int_of_float (insert_frac *. float_of_int n) do
+      let k = (4 * Util.Rng.int rng n) + (2 * (!fresh mod 2)) + 1 in
+      incr fresh;
+      if not (Hashtbl.mem live k) then begin
+        Hashtbl.replace live k ();
+        inserts := (k, payload k) :: !inserts
+      end
+    done
+  done;
+  { initial; deletes = List.rev !deletes; inserts = List.rev !inserts }

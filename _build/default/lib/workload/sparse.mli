@@ -1,0 +1,32 @@
+(** Sparseness generators: the §2 scenario — a tree degraded by insertions
+    (page splits scatter leaves) and deletions (free-at-empty leaves sparse
+    pages behind).
+
+    Each generator returns the record set to bulk-load plus the keys to
+    delete afterwards through normal transactions, so the resulting tree has
+    realistic fragmentation (split chains, out-of-order leaf placement,
+    deallocated holes). *)
+
+type scenario = {
+  initial : (int * string) list;  (** sorted records to bulk-load *)
+  deletes : int list;  (** keys to delete, in order *)
+  inserts : (int * string) list;  (** keys to insert afterwards, in order *)
+}
+
+val uniform_thinning : rng:Util.Rng.t -> n:int -> survive:float -> scenario
+(** Load keys [0, 2n) at even spacing and delete a random subset so that a
+    [survive] fraction remains — uniform sparseness, the paper's base case. *)
+
+val range_purge : rng:Util.Rng.t -> n:int -> ranges:int -> width:float -> scenario
+(** Delete [ranges] contiguous key ranges each covering [width] of the key
+    space — models retention purges; leaves behind fully empty (freed) and
+    half-empty pages. *)
+
+val churn :
+  rng:Util.Rng.t -> n:int -> rounds:int -> ?delete_frac:float -> ?insert_frac:float -> unit -> scenario
+(** Load, then alternate random deletes ([delete_frac] of the live keys per
+    round, default 0.3) with random inserts of fresh keys ([insert_frac] of
+    [n] per round, default 0.25): splits scatter the leaves out of disk order
+    {e and} leave them sparse. *)
+
+val payload : int -> string

@@ -1,0 +1,1 @@
+test/test_access.ml: Alcotest Btree Hashtbl List Lockmgr Option Printf Reorg Sched Sim String Transact Util Workload

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Btree List Lockmgr Option Pager Printf Reorg Sched Sim Transact Wal Workload

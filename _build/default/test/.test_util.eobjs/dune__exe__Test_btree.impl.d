@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Fun Gen Hashtbl List Option Pager Printf QCheck QCheck_alcotest Reorg Sched Sim String Transact Util Wal Workload

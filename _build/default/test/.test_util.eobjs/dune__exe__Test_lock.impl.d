@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Array Gen List Lockmgr Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pager.ml: Alcotest Gen List Pager QCheck QCheck_alcotest

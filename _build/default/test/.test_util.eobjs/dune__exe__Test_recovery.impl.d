@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Btree Gen Hashtbl List Pager Printf QCheck QCheck_alcotest Reorg Sched Sim Transact Util Wal Workload

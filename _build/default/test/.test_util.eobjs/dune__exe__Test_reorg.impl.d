@@ -1,0 +1,1 @@
+test/test_reorg.ml: Alcotest Array Baseline Btree Hashtbl List Option Pager Printf Reorg Sched Sim String Transact Util Workload

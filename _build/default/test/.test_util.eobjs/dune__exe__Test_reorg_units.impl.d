@@ -1,0 +1,1 @@
+test/test_reorg_units.ml: Alcotest Btree List Lockmgr Option Pager Reorg Sched Sim Transact Wal

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Buffer List Printf Sched

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Btree List Pager Reorg Sched Sim String Transact Util Workload

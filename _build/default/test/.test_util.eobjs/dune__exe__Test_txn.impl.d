@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Int64 List Lockmgr Pager Sched String Transact Wal

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Format List QCheck QCheck_alcotest String Wal

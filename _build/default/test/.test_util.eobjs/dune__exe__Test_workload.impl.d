@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Btree List Pager Printf QCheck QCheck_alcotest Sched Sim Transact Util Workload

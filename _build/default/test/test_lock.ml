@@ -1,0 +1,270 @@
+(* Lock manager tests: the paper's Table 1, queueing/fairness, conversions,
+   instant-duration requests, deadlock victim selection. *)
+
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+module Lock_mgr = Lockmgr.Lock_mgr
+
+let page n = Resource.Page n
+
+let granted = function `Granted -> true | `Conflict _ -> false
+
+let test_table1_matches_compat () =
+  (* Every Yes/No cell of the paper's Table 1 must agree with the compat
+     function; blank cells are unconstrained. *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun r ->
+          match Mode.paper_cell ~granted:g ~requested:r with
+          | `Yes ->
+            if not (Mode.compat g r) then
+              Alcotest.failf "Table 1 says Yes for %s/%s" (Mode.to_string g) (Mode.to_string r)
+          | `No ->
+            if Mode.compat g r then
+              Alcotest.failf "Table 1 says No for %s/%s" (Mode.to_string g) (Mode.to_string r)
+          | `Blank -> ())
+        Mode.all)
+    Mode.all
+
+let test_compat_symmetry () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "sym %s/%s" (Mode.to_string a) (Mode.to_string b))
+            (Mode.compat a b) (Mode.compat b a))
+        Mode.all)
+    Mode.all
+
+let test_key_paper_cells () =
+  (* The semantic rules the protocols rely on. *)
+  Alcotest.(check bool) "R compatible with S" true (Mode.compat Mode.R Mode.S);
+  Alcotest.(check bool) "RS conflicts with R" false (Mode.compat Mode.RS Mode.R);
+  Alcotest.(check bool) "RX conflicts with S" false (Mode.compat Mode.RX Mode.S);
+  Alcotest.(check bool) "RX conflicts with IS" false (Mode.compat Mode.RX Mode.IS);
+  Alcotest.(check bool) "RX conflicts with RX" false (Mode.compat Mode.RX Mode.RX);
+  Alcotest.(check bool) "RS passes S" true (Mode.compat Mode.S Mode.RS);
+  Alcotest.(check bool) "IS/IX compatible" true (Mode.compat Mode.IS Mode.IX)
+
+let test_basic_grant_conflict () =
+  let m = Lock_mgr.create () in
+  Alcotest.(check bool) "S granted" true (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.S));
+  Alcotest.(check bool) "S+S ok" true (granted (Lock_mgr.try_acquire m ~owner:2 (page 1) Mode.S));
+  (match Lock_mgr.try_acquire m ~owner:3 (page 1) Mode.X with
+  | `Granted -> Alcotest.fail "X should conflict"
+  | `Conflict blockers ->
+    Alcotest.(check int) "two blockers" 2 (List.length blockers));
+  Lock_mgr.release m ~owner:1 (page 1) Mode.S;
+  Lock_mgr.release m ~owner:2 (page 1) Mode.S;
+  Alcotest.(check bool) "X after release" true
+    (granted (Lock_mgr.try_acquire m ~owner:3 (page 1) Mode.X))
+
+let test_reentrant () =
+  let m = Lock_mgr.create () in
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.X));
+  Alcotest.(check bool) "reacquire own X" true
+    (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.X));
+  Alcotest.(check bool) "covered S under X" true
+    (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.S))
+
+let test_fifo_no_overtake () =
+  let m = Lock_mgr.create () in
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.X));
+  let w2 = ref false in
+  Lock_mgr.enqueue m ~owner:2 (page 1) Mode.X ~instant:false ~wake:(fun _ -> w2 := true);
+  (* A new S request must not overtake the queued X. *)
+  (match Lock_mgr.try_acquire m ~owner:3 (page 1) Mode.S with
+  | `Granted -> Alcotest.fail "S overtook queued X"
+  | `Conflict _ -> ());
+  Lock_mgr.release m ~owner:1 (page 1) Mode.X;
+  Alcotest.(check bool) "queued X granted" true !w2;
+  Alcotest.(check (list (pair int (list string))))
+    "owner 2 holds X"
+    [ (2, [ "X" ]) ]
+    (List.map (fun (o, ms) -> (o, List.map Mode.to_string ms)) (Lock_mgr.holders m (page 1)))
+
+let test_conversion_jumps_queue () =
+  let m = Lock_mgr.create () in
+  (* Reorganizer holds R; a reader queues S... wait, S and R are compatible.
+     Use: owner 1 holds S, owner 2 queues X, owner 1 converts S->X: the
+     conversion waits only for holders, not behind owner 2. *)
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.S));
+  assert (granted (Lock_mgr.try_acquire m ~owner:9 (page 1) Mode.S));
+  let w2 = ref false in
+  Lock_mgr.enqueue m ~owner:2 (page 1) Mode.X ~instant:false ~wake:(fun _ -> w2 := true);
+  let w1 = ref false in
+  (match Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.X with
+  | `Granted -> Alcotest.fail "conversion should wait for owner 9"
+  | `Conflict _ -> ());
+  Lock_mgr.enqueue m ~owner:1 (page 1) Mode.X ~instant:false ~wake:(fun _ -> w1 := true);
+  Lock_mgr.release m ~owner:9 (page 1) Mode.S;
+  Alcotest.(check bool) "conversion granted first" true !w1;
+  Alcotest.(check bool) "plain X still waiting" false !w2
+
+let test_instant_duration () =
+  let m = Lock_mgr.create () in
+  (* Reorganizer (owner 1) holds R on a base page; a reader's RS is instant:
+     signalled when R is released, never granted. *)
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.R));
+  let signalled = ref false in
+  Lock_mgr.enqueue m ~owner:2 (page 1) Mode.RS ~instant:true ~wake:(fun g ->
+      signalled := g = Lock_mgr.Granted);
+  Alcotest.(check bool) "not yet" false !signalled;
+  Lock_mgr.release m ~owner:1 (page 1) Mode.R;
+  Alcotest.(check bool) "signalled" true !signalled;
+  Alcotest.(check (list (pair int (list string)))) "nothing held" []
+    (List.map (fun (o, ms) -> (o, List.map Mode.to_string ms)) (Lock_mgr.holders m (page 1)))
+
+let test_rs_passes_s_holders () =
+  let m = Lock_mgr.create () in
+  (* RS only conflicts with R/X: with only S holders it is signalled at
+     enqueue-processing time. *)
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.S));
+  assert (granted (Lock_mgr.try_acquire m ~owner:2 (page 1) Mode.R));
+  let signalled = ref false in
+  Lock_mgr.enqueue m ~owner:3 (page 1) Mode.RS ~instant:true ~wake:(fun _ -> signalled := true);
+  Lock_mgr.release m ~owner:2 (page 1) Mode.R;
+  Alcotest.(check bool) "signalled with S still held" true !signalled
+
+let test_deadlock_prefers_reorganizer () =
+  let m = Lock_mgr.create () in
+  Lock_mgr.register_reorganizer m 100;
+  (* Reader 1 holds S on A; reorganizer holds RX on B; reader 1 waits for B
+     (it would conflict), reorganizer then waits for A -> cycle; the
+     reorganizer must be the victim. *)
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.S));
+  assert (granted (Lock_mgr.try_acquire m ~owner:100 (page 2) Mode.RX));
+  let r1 = ref None in
+  Lock_mgr.enqueue m ~owner:1 (page 2) Mode.S ~instant:false ~wake:(fun g -> r1 := Some g);
+  let r100 = ref None in
+  Lock_mgr.enqueue m ~owner:100 (page 1) Mode.RX ~instant:false ~wake:(fun g -> r100 := Some g);
+  Alcotest.(check bool) "reorganizer is victim" true (!r100 = Some Lock_mgr.Deadlock);
+  Alcotest.(check bool) "reader still waiting" true (!r1 = None);
+  (* Reorganizer gives up its locks; the reader proceeds. *)
+  Lock_mgr.release_all m ~owner:100;
+  Alcotest.(check bool) "reader granted" true (!r1 = Some Lock_mgr.Granted)
+
+let test_deadlock_user_user () =
+  let m = Lock_mgr.create () in
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.X));
+  assert (granted (Lock_mgr.try_acquire m ~owner:2 (page 2) Mode.X));
+  let r1 = ref None and r2 = ref None in
+  Lock_mgr.enqueue m ~owner:1 (page 2) Mode.X ~instant:false ~wake:(fun g -> r1 := Some g);
+  Lock_mgr.enqueue m ~owner:2 (page 1) Mode.X ~instant:false ~wake:(fun g -> r2 := Some g);
+  (* The requester that closed the cycle (owner 2) is the victim. *)
+  Alcotest.(check bool) "victim chosen" true (!r2 = Some Lock_mgr.Deadlock);
+  Alcotest.(check bool) "other keeps waiting" true (!r1 = None);
+  Alcotest.(check int) "deadlocks counted" 1 (Lock_mgr.stats m).Lock_mgr.deadlocks
+
+let test_release_all_wakes () =
+  let m = Lock_mgr.create () in
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.X));
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 2) Mode.X));
+  let got = ref 0 in
+  Lock_mgr.enqueue m ~owner:2 (page 1) Mode.S ~instant:false ~wake:(fun _ -> incr got);
+  Lock_mgr.release_all m ~owner:1;
+  Alcotest.(check int) "woken" 1 !got;
+  Alcotest.(check int) "owner 1 holds nothing" 0 (Lock_mgr.locked_count m ~owner:1)
+
+let test_downgrade () =
+  let m = Lock_mgr.create () in
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.X));
+  let woken = ref false in
+  Lock_mgr.enqueue m ~owner:2 (page 1) Mode.S ~instant:false ~wake:(fun _ -> woken := true);
+  Lock_mgr.downgrade m ~owner:1 (page 1) ~from_:Mode.X ~to_:Mode.IS;
+  Alcotest.(check bool) "S granted after downgrade to IS" true !woken
+
+let test_tree_lock_drain_pattern () =
+  (* §7.4: the reorganizer X-locks the old tree name; since every transaction
+     using the old tree holds an intention lock on it, the X is granted only
+     when they have all finished. *)
+  let m = Lock_mgr.create () in
+  let tree = Resource.Tree 1 in
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 tree Mode.IS));
+  assert (granted (Lock_mgr.try_acquire m ~owner:2 tree Mode.IX));
+  let drained = ref false in
+  Lock_mgr.enqueue m ~owner:100 tree Mode.X ~instant:false ~wake:(fun _ -> drained := true);
+  Lock_mgr.release m ~owner:1 tree Mode.IS;
+  Alcotest.(check bool) "still one user" false !drained;
+  Lock_mgr.release m ~owner:2 tree Mode.IX;
+  Alcotest.(check bool) "drained" true !drained
+
+(* Property: under random acquire/release/enqueue traffic, no two
+   incompatible modes are ever held on one resource, and every grant the
+   manager reports corresponds to a compatible state. *)
+let lock_invariant_prop =
+  QCheck.Test.make ~name:"no incompatible co-holders" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_bound 120)
+            (triple (int_range 1 6) (int_bound 3) (int_bound 5))))
+    (fun ops ->
+      let m = Lock_mgr.create () in
+      let held : (int * Resource.t * Mode.t) list ref = ref [] in
+      let modes = [| Mode.IS; Mode.IX; Mode.S; Mode.X; Mode.R; Mode.RX |] in
+      List.iter
+        (fun (owner, res_i, mode_i) ->
+          let res = page res_i in
+          let mode = modes.(mode_i) in
+          if List.exists (fun (o, r, m') -> o = owner && r = res && m' = mode) !held then begin
+            Lock_mgr.release m ~owner res mode;
+            held :=
+              (let dropped = ref false in
+               List.filter
+                 (fun (o, r, m') ->
+                   if (not !dropped) && o = owner && r = res && m' = mode then begin
+                     dropped := true;
+                     false
+                   end
+                   else true)
+                 !held)
+          end
+          else begin
+            match Lock_mgr.try_acquire m ~owner res mode with
+            | `Granted -> held := (owner, res, mode) :: !held
+            | `Conflict _ -> ()
+          end;
+          (* Check the global invariant after every step. *)
+          List.iter
+            (fun (o1, r1, m1) ->
+              List.iter
+                (fun (o2, r2, m2) ->
+                  if o1 <> o2 && Resource.equal r1 r2 && not (Mode.compat m1 m2) then
+                    QCheck.Test.fail_reportf "incompatible co-holders %s/%s on %s"
+                      (Mode.to_string m1) (Mode.to_string m2) (Resource.to_string r1))
+                !held)
+            !held)
+        ops;
+      true)
+
+let () =
+  Alcotest.run "lock"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "matches paper" `Quick test_table1_matches_compat;
+          Alcotest.test_case "symmetry" `Quick test_compat_symmetry;
+          Alcotest.test_case "key cells" `Quick test_key_paper_cells;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "grant/conflict" `Quick test_basic_grant_conflict;
+          Alcotest.test_case "reentrant" `Quick test_reentrant;
+          Alcotest.test_case "fifo fairness" `Quick test_fifo_no_overtake;
+          Alcotest.test_case "conversion priority" `Quick test_conversion_jumps_queue;
+          Alcotest.test_case "instant duration" `Quick test_instant_duration;
+          Alcotest.test_case "RS vs S holders" `Quick test_rs_passes_s_holders;
+          Alcotest.test_case "release_all wakes" `Quick test_release_all_wakes;
+          Alcotest.test_case "downgrade" `Quick test_downgrade;
+          Alcotest.test_case "tree lock drain" `Quick test_tree_lock_drain_pattern;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "reorganizer victim" `Quick test_deadlock_prefers_reorganizer;
+          Alcotest.test_case "user-user victim" `Quick test_deadlock_user_user;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest lock_invariant_prop ]);
+    ]

@@ -1,0 +1,331 @@
+(* Pager tests: disk accounting, buffer pool, careful writing, allocator. *)
+
+module Page = Pager.Page
+module Disk = Pager.Disk
+module Buffer_pool = Pager.Buffer_pool
+module Alloc = Pager.Alloc
+
+let mk ?(pages = 16) ?(page_size = 256) () =
+  let disk = Disk.create ~initial_pages:pages ~page_size () in
+  (disk, Buffer_pool.create disk)
+
+let test_page_accessors () =
+  let p = Page.create ~size:256 in
+  Page.set_u16 p 20 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (Page.get_u16 p 20);
+  Page.set_u32 p 30 0xFFFFFFFF;
+  Alcotest.(check int) "u32 max" 0xFFFFFFFF (Page.get_u32 p 30);
+  Page.set_key p 40 (-123456789);
+  Alcotest.(check int) "negative key" (-123456789) (Page.get_key p 40);
+  Page.set_lsn p 77L;
+  Alcotest.(check int64) "lsn" 77L (Page.lsn p);
+  Alcotest.(check int) "kind default" Page.kind_free (Page.kind p)
+
+let test_disk_rw_and_stats () =
+  let disk, _ = mk () in
+  let p = Page.create ~size:256 in
+  Page.set_kind p 1;
+  Disk.write disk 3 p;
+  let q = Disk.read disk 3 in
+  Alcotest.(check bool) "roundtrip" true (Page.equal p q);
+  Disk.reset_stats disk;
+  ignore (Disk.read disk 5);
+  ignore (Disk.read disk 6);
+  ignore (Disk.read disk 9);
+  let s = Disk.stats disk in
+  Alcotest.(check int) "reads" 3 s.Disk.reads;
+  Alcotest.(check int) "sequential" 1 s.Disk.seq_reads;
+  Alcotest.(check int) "random" 2 s.Disk.rand_reads
+
+let test_disk_bounds () =
+  let disk, _ = mk ~pages:4 () in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Disk: page 9 out of range (0..3)")
+    (fun () -> ignore (Disk.read disk 9))
+
+let test_pool_write_back_and_crash () =
+  let disk, pool = mk () in
+  let p = Buffer_pool.get pool 2 in
+  Page.set_u16 p 50 4242;
+  Buffer_pool.mark_dirty pool 2;
+  (* Not flushed: disk still has zeros. *)
+  Alcotest.(check int) "disk stale" 0 (Page.get_u16 (Disk.peek disk 2) 50);
+  Buffer_pool.crash pool;
+  let p2 = Buffer_pool.get pool 2 in
+  Alcotest.(check int) "lost on crash" 0 (Page.get_u16 p2 50);
+  (* Now with a flush, it survives. *)
+  Page.set_u16 p2 50 4242;
+  Buffer_pool.mark_dirty pool 2;
+  Buffer_pool.flush_page pool 2;
+  Buffer_pool.crash pool;
+  Alcotest.(check int) "survives" 4242 (Page.get_u16 (Buffer_pool.get pool 2) 50)
+
+let test_wal_hook_called () =
+  let _, pool = mk () in
+  let forced = ref (-1L) in
+  Buffer_pool.set_before_write pool (fun lsn -> forced := lsn);
+  let p = Buffer_pool.get pool 1 in
+  Page.set_lsn p 99L;
+  Buffer_pool.mark_dirty pool 1;
+  Buffer_pool.flush_page pool 1;
+  Alcotest.(check int64) "wal rule" 99L !forced
+
+let test_careful_writing_order () =
+  let disk, pool = mk () in
+  (* org (page 4) must not reach disk before dest (page 5). *)
+  let dest = Buffer_pool.get pool 5 in
+  Page.set_u16 dest 12 1;
+  Buffer_pool.mark_dirty pool 5;
+  let org = Buffer_pool.get pool 4 in
+  Page.set_u16 org 12 2;
+  Buffer_pool.mark_dirty pool 4;
+  Buffer_pool.add_dependency pool ~blocked:4 ~prereq:5;
+  Buffer_pool.flush_page pool 4;
+  (* Flushing org must have flushed dest first. *)
+  Alcotest.(check int) "dest on disk" 1 (Page.get_u16 (Disk.peek disk 5) 12);
+  Alcotest.(check int) "org on disk" 2 (Page.get_u16 (Disk.peek disk 4) 12)
+
+let test_careful_writing_cycle () =
+  let _, pool = mk () in
+  let a = Buffer_pool.get pool 1 in
+  Page.set_u16 a 12 1;
+  Buffer_pool.mark_dirty pool 1;
+  let b = Buffer_pool.get pool 2 in
+  Page.set_u16 b 12 2;
+  Buffer_pool.mark_dirty pool 2;
+  Buffer_pool.add_dependency pool ~blocked:1 ~prereq:2;
+  (* The reverse dependency closes a cycle — the swap case. *)
+  let raised =
+    try
+      Buffer_pool.add_dependency pool ~blocked:2 ~prereq:1;
+      false
+    with Buffer_pool.Cycle _ -> true
+  in
+  Alcotest.(check bool) "cycle detected" true raised
+
+let test_on_durable () =
+  let _, pool = mk () in
+  let fired = ref 0 in
+  (* Clean page: fires immediately. *)
+  Buffer_pool.on_durable pool 7 (fun () -> incr fired);
+  Alcotest.(check int) "immediate" 1 !fired;
+  let p = Buffer_pool.get pool 7 in
+  Page.set_u16 p 12 9;
+  Buffer_pool.mark_dirty pool 7;
+  Buffer_pool.on_durable pool 7 (fun () -> incr fired);
+  Alcotest.(check int) "deferred" 1 !fired;
+  Buffer_pool.flush_page pool 7;
+  Alcotest.(check int) "fires on flush" 2 !fired
+
+let test_eviction () =
+  let disk, _ = mk ~pages:32 () in
+  let pool = Buffer_pool.create ~capacity:4 disk in
+  for pid = 0 to 7 do
+    let p = Buffer_pool.get pool pid in
+    Page.set_u16 p 12 pid;
+    Buffer_pool.mark_dirty pool pid
+  done;
+  Alcotest.(check bool) "capacity respected" true (Buffer_pool.frame_count pool <= 4);
+  (* Dirty evicted pages reached disk and re-read correctly. *)
+  for pid = 0 to 7 do
+    Alcotest.(check int) "value" pid (Page.get_u16 (Buffer_pool.get pool pid) 12)
+  done
+
+let test_pin_blocks_eviction () =
+  let disk, _ = mk ~pages:32 () in
+  let pool = Buffer_pool.create ~capacity:2 disk in
+  let p0 = Buffer_pool.pin pool 0 in
+  let p1 = Buffer_pool.pin pool 1 in
+  Alcotest.check_raises "all pinned" (Failure "Buffer_pool: all frames pinned") (fun () ->
+      ignore (Buffer_pool.get pool 2));
+  ignore p0;
+  ignore p1;
+  Buffer_pool.unpin pool 0;
+  ignore (Buffer_pool.get pool 2);
+  Buffer_pool.unpin pool 1
+
+let test_alloc_zones () =
+  let _, pool = mk ~pages:1 () in
+  let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:8 in
+  let lo, hi = Alloc.leaf_zone alloc in
+  Alcotest.(check (pair int int)) "zone" (1, 9) (lo, hi);
+  let l1 = Alloc.alloc alloc Alloc.Leaf in
+  Alcotest.(check int) "first leaf page" 1 l1;
+  let i1 = Alloc.alloc alloc Alloc.Internal in
+  Alcotest.(check bool) "internal beyond leaf zone" true (i1 >= 9);
+  (* Mark allocated pages non-free (callers format them). *)
+  let p = Pager.Buffer_pool.get pool l1 in
+  Page.set_kind p 1;
+  Buffer_pool.mark_dirty pool l1;
+  Alcotest.(check bool) "not free" false (Alloc.is_free alloc l1);
+  Alloc.free alloc l1;
+  Alcotest.(check bool) "free again" true (Alloc.is_free alloc l1)
+
+let test_alloc_free_in_range () =
+  let _, pool = mk ~pages:1 () in
+  let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:8 in
+  (* Claim pages 1..4, leaving 5.. free. *)
+  for _ = 1 to 4 do
+    ignore (Alloc.alloc alloc Alloc.Leaf)
+  done;
+  Alcotest.(check (option int)) "first free after 3" (Some 5)
+    (Alloc.free_in_range alloc ~lo:3 ~hi:9);
+  Alcotest.(check (option int)) "none below 5" None (Alloc.free_in_range alloc ~lo:1 ~hi:5)
+
+let test_alloc_rebuild () =
+  let disk, pool = mk ~pages:1 () in
+  let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:8 in
+  let a = Alloc.alloc alloc Alloc.Leaf in
+  let b = Alloc.alloc alloc Alloc.Leaf in
+  (* Format a as used, leave b free-looking on disk. *)
+  let pa = Buffer_pool.get pool a in
+  Page.set_kind pa 1;
+  Buffer_pool.mark_dirty pool a;
+  Buffer_pool.flush_all pool;
+  ignore b;
+  let alloc2 = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:8 in
+  Alloc.rebuild alloc2;
+  Alcotest.(check bool) "a not free" false (Alloc.is_free alloc2 a);
+  Alcotest.(check bool) "b free" true (Alloc.is_free alloc2 b);
+  ignore disk
+
+let test_deferred_free () =
+  let _, pool = mk () in
+  let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:8 in
+  let org = Alloc.alloc alloc Alloc.Leaf in
+  let dest = Alloc.alloc alloc Alloc.Leaf in
+  let po = Buffer_pool.get pool org in
+  Page.set_kind po 1;
+  Buffer_pool.mark_dirty pool org;
+  let pd = Buffer_pool.get pool dest in
+  Page.set_kind pd 1;
+  Buffer_pool.mark_dirty pool dest;
+  Alloc.free_when_durable alloc ~page:org ~after:dest;
+  Alcotest.(check bool) "not yet free" false (Alloc.is_free alloc org);
+  Buffer_pool.flush_page pool dest;
+  Alcotest.(check bool) "freed after dest durable" true (Alloc.is_free alloc org)
+
+(* Property: random alloc/free traffic matches a set model, and rebuild
+   reconstructs exactly the same free sets from the page bytes. *)
+let alloc_model_test =
+  QCheck.Test.make ~name:"allocator vs model (+rebuild)" ~count:100
+    QCheck.(make Gen.(list_size (int_bound 120) bool))
+    (fun ops ->
+      let disk = Disk.create ~initial_pages:1 ~page_size:128 () in
+      let pool = Buffer_pool.create disk in
+      let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:32 in
+      let held = ref [] in
+      List.iter
+        (fun do_alloc ->
+          if do_alloc || !held = [] then begin
+            let pid = Alloc.alloc alloc Alloc.Leaf in
+            if List.mem pid !held then QCheck.Test.fail_reportf "double alloc %d" pid;
+            let p = Buffer_pool.get pool pid in
+            Page.set_kind p 1;
+            Buffer_pool.mark_dirty pool pid;
+            held := pid :: !held
+          end
+          else begin
+            match !held with
+            | pid :: rest ->
+              Alloc.free alloc pid;
+              held := rest
+            | [] -> ()
+          end)
+        ops;
+      (* All held pages non-free, everything else in the zone free. *)
+      let lo, hi = Alloc.leaf_zone alloc in
+      for pid = lo to hi - 1 do
+        let expect_free = not (List.mem pid !held) in
+        if Alloc.is_free alloc pid <> expect_free then
+          QCheck.Test.fail_reportf "free-set mismatch at %d" pid
+      done;
+      (* Rebuild from bytes agrees. *)
+      let alloc2 = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:32 in
+      Alloc.rebuild alloc2;
+      for pid = lo to hi - 1 do
+        if Alloc.is_free alloc2 pid <> Alloc.is_free alloc pid then
+          QCheck.Test.fail_reportf "rebuild mismatch at %d" pid
+      done;
+      true)
+
+(* Property: under a random DAG of careful-writing constraints and a random
+   flush order, a prerequisite always reaches disk no later than its
+   dependent. *)
+let careful_order_test =
+  QCheck.Test.make ~name:"careful-writing order holds" ~count:100
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (list_size (int_bound 20) (pair (int_bound 9) (int_bound 9)))
+            (list_size (int_bound 15) (int_bound 9))))
+    (fun (deps, flushes) ->
+      let disk = Disk.create ~initial_pages:10 ~page_size:128 () in
+      let pool = Buffer_pool.create disk in
+      (* Dirty all pages with a marker. *)
+      for pid = 0 to 9 do
+        let p = Buffer_pool.get pool pid in
+        Page.set_u16 p 12 (100 + pid);
+        Buffer_pool.mark_dirty pool pid
+      done;
+      let order = ref [] in
+      let accepted = ref [] in
+      List.iter
+        (fun (blocked, prereq) ->
+          if blocked <> prereq then
+            try
+              Buffer_pool.add_dependency pool ~blocked ~prereq;
+              accepted := (blocked, prereq) :: !accepted
+            with Buffer_pool.Cycle _ -> ())
+        deps;
+      (* Observe write order through a wrapper: flushes write to disk; track
+         by polling disk state after each flush call. *)
+      let on_disk pid = Page.get_u16 (Disk.peek disk pid) 12 = 100 + pid in
+      List.iter
+        (fun pid ->
+          Buffer_pool.flush_page pool pid;
+          if on_disk pid then
+            if not (List.mem pid !order) then order := pid :: !order;
+          (* Every accepted constraint must hold at all times: blocked on
+             disk implies prereq on disk. *)
+          List.iter
+            (fun (blocked, prereq) ->
+              if on_disk blocked && not (on_disk prereq) then
+                QCheck.Test.fail_reportf "page %d written before prereq %d" blocked prereq)
+            !accepted)
+        flushes;
+      true)
+
+let () =
+  Alcotest.run "pager"
+    [
+      ( "page+disk",
+        [
+          Alcotest.test_case "accessors" `Quick test_page_accessors;
+          Alcotest.test_case "rw + stats" `Quick test_disk_rw_and_stats;
+          Alcotest.test_case "bounds" `Quick test_disk_bounds;
+        ] );
+      ( "buffer pool",
+        [
+          Alcotest.test_case "write-back + crash" `Quick test_pool_write_back_and_crash;
+          Alcotest.test_case "wal hook" `Quick test_wal_hook_called;
+          Alcotest.test_case "careful writing order" `Quick test_careful_writing_order;
+          Alcotest.test_case "careful writing cycle" `Quick test_careful_writing_cycle;
+          Alcotest.test_case "on_durable" `Quick test_on_durable;
+          Alcotest.test_case "eviction" `Quick test_eviction;
+          Alcotest.test_case "pinning" `Quick test_pin_blocks_eviction;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "zones" `Quick test_alloc_zones;
+          Alcotest.test_case "free_in_range" `Quick test_alloc_free_in_range;
+          Alcotest.test_case "rebuild" `Quick test_alloc_rebuild;
+          Alcotest.test_case "deferred free" `Quick test_deferred_free;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest alloc_model_test;
+          QCheck_alcotest.to_alcotest careful_order_test;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Scheduler tests: determinism, suspension, timers, wait queues. *)
+
+module Engine = Sched.Engine
+module Waitq = Sched.Waitq
+
+let test_fifo_interleaving () =
+  let eng = Engine.create () in
+  let trace = ref [] in
+  let emit x = trace := x :: !trace in
+  Engine.spawn eng (fun () ->
+      emit "a1";
+      Engine.yield ();
+      emit "a2");
+  Engine.spawn eng (fun () ->
+      emit "b1";
+      Engine.yield ();
+      emit "b2");
+  Engine.run eng;
+  Alcotest.(check (list string)) "round robin" [ "a1"; "b1"; "a2"; "b2" ] (List.rev !trace)
+
+let test_deterministic_random () =
+  let run seed =
+    let eng = Engine.create ~seed ~random:true () in
+    let trace = ref [] in
+    for i = 1 to 5 do
+      Engine.spawn eng (fun () ->
+          trace := (2 * i) :: !trace;
+          Engine.yield ();
+          trace := ((2 * i) + 1) :: !trace)
+    done;
+    Engine.run eng;
+    List.rev !trace
+  in
+  Alcotest.(check (list int)) "same seed same schedule" (run 7) (run 7);
+  Alcotest.(check bool) "different seed differs" true (run 7 <> run 8)
+
+let test_suspend_resume () =
+  let eng = Engine.create () in
+  let resumer = ref (fun () -> ()) in
+  let state = ref "init" in
+  Engine.spawn eng (fun () ->
+      state := "suspended";
+      Engine.suspend (fun resume -> resumer := resume);
+      state := "resumed");
+  Engine.spawn eng (fun () ->
+      Alcotest.(check string) "peer sees suspension" "suspended" !state;
+      !resumer ());
+  Engine.run eng;
+  Alcotest.(check string) "resumed" "resumed" !state;
+  Alcotest.(check int) "all finished" 0 (Engine.live eng)
+
+let test_double_resume_rejected () =
+  let eng = Engine.create () in
+  let resumer = ref (fun () -> ()) in
+  let failed = ref false in
+  Engine.spawn eng (fun () -> Engine.suspend (fun resume -> resumer := resume));
+  Engine.spawn eng (fun () ->
+      !resumer ();
+      try !resumer () with Invalid_argument _ -> failed := true);
+  Engine.run eng;
+  Alcotest.(check bool) "second resume rejected" true !failed
+
+let test_sleep_ordering () =
+  let eng = Engine.create () in
+  let trace = ref [] in
+  Engine.spawn eng (fun () ->
+      Engine.sleep 50;
+      trace := "late" :: !trace);
+  Engine.spawn eng (fun () ->
+      Engine.sleep 10;
+      trace := "early" :: !trace);
+  Engine.run eng;
+  Alcotest.(check (list string)) "timer order" [ "early"; "late" ] (List.rev !trace)
+
+let test_stop_abandons () =
+  let eng = Engine.create () in
+  let reached = ref false in
+  Engine.spawn eng (fun () ->
+      Engine.stop eng;
+      Engine.yield ();
+      reached := true);
+  Engine.run eng;
+  Alcotest.(check bool) "work after stop never runs" false !reached;
+  Alcotest.(check bool) "process abandoned" true (Engine.live eng > 0)
+
+let test_time_advances () =
+  let eng = Engine.create () in
+  let t0 = ref 0 and t1 = ref 0 in
+  Engine.spawn eng (fun () ->
+      t0 := Engine.current_time ();
+      Engine.yield ();
+      Engine.yield ();
+      t1 := Engine.current_time ());
+  Engine.run eng;
+  Alcotest.(check bool) "ticks" true (!t1 > !t0)
+
+let test_spawn_child () =
+  let eng = Engine.create () in
+  let seen = ref false in
+  Engine.spawn eng (fun () -> Engine.spawn_child (fun () -> seen := true));
+  Engine.run eng;
+  Alcotest.(check bool) "child ran" true !seen
+
+let test_timer_fires_while_busy () =
+  (* Timers must fire even while other processes stay runnable — this is
+     what makes mid-run crash injection possible. *)
+  let eng = Engine.create () in
+  let fired_at = ref (-1) in
+  let spins = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 100 do
+        incr spins;
+        Engine.yield ()
+      done);
+  Engine.spawn eng (fun () ->
+      Engine.sleep 10;
+      fired_at := !spins);
+  Engine.run eng;
+  Alcotest.(check bool)
+    (Printf.sprintf "timer fired mid-busy (after %d spins)" !fired_at)
+    true
+    (!fired_at > 0 && !fired_at < 100)
+
+let test_random_determinism_many_seeds () =
+  let run seed =
+    let eng = Engine.create ~seed ~random:true () in
+    let trace = Buffer.create 64 in
+    for i = 0 to 9 do
+      Engine.spawn eng (fun () ->
+          Buffer.add_string trace (string_of_int i);
+          Engine.yield ();
+          Buffer.add_char trace '.')
+    done;
+    Engine.run eng;
+    Buffer.contents trace
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d replays" seed)
+        (run seed) (run seed))
+    [ 0; 1; 2; 3; 17; 99 ]
+
+let test_waitq () =
+  let eng = Engine.create () in
+  let q = Waitq.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Waitq.wait q;
+        order := i :: !order)
+  done;
+  Engine.spawn eng (fun () ->
+      Alcotest.(check int) "three waiting" 3 (Waitq.waiting q);
+      Waitq.signal q;
+      Engine.yield ();
+      Waitq.broadcast q);
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo wakeups" [ 1; 2; 3 ] (List.rev !order)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "fifo" `Quick test_fifo_interleaving;
+          Alcotest.test_case "seeded random" `Quick test_deterministic_random;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "double resume" `Quick test_double_resume_rejected;
+          Alcotest.test_case "sleep" `Quick test_sleep_ordering;
+          Alcotest.test_case "stop" `Quick test_stop_abandons;
+          Alcotest.test_case "time" `Quick test_time_advances;
+          Alcotest.test_case "spawn child" `Quick test_spawn_child;
+          Alcotest.test_case "timer during busy" `Quick test_timer_fires_while_busy;
+          Alcotest.test_case "determinism across seeds" `Quick
+            test_random_determinism_many_seeds;
+        ] );
+      ("waitq", [ Alcotest.test_case "wait/signal/broadcast" `Quick test_waitq ]);
+    ]

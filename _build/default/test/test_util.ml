@@ -1,0 +1,100 @@
+(* Utility library tests: PRNG determinism and distributions, stats, tables. *)
+
+let test_rng_determinism () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Util.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 9 in
+  let b = Util.Rng.split a in
+  let xa = Util.Rng.bits64 a and xb = Util.Rng.bits64 b in
+  Alcotest.(check bool) "different streams" true (xa <> xb)
+
+let test_permutation () =
+  let r = Util.Rng.create 3 in
+  let p = Util.Rng.permutation r 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_zipf_skew () =
+  let r = Util.Rng.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let v = Util.Rng.zipf r ~n:100 ~theta:0.9 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 100);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must dominate the tail under strong skew. *)
+  Alcotest.(check bool) "skewed" true (counts.(0) > 10 * counts.(99))
+
+let test_stats () =
+  let s = Util.Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Util.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Util.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Util.Stats.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.Util.Stats.p50
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample") (fun () ->
+      ignore (Util.Stats.summarize [||]))
+
+let test_percentile_extremes () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p1" 1.0 (Util.Stats.percentile xs 1.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Util.Stats.percentile xs 100.0)
+
+let test_table_render () =
+  let t = Util.Table.create ~title:"T" [ ("a", Util.Table.Left); ("b", Util.Table.Right) ] in
+  Util.Table.add_row t [ "x"; "1" ];
+  Util.Table.add_row t [ "longer"; "22" ];
+  let s = Util.Table.render t in
+  Alcotest.(check bool) "contains rows" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> l = "longer | 22"));
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Util.Table.add_row t [ "only-one" ])
+
+let test_formats () =
+  Alcotest.(check string) "int commas" "1,234,567" (Util.Table.fmt_int 1234567);
+  Alcotest.(check string) "neg int" "-1,000" (Util.Table.fmt_int (-1000));
+  Alcotest.(check string) "pct" "50.0%" (Util.Table.fmt_pct 0.5);
+  Alcotest.(check string) "ratio nan" "-" (Util.Table.fmt_ratio nan);
+  Alcotest.(check string) "bytes" "2.0 KiB" (Util.Table.fmt_bytes 2048)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "percentiles" `Quick test_percentile_extremes;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formats" `Quick test_formats;
+        ] );
+    ]

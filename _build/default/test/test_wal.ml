@@ -1,0 +1,221 @@
+(* WAL tests: codec round-trips (including a qcheck generator over record
+   bodies), log stability semantics, checkpoint tracking. *)
+
+module Record = Wal.Record
+module Log = Wal.Log
+module Lsn = Wal.Lsn
+
+let sample_bodies : Record.body list =
+  [
+    Txn_begin 7;
+    Txn_commit 7;
+    Txn_abort 9;
+    Update { txn = 1; page = 4; off = 32; before = "aa"; after = "bbb"; prev = 5 };
+    Leaf_insert { txn = 2; page = 8; key = 42; payload = "hello"; prev = 0 };
+    Leaf_delete { txn = 2; page = 8; key = 42; payload = "hello"; prev = 11 };
+    Clr { txn = 2; action = Undo_insert { key = 42 }; undo_next = 3 };
+    Clr { txn = 2; action = Undo_delete { key = 1; payload = "p" }; undo_next = 0 };
+    Clr { txn = 2; action = Undo_side (Side_insert { key = 5; child = 6 }); undo_next = 1 };
+    Reorg_begin { unit_id = 3; rtype = Compact; base_pages = [ 10 ]; leaf_pages = [ 11; 12; 13 ] };
+    Reorg_begin { unit_id = 4; rtype = Swap; base_pages = [ 10; 20 ]; leaf_pages = [ 11; 21 ] };
+    Reorg_move
+      {
+        unit_id = 3;
+        org = 11;
+        dest = 14;
+        payload = Full_records [ (1, "x"); (2, "yy") ];
+        dest_init = Some { di_low_mark = 1; di_prev = 9; di_next = 15 };
+        prev = 2;
+      };
+    Reorg_move
+      { unit_id = 3; org = 12; dest = 14; payload = Keys_only [ 3; 4; 5 ]; dest_init = None; prev = 9 };
+    Reorg_modify
+      {
+        unit_id = 3;
+        base = 10;
+        edits =
+          [
+            Insert_entry { key = 1; child = 14 };
+            Delete_entry { key = 2; child = 11 };
+            Update_entry { org_key = 3; org_child = 12; new_key = 4; new_child = 15 };
+          ];
+        prev = 12;
+      };
+    Reorg_end { unit_id = 3; largest_key = 99; prev = 13 };
+    Side_file { txn = 5; op = Side_insert { key = 7; child = 30 }; prev = 0 };
+    Side_file { txn = 5; op = Side_delete { key = 8; child = 31 }; prev = 2 };
+    Side_applied { op = Side_insert { key = 7; child = 30 } };
+    Stable_key { key = 1234; new_root = 55 };
+    Switch { old_root = 2; new_root = 55; old_name = 1; new_name = 2 };
+    Checkpoint
+      {
+        active_txns = [ (1, 5); (2, 9) ];
+        reorg =
+          {
+            rt_lk = 17;
+            rt_unit = Some 3;
+            rt_begin_lsn = 4;
+            rt_last_lsn = 13;
+            rt_ck = Some 200;
+          };
+        dirty_pages = [ 1; 2; 3 ];
+      };
+    Checkpoint { active_txns = []; reorg = Record.empty_reorg_table; dirty_pages = [] };
+  ]
+
+let test_roundtrip_samples () =
+  List.iter
+    (fun body ->
+      let decoded = Record.decode (Record.encode body) in
+      if decoded <> body then
+        Alcotest.failf "roundtrip failed for %s" (Format.asprintf "%a" Record.pp body))
+    sample_bodies
+
+let test_malformed () =
+  Alcotest.check_raises "garbage" (Failure "Record.decode: malformed record") (fun () ->
+      ignore (Record.decode "zzzz"));
+  Alcotest.check_raises "trailing"
+    (Failure "Record.decode: malformed record")
+    (fun () -> ignore (Record.decode (Record.encode (Record.Txn_begin 1) ^ "x")))
+
+let test_encoded_size_reflects_payload () =
+  let small =
+    Record.encoded_size
+      (Reorg_move
+         { unit_id = 1; org = 1; dest = 2; payload = Keys_only [ 1; 2; 3 ]; dest_init = None; prev = 0 })
+  in
+  let big =
+    Record.encoded_size
+      (Reorg_move
+         {
+           unit_id = 1;
+           org = 1;
+           dest = 2;
+           payload = Full_records [ (1, String.make 50 'a'); (2, String.make 50 'b'); (3, "c") ];
+           dest_init = None;
+           prev = 0;
+         })
+  in
+  Alcotest.(check bool) "keys-only is smaller" true (small < big)
+
+let test_log_append_read () =
+  let log = Log.create () in
+  let l1 = Log.append log (Record.Txn_begin 1) in
+  let l2 = Log.append log (Record.Txn_commit 1) in
+  Alcotest.(check int) "lsn 1" 1 l1;
+  Alcotest.(check int) "lsn 2" 2 l2;
+  Alcotest.(check bool) "read back" true (Log.read log l1 = Record.Txn_begin 1);
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Log.read log 99))
+
+let test_log_crash_discards_tail () =
+  let log = Log.create () in
+  let l1 = Log.append log (Record.Txn_begin 1) in
+  Log.force log l1;
+  let l2 = Log.append log (Record.Txn_commit 1) in
+  ignore l2;
+  Log.crash log;
+  Alcotest.(check int) "flushed survives" l1 (Log.flushed_lsn log);
+  Alcotest.check_raises "tail gone" Not_found (fun () -> ignore (Log.read log l2));
+  (* The LSN sequence continues after restart. *)
+  let l3 = Log.append log (Record.Txn_begin 2) in
+  Alcotest.(check bool) "lsn continues" true (l3 > l2)
+
+let test_log_iter_stable_only () =
+  let log = Log.create () in
+  let l1 = Log.append log (Record.Txn_begin 1) in
+  let _l2 = Log.append log (Record.Txn_begin 2) in
+  Log.force log l1;
+  let seen = ref [] in
+  Log.iter log (fun lsn _ -> seen := lsn :: !seen);
+  Alcotest.(check (list int)) "only stable" [ 1 ] !seen
+
+let test_checkpoint_tracking () =
+  let log = Log.create () in
+  Alcotest.(check bool) "none" true (Log.last_checkpoint log = None);
+  let c =
+    Log.append log
+      (Record.Checkpoint
+         { active_txns = []; reorg = Record.empty_reorg_table; dirty_pages = [] })
+  in
+  Alcotest.(check bool) "volatile checkpoint not visible" true (Log.last_checkpoint log = None);
+  Log.force_all log;
+  (match Log.last_checkpoint log with
+  | Some (lsn, Record.Checkpoint _) -> Alcotest.(check int) "lsn" c lsn
+  | _ -> Alcotest.fail "expected checkpoint");
+  ignore c
+
+let test_stats_accounting () =
+  let log = Log.create () in
+  ignore (Log.append log (Record.Txn_begin 1));
+  ignore (Log.append log (Record.Txn_begin 2));
+  let s = Log.stats log in
+  Alcotest.(check int) "records" 2 s.Log.records;
+  Alcotest.(check bool) "bytes counted" true (s.Log.bytes > 0);
+  Log.crash log;
+  let s2 = Log.stats log in
+  Alcotest.(check int) "crash removes unforced from accounting" 0 s2.Log.records
+
+(* Property: encode/decode round-trips over generated record bodies. *)
+let gen_body : Record.body QCheck.Gen.t =
+  let open QCheck.Gen in
+  let key = int_bound 10000 in
+  let pid = int_bound 500 in
+  let str = string_size ~gen:printable (int_bound 30) in
+  let side_op =
+    oneof
+      [
+        map2 (fun key child -> Record.Side_insert { key; child }) key pid;
+        map2 (fun key child -> Record.Side_delete { key; child }) key pid;
+      ]
+  in
+  oneof
+    [
+      map (fun t -> Record.Txn_begin t) (int_bound 100);
+      map (fun t -> Record.Txn_commit t) (int_bound 100);
+      (let* txn = int_bound 100 and* page = pid and* off = int_bound 256 in
+       let* before = str and* after = str and* prev = int_bound 50 in
+       return (Record.Update { txn; page; off; before; after; prev }));
+      (let* txn = int_bound 100 and* page = pid and* key = key and* payload = str in
+       let* prev = int_bound 50 in
+       return (Record.Leaf_insert { txn; page; key; payload; prev }));
+      (let* unit_id = int_bound 20 and* org = pid and* dest = pid and* prev = int_bound 50 in
+       let* payload =
+         oneof
+           [
+             map (fun ks -> Record.Keys_only ks) (list_size (int_bound 10) key);
+             map (fun rs -> Record.Full_records rs) (list_size (int_bound 10) (pair key str));
+           ]
+       in
+       let* dest_init =
+         opt
+           (let* di_low_mark = key and* di_prev = pid and* di_next = pid in
+            return { Record.di_low_mark; di_prev; di_next })
+       in
+       return (Record.Reorg_move { unit_id; org; dest; payload; dest_init; prev }));
+      (let* txn = int_bound 100 and* op = side_op and* prev = int_bound 50 in
+       return (Record.Side_file { txn; op; prev }));
+    ]
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"record codec roundtrip" ~count:500 (QCheck.make gen_body) (fun body ->
+      Record.decode (Record.encode body) = body)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "samples roundtrip" `Quick test_roundtrip_samples;
+          Alcotest.test_case "malformed" `Quick test_malformed;
+          Alcotest.test_case "size reflects payload" `Quick test_encoded_size_reflects_payload;
+          QCheck_alcotest.to_alcotest roundtrip_prop;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "append/read" `Quick test_log_append_read;
+          Alcotest.test_case "crash discards tail" `Quick test_log_crash_discards_tail;
+          Alcotest.test_case "iter stable only" `Quick test_log_iter_stable_only;
+          Alcotest.test_case "checkpoint tracking" `Quick test_checkpoint_tracking;
+          Alcotest.test_case "stats" `Quick test_stats_accounting;
+        ] );
+    ]

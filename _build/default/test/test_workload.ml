@@ -1,0 +1,201 @@
+(* Workload library tests: key generators, sparseness scenarios, disk-order
+   scrambling, and the concurrent user mix driver. *)
+
+module Engine = Sched.Engine
+module Tree = Btree.Tree
+module Txn_mgr = Transact.Txn_mgr
+module Db = Sim.Db
+module Sparse = Workload.Sparse
+module Keygen = Workload.Keygen
+module Scramble = Workload.Scramble
+module Mix = Workload.Mix
+
+let payload = Db.payload_for
+
+(* ---------------- keygen ---------------- *)
+
+let test_keygen_bounds () =
+  let rng = Util.Rng.create 1 in
+  for _ = 1 to 500 do
+    let u = Keygen.next rng (Keygen.Uniform { n = 100 }) in
+    Alcotest.(check bool) "uniform in range" true (u >= 0 && u < 100);
+    let z = Keygen.next rng (Keygen.Zipf { n = 100; theta = 0.9 }) in
+    Alcotest.(check bool) "zipf in range" true (z >= 0 && z < 100);
+    let c = Keygen.next rng (Keygen.Clustered { n = 100; cluster = 10 }) in
+    Alcotest.(check bool) "clustered in range" true (c >= 0 && c < 100)
+  done
+
+let test_keygen_sequential () =
+  let c = Keygen.counter ~start:5 in
+  let a = Keygen.next_seq c in
+  let b = Keygen.next_seq c in
+  let d = Keygen.next_seq c in
+  Alcotest.(check (list int)) "sequence" [ 5; 6; 7 ] [ a; b; d ]
+
+(* ---------------- sparse scenarios ---------------- *)
+
+let test_uniform_thinning_fraction () =
+  let rng = Util.Rng.create 3 in
+  let s = Sparse.uniform_thinning ~rng ~n:1000 ~survive:0.3 in
+  Alcotest.(check int) "initial size" 1000 (List.length s.Sparse.initial);
+  let frac = float_of_int (List.length s.Sparse.deletes) /. 1000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "deletes ~70%% (got %.2f)" frac)
+    true
+    (frac > 0.6 && frac < 0.8);
+  Alcotest.(check (list (pair int string))) "no inserts" [] s.Sparse.inserts
+
+let test_range_purge_clusters () =
+  let rng = Util.Rng.create 4 in
+  let s = Sparse.range_purge ~rng ~n:1000 ~ranges:5 ~width:0.05 in
+  Alcotest.(check bool) "some deletes" true (List.length s.Sparse.deletes > 50);
+  (* Deleted keys must form few contiguous runs (clusters), not dust. *)
+  let sorted = List.sort_uniq compare s.Sparse.deletes in
+  let runs =
+    let rec count prev acc = function
+      | [] -> acc
+      | k :: rest -> count k (if k = prev + 2 then acc else acc + 1) rest
+    in
+    match sorted with [] -> 0 | k :: rest -> count k 1 rest
+  in
+  Alcotest.(check bool) (Printf.sprintf "few runs (%d)" runs) true (runs <= 5)
+
+let test_scenarios_apply_cleanly () =
+  let rng = Util.Rng.create 5 in
+  let s = Sparse.churn ~rng ~n:400 ~rounds:2 () in
+  let db = Db.load ~fill:0.9 s.Sparse.initial in
+  let tx = Txn_mgr.begin_txn db.Db.mgr in
+  List.iter (fun k -> ignore (Tree.delete db.Db.tree ~txn:tx k)) s.Sparse.deletes;
+  List.iter
+    (fun (k, v) ->
+      try Tree.insert db.Db.tree ~txn:tx ~key:k ~payload:v () with Tree.Duplicate_key _ -> ())
+    s.Sparse.inserts;
+  Txn_mgr.commit db.Db.mgr tx;
+  Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree
+
+(* ---------------- scramble ---------------- *)
+
+let contents db =
+  List.map (fun r -> (r.Btree.Leaf.key, r.Btree.Leaf.payload))
+    (Tree.range db.Db.tree ~lo:min_int ~hi:max_int)
+
+let test_swap_placement_preserves_everything () =
+  let records = List.init 300 (fun i -> (2 * i, payload (2 * i))) in
+  let db = Db.load ~fill:0.5 records in
+  let before = contents db in
+  let pids = Tree.leaf_pids db.Db.tree in
+  let a = List.nth pids 2 and b = List.nth pids 7 in
+  Scramble.swap_placement db.Db.tree a b;
+  Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
+  Alcotest.(check bool) "contents unchanged" true (contents db = before);
+  (* The two leaves exchanged physical pages. *)
+  let pids' = Tree.leaf_pids db.Db.tree in
+  Alcotest.(check int) "b now holds position 2" b (List.nth pids' 2);
+  Alcotest.(check int) "a now holds position 7" a (List.nth pids' 7)
+
+let test_swap_adjacent_leaves () =
+  let records = List.init 300 (fun i -> (2 * i, payload (2 * i))) in
+  let db = Db.load ~fill:0.5 records in
+  let before = contents db in
+  let pids = Tree.leaf_pids db.Db.tree in
+  let a = List.nth pids 3 and b = List.nth pids 4 in
+  Scramble.swap_placement db.Db.tree a b;
+  Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
+  Alcotest.(check bool) "contents unchanged" true (contents db = before)
+
+let test_shuffle_property =
+  QCheck.Test.make ~name:"shuffle preserves contents+invariants" ~count:15
+    QCheck.(make QCheck.Gen.(int_bound 1000))
+    (fun seed ->
+      let records = List.init 200 (fun i -> (2 * i, payload (2 * i))) in
+      let db = Db.load ~fill:0.4 records in
+      Scramble.shuffle_leaves db.Db.tree (Util.Rng.create seed);
+      Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
+      contents db = records)
+
+let test_spread_property =
+  QCheck.Test.make ~name:"spread preserves contents+invariants" ~count:15
+    QCheck.(make QCheck.Gen.(pair (int_bound 1000) (float_range 1.0 3.0)))
+    (fun (seed, span) ->
+      let records = List.init 200 (fun i -> (2 * i, payload (2 * i))) in
+      let db = Db.load ~leaf_pages:2048 ~fill:0.4 records in
+      Scramble.spread_leaves db.Db.tree (Util.Rng.create seed) ~span_factor:span;
+      Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
+      contents db = records)
+
+let test_spread_scatters () =
+  let records = List.init 400 (fun i -> (2 * i, payload (2 * i))) in
+  let db = Db.load ~leaf_pages:2048 ~fill:0.4 records in
+  Scramble.spread_leaves db.Db.tree (Util.Rng.create 9) ~span_factor:2.0;
+  let lo, _ = Pager.Alloc.leaf_zone db.Db.alloc in
+  let pids = Tree.leaf_pids db.Db.tree in
+  let ooo = ref 0 in
+  List.iteri (fun i pid -> if pid <> lo + i then incr ooo) pids;
+  Alcotest.(check bool) "most leaves displaced" true
+    (!ooo > List.length pids / 2)
+
+(* ---------------- mix driver ---------------- *)
+
+let test_mix_runs_and_counts () =
+  let records = List.init 500 (fun i -> (2 * i, payload (2 * i))) in
+  let db = Db.load ~fill:0.8 records in
+  let eng = Engine.create () in
+  let stats =
+    Mix.spawn_users eng ~access:db.Db.access ~seed:1 ~users:4 ~ops_per_user:30 ~key_space:500
+      ~mix:{ Mix.read_mostly with range_pct = 0.1 } ()
+  in
+  Engine.run eng;
+  Alcotest.(check int) "all ops accounted" 120
+    (stats.Mix.reads + stats.Mix.range_scans + stats.Mix.inserts + stats.Mix.deletes);
+  Alcotest.(check int) "committed = ops - aborted" 120
+    (stats.Mix.committed + stats.Mix.aborted);
+  Alcotest.(check bool) "reads dominate" true (stats.Mix.reads > stats.Mix.inserts);
+  Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree
+
+let test_mix_stop_predicate () =
+  let records = List.init 200 (fun i -> (2 * i, payload (2 * i))) in
+  let db = Db.load ~fill:0.8 records in
+  let eng = Engine.create () in
+  let stop = ref false in
+  let stats =
+    Mix.spawn_users eng ~access:db.Db.access ~seed:1 ~users:2 ~ops_per_user:1_000_000
+      ~key_space:200
+      ~stop:(fun () -> !stop)
+      ~mix:Mix.read_only ()
+  in
+  Engine.spawn eng (fun () ->
+      Engine.sleep 50;
+      stop := true);
+  Engine.run eng;
+  Alcotest.(check bool) "stopped early" true (stats.Mix.committed < 2_000_000);
+  Alcotest.(check bool) "did some work" true (stats.Mix.committed > 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "keygen",
+        [
+          Alcotest.test_case "bounds" `Quick test_keygen_bounds;
+          Alcotest.test_case "sequential" `Quick test_keygen_sequential;
+        ] );
+      ( "sparse scenarios",
+        [
+          Alcotest.test_case "uniform thinning" `Quick test_uniform_thinning_fraction;
+          Alcotest.test_case "range purge clusters" `Quick test_range_purge_clusters;
+          Alcotest.test_case "scenarios apply" `Quick test_scenarios_apply_cleanly;
+        ] );
+      ( "scramble",
+        [
+          Alcotest.test_case "swap placement" `Quick test_swap_placement_preserves_everything;
+          Alcotest.test_case "swap adjacent" `Quick test_swap_adjacent_leaves;
+          Alcotest.test_case "spread scatters" `Quick test_spread_scatters;
+          q test_shuffle_property;
+          q test_spread_property;
+        ] );
+      ( "mix",
+        [
+          Alcotest.test_case "runs and counts" `Quick test_mix_runs_and_counts;
+          Alcotest.test_case "stop predicate" `Quick test_mix_stop_predicate;
+        ] );
+    ]
