@@ -1,0 +1,19 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full gate: format check (if ocamlformat is installed) + build + tests.
+check:
+	sh ci/check.sh
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -6,7 +6,11 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table1 swaps recovery
-     dune exec bench/main.exe micro      # microbenchmarks only *)
+     dune exec bench/main.exe micro      # microbenchmarks only
+
+   --trace FILE and/or --metrics run an instrumented canonical scenario
+   (aged tree, concurrent users) and emit a Chrome trace_event timeline /
+   a metrics-registry dump instead of the experiment suite. *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -180,6 +184,23 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Canonical instrumented run: same shape as `reorg-cli workload`, fixed
+   seed, so traces are comparable across commits. *)
+let instrumented ~trace ~metrics =
+  let registry = if metrics then Some (Obs.Registry.create ()) else None in
+  let tracer = if trace <> None then Some (Obs.Trace.create ()) else None in
+  let db, _ = Sim.Scenario.aged ~seed:7 ~n:1500 ~f1:0.3 () in
+  let ctx, report, _ = Sim.Scenario.run_reorg ?registry ?tracer ~users:4 db in
+  Format.printf "report: %a@." Reorg.Driver.pp_report report;
+  Format.printf "metrics: %a@." Reorg.Metrics.pp ctx.Reorg.Ctx.metrics;
+  (match (trace, tracer) with
+  | Some file, Some tr ->
+    Obs.Trace.write_chrome tr file;
+    Printf.printf "trace: %d events -> %s (chrome://tracing or ui.perfetto.dev)\n"
+      (Obs.Trace.event_count tr) file
+  | _ -> ());
+  match registry with Some reg -> print_string (Obs.Registry.dump reg) | None -> ()
+
 let run_experiment (name, title, f) =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s — %s\n" name title;
@@ -189,8 +210,22 @@ let run_experiment (name, title, f) =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Strip the observability flags; what remains are experiment targets. *)
+  let rec split ~trace ~metrics ~rev_targets = function
+    | [] -> (trace, metrics, List.rev rev_targets)
+    | "--metrics" :: rest -> split ~trace ~metrics:true ~rev_targets rest
+    | "--trace" :: file :: rest -> split ~trace:(Some file) ~metrics ~rev_targets rest
+    | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
+      split ~trace:(Some (String.sub a 8 (String.length a - 8))) ~metrics ~rev_targets rest
+    | a :: rest -> split ~trace ~metrics ~rev_targets:(a :: rev_targets) rest
+  in
+  let trace, metrics, args = split ~trace:None ~metrics:false ~rev_targets:[] args in
+  if trace <> None || metrics then instrumented ~trace ~metrics;
   let targets =
-    if args = [] then List.map (fun (n, _, _) -> n) experiments @ [ "micro" ] else args
+    if args = [] then
+      if trace <> None || metrics then []
+      else List.map (fun (n, _, _) -> n) experiments @ [ "micro" ]
+    else args
   in
   List.iter
     (fun target ->

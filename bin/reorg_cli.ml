@@ -60,6 +60,50 @@ let heuristic_t =
     & opt policy Reorg.Config.Paper_heuristic
     & info [ "heuristic" ] ~docv:"POLICY" ~doc:"Find-Free-Space policy: paper, first-free, none.")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).")
+
+let metrics_t =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Dump the metrics registry (all subsystems) after the run.")
+
+(* Build the run's observability objects from the flags: a registry whenever
+   either flag wants one (the trace is more useful with the counters
+   alongside), a tracer only when a file was requested. *)
+let obs_setup ~trace ~metrics =
+  let registry = if metrics then Some (Obs.Registry.create ()) else None in
+  let tracer = if trace <> None then Some (Obs.Trace.create ()) else None in
+  (registry, tracer)
+
+let obs_report ~trace registry tracer =
+  (match (trace, tracer) with
+  | Some file, Some tr ->
+    Obs.Trace.write_chrome tr file;
+    Printf.printf "trace: %d events -> %s (chrome://tracing or ui.perfetto.dev)\n"
+      (Obs.Trace.event_count tr) file
+  | _ -> ());
+  match registry with
+  | Some reg ->
+    print_endline "--- metrics ---";
+    print_string (Obs.Registry.dump reg)
+  | None -> ()
+
+(* The CLI's contract: a run that leaves the tree in a bad state must not
+   exit 0, even though the report above printed fine. *)
+let check_invariants db =
+  match Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree with
+  | () -> print_endline "invariants OK"
+  | exception e ->
+    Printf.eprintf "invariant check FAILED: %s\n" (Printexc.to_string e);
+    exit 2
+
 let mk_config ~f2 ~no_swap ~no_shrink ~heuristic ~lambda =
   {
     Reorg.Config.default with
@@ -80,26 +124,36 @@ let print_tree_stats label tree =
 
 (* ------------- subcommands ------------- *)
 
-let demo () =
+let demo trace metrics =
   setup_logs ();
   let db, _ = Sim.Scenario.aged ~seed:42 ~n:2000 ~f1:0.25 () in
   print_tree_stats "before" db.Sim.Db.tree;
-  let ctx, report, _ = Sim.Scenario.run_reorg db in
+  let registry, tracer = obs_setup ~trace ~metrics in
+  let ctx, report, _ = Sim.Scenario.run_reorg ?registry ?tracer db in
   print_tree_stats "after" db.Sim.Db.tree;
   Format.printf "report: %a@." Reorg.Driver.pp_report report;
   Format.printf "metrics: %a@." Reorg.Metrics.pp ctx.Reorg.Ctx.metrics;
-  Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree;
-  print_endline "invariants OK"
+  obs_report ~trace registry tracer;
+  check_invariants db
 
-let reorganize records fill f2 seed page_size no_swap no_shrink heuristic lambda workers =
+let reorganize records fill f2 seed page_size no_swap no_shrink heuristic lambda workers trace
+    metrics =
   setup_logs ();
   let db, _ = Sim.Scenario.aged ~page_size ~seed ~n:records ~f1:fill () in
   print_tree_stats "before" db.Sim.Db.tree;
   let config = mk_config ~f2 ~no_swap ~no_shrink ~heuristic ~lambda in
-  let ctx = Reorg.Ctx.make ~access:db.Sim.Db.access ~config in
+  let registry, tracer = obs_setup ~trace ~metrics in
+  let ctx = Reorg.Ctx.make ?registry ?tracer ~access:db.Sim.Db.access ~config () in
   let eng = Sched.Engine.create () in
+  Sched.Engine.set_tracer eng tracer;
+  Sim.Db.set_tracers db tracer;
+  (match registry with
+  | Some reg ->
+    Sched.Engine.register_obs eng reg;
+    Sim.Db.register_obs db reg
+  | None -> ());
   let report = ref Reorg.Driver.empty_report in
-  Sched.Engine.spawn eng (fun () ->
+  Sched.Engine.spawn eng ~name:"reorganizer" (fun () ->
       report := Reorg.Driver.run ~pass1_workers:workers ctx);
   Sched.Engine.run eng;
   let report = !report in
@@ -109,8 +163,8 @@ let reorganize records fill f2 seed page_size no_swap no_shrink heuristic lambda
   let log_stats = Wal.Log.stats db.Sim.Db.log in
   Printf.printf "log: %d records, %s total\n" log_stats.Wal.Log.records
     (Util.Table.fmt_bytes log_stats.Wal.Log.bytes);
-  Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree;
-  print_endline "invariants OK"
+  obs_report ~trace registry tracer;
+  check_invariants db
 
 let inspect records fill seed page_size verbose =
   setup_logs ();
@@ -134,7 +188,7 @@ let inspect records fill seed page_size verbose =
 let crash at records seed =
   setup_logs ();
   let db, expected = Sim.Scenario.aged ~seed ~n:records ~f1:0.3 () in
-  let ctx = Reorg.Ctx.make ~access:db.Sim.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Sim.Db.access ~config:Reorg.Config.default () in
   let eng = Sched.Engine.create () in
   Sched.Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
   Sched.Engine.spawn eng (fun () ->
@@ -142,12 +196,12 @@ let crash at records seed =
       Sched.Engine.stop eng);
   Sched.Engine.run eng;
   Printf.printf "crash at tick %d: %d units complete, LK=%d\n" at
-    ctx.Reorg.Ctx.metrics.Reorg.Metrics.units
+    (Reorg.Metrics.units ctx.Reorg.Ctx.metrics)
     (Reorg.Rtable.lk ctx.Reorg.Ctx.rtable);
   Sim.Sim_util.partial_flush db seed;
   Sim.Db.crash db;
   let ctx2, outcome =
-    Reorg.Recovery.restart ~access:db.Sim.Db.access ~config:Reorg.Config.default
+    Reorg.Recovery.restart ~access:db.Sim.Db.access ~config:Reorg.Config.default ()
   in
   Printf.printf "restart: redo=%d losers=%d finished-unit=%s resume=%s\n"
     outcome.Reorg.Recovery.redo_applied outcome.Reorg.Recovery.losers_undone
@@ -167,7 +221,7 @@ let crash at records seed =
   print_tree_stats "after" db.Sim.Db.tree;
   print_endline "all records intact, invariants OK"
 
-let workload users mix_name records seed =
+let workload users mix_name records seed trace metrics =
   setup_logs ();
   let db, _ = Sim.Scenario.aged ~seed ~n:records ~f1:0.3 () in
   let mix =
@@ -176,30 +230,31 @@ let workload users mix_name records seed =
     | "update-heavy" -> Workload.Mix.update_heavy
     | _ -> Workload.Mix.read_mostly
   in
-  let ctx, report, stats = Sim.Scenario.run_reorg ~users ~user_mix:mix db in
+  let registry, tracer = obs_setup ~trace ~metrics in
+  let ctx, report, stats = Sim.Scenario.run_reorg ?registry ?tracer ~users ~user_mix:mix db in
   Format.printf "reorg: %a@." Reorg.Driver.pp_report report;
+  Format.printf "metrics: %a@." Reorg.Metrics.pp ctx.Reorg.Ctx.metrics;
   Printf.printf
     "users: %d committed (%d reads, %d inserts, %d deletes), %d give-ups, %d aborts, %d \
      blocked ticks\n"
     stats.Workload.Mix.committed stats.Workload.Mix.reads stats.Workload.Mix.inserts
     stats.Workload.Mix.deletes stats.Workload.Mix.give_ups stats.Workload.Mix.aborted
     stats.Workload.Mix.blocked_ticks;
-  ignore ctx;
-  Btree.Invariant.check ~alloc:db.Sim.Db.alloc db.Sim.Db.tree;
-  print_endline "invariants OK"
+  obs_report ~trace registry tracer;
+  check_invariants db
 
 (* ------------- command wiring ------------- *)
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Build, degrade and reorganize a database end to end.")
-    Term.(const demo $ const ())
+    Term.(const demo $ trace_t $ metrics_t)
 
 let reorganize_cmd =
   Cmd.v
     (Cmd.info "reorganize" ~doc:"Reorganize an aged tree and report everything.")
     Term.(
       const reorganize $ records_t $ fill_t $ f2_t $ seed_t $ page_size_t $ no_swap_t
-      $ no_shrink_t $ heuristic_t $ lambda_t $ workers_t)
+      $ no_shrink_t $ heuristic_t $ lambda_t $ workers_t $ trace_t $ metrics_t)
 
 let inspect_cmd =
   let verbose_t =
@@ -229,7 +284,7 @@ let workload_cmd =
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run user transactions concurrently with the reorganizer.")
-    Term.(const workload $ users_t $ mix_t $ records_t $ seed_t)
+    Term.(const workload $ users_t $ mix_t $ records_t $ seed_t $ trace_t $ metrics_t)
 
 let () =
   let info =

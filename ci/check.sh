@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repository check: formatting (when ocamlformat is available), build, tests.
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt (check) =="
+  dune build @fmt 2>/dev/null || {
+    echo "formatting check failed; run 'dune fmt' to fix" >&2
+    exit 1
+  }
+else
+  echo "== ocamlformat not installed; skipping format check =="
+fi
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "All checks passed."

@@ -16,7 +16,7 @@ let () =
      Printf.sprintf "height=%d leaves=%d fill=%.0f%%" s.Tree.height s.Tree.leaf_count
        (100.0 *. s.Tree.avg_leaf_fill));
 
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let finished = ref false in
   Engine.spawn eng (fun () ->

@@ -15,7 +15,7 @@ let () =
     (100.0 *. (Tree.stats db.Db.tree).Tree.avg_leaf_fill);
 
   (* Start reorganizing, then pull the plug mid-flight. *)
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
   Engine.spawn eng (fun () ->
@@ -24,7 +24,7 @@ let () =
       Engine.stop eng);
   Engine.run eng;
   Printf.printf "at crash: %d units were complete, LK = %d\n"
-    ctx.Reorg.Ctx.metrics.Reorg.Metrics.units
+    (Reorg.Metrics.units ctx.Reorg.Ctx.metrics)
     (Reorg.Rtable.lk ctx.Reorg.Ctx.rtable);
 
   (* Some dirty pages happened to reach disk, most did not. *)
@@ -33,7 +33,7 @@ let () =
 
   (* Restart: analysis, redo, loser undo — then FORWARD recovery of the
      in-flight reorganization unit. *)
-  let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default () in
   Printf.printf "restart: redo applied %d records, %d losers undone\n"
     outcome.Reorg.Recovery.redo_applied outcome.Reorg.Recovery.losers_undone;
   (match outcome.Reorg.Recovery.finished_unit with

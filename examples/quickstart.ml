@@ -44,7 +44,7 @@ let () =
      All reorganization work runs as a cooperative process; in a real
      deployment user transactions run concurrently (see
      concurrent_workload.ml). *)
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let report = ref None in
   Engine.spawn eng (fun () -> report := Some (Reorg.Driver.run ctx));

@@ -68,7 +68,7 @@ let stable_point t ~next_key =
     Wal.Log.append (Ctx.log t.ctx) (Record.Stable_key { key = next_key; new_root = 0 })
   in
   Wal.Log.force (Ctx.log t.ctx) lsn;
-  t.ctx.Ctx.metrics.Metrics.stable_points <- t.ctx.Ctx.metrics.Metrics.stable_points + 1
+  Obs.Counter.incr t.ctx.Ctx.metrics.Metrics.stable_points
 
 let closed_pages t = List.rev t.closed
 

@@ -10,12 +10,20 @@ type t = {
   rtable : Rtable.t;
   metrics : Metrics.t;
   actor : Transact.Txn.t;
+  tracer : Obs.Trace.t option;
 }
 
-let make ~access ~config =
+let make ?registry ?tracer ~access ~config () =
   let actor = Txn_mgr.fresh_owner (Access.mgr access) in
   Lockmgr.Lock_mgr.register_reorganizer (Access.locks access) actor.Transact.Txn.id;
-  { access; config; rtable = Rtable.create (); metrics = Metrics.create (); actor }
+  {
+    access;
+    config;
+    rtable = Rtable.create ();
+    metrics = Metrics.create ?registry ();
+    actor;
+    tracer;
+  }
 
 let worker t ~index ~count =
   let actor = Txn_mgr.fresh_owner (Access.mgr t.access) in
@@ -26,7 +34,15 @@ let worker t ~index ~count =
     rtable = Rtable.create ~first_id:(1_000_000 + index + 1) ~id_stride:count ();
     metrics = t.metrics;
     actor;
+    tracer = t.tracer;
   }
+
+let span t ?args name f =
+  match t.tracer with
+  | None -> f ()
+  | Some tr ->
+    let tid = Sched.Engine.current_fiber () in
+    Obs.Trace.with_span tr ~tid ?args ~cat:"reorg" name f
 
 let tree t = Access.tree t.access
 let locks t = Access.locks t.access
@@ -40,9 +56,8 @@ let usable_bytes t = Btree.Layout.usable_bytes ~page_size:(page_size t)
 
 let log_reorg t body =
   let lsn = Wal.Log.append (log t) body in
-  t.metrics.Metrics.log_bytes <-
-    t.metrics.Metrics.log_bytes + Wal.Record.encoded_size body;
-  t.metrics.Metrics.log_records <- t.metrics.Metrics.log_records + 1;
+  Obs.Counter.incr t.metrics.Metrics.log_bytes ~by:(Wal.Record.encoded_size body);
+  Obs.Counter.incr t.metrics.Metrics.log_records;
   Rtable.note_lsn t.rtable lsn;
   lsn
 

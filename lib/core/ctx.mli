@@ -1,7 +1,8 @@
 (** Shared state of one reorganization run: the access layer it works
-    through, its configuration, the §5 system table, metrics, and the
+    through, its configuration, the §5 system table, metrics, the
     reorganizer's own lock-owner identity (registered as the preferred
-    deadlock victim). *)
+    deadlock victim), and an optional tracer for per-pass / per-unit
+    spans. *)
 
 type t = {
   access : Btree.Access.t;
@@ -9,15 +10,29 @@ type t = {
   rtable : Rtable.t;
   metrics : Metrics.t;
   actor : Transact.Txn.t;  (** the reorganization process's lock owner *)
+  tracer : Obs.Trace.t option;
 }
 
-val make : access:Btree.Access.t -> config:Config.t -> t
+val make :
+  ?registry:Obs.Registry.t ->
+  ?tracer:Obs.Trace.t ->
+  access:Btree.Access.t ->
+  config:Config.t ->
+  unit ->
+  t
+(** [registry] attaches the run's {!Metrics} counters; [tracer] records each
+    pass, unit and switch attempt as spans on the calling process's row. *)
 
 val worker : t -> index:int -> count:int -> t
 (** A derived context for one of [count] parallel reorganizer workers: its
     own lock-owner identity and system table (with a disjoint unit-id
-    lattice), sharing the parent's access layer, configuration and
-    metrics. *)
+    lattice), sharing the parent's access layer, configuration, metrics and
+    tracer. *)
+
+val span : t -> ?args:(string * Obs.Trace.arg) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a ["reorg"]-category span on the current
+    scheduler fiber's row; a no-op wrapper when no tracer is attached.  Must
+    be called from inside an engine process. *)
 
 val tree : t -> Btree.Tree.t
 val locks : t -> Lockmgr.Lock_mgr.t

@@ -33,16 +33,22 @@ let run ?(pass1_workers = 1) ctx =
   let tree = Ctx.tree ctx in
   let before = Tree.stats tree in
   let pass1_units =
-    if pass1_workers > 1 then Pass1.run_parallel ctx ~workers:pass1_workers else Pass1.run ctx
+    Ctx.span ctx "pass1"
+      ~args:[ ("workers", Obs.Trace.Int pass1_workers) ]
+      (fun () ->
+        if pass1_workers > 1 then Pass1.run_parallel ctx ~workers:pass1_workers
+        else Pass1.run ctx)
   in
   Ctx.checkpoint ctx;
   let out_of_order = Pass2.out_of_order ctx in
   let swaps, moves =
-    if ctx.Ctx.config.Config.swap_pass then Pass2.run ctx else (0, 0)
+    Ctx.span ctx "pass2" (fun () ->
+        if ctx.Ctx.config.Config.swap_pass then Pass2.run ctx else (0, 0))
   in
   Ctx.checkpoint ctx;
   let switched =
-    if ctx.Ctx.config.Config.shrink_pass then Pass3.run ctx () else false
+    Ctx.span ctx "pass3" (fun () ->
+        if ctx.Ctx.config.Config.shrink_pass then Pass3.run ctx () else false)
   in
   Ctx.checkpoint ctx;
   let after = Tree.stats tree in
@@ -60,8 +66,8 @@ let run ?(pass1_workers = 1) ctx =
     out_of_order_after_pass1 = out_of_order;
   }
 
-let reorganize ~access ~config =
-  let ctx = Ctx.make ~access ~config in
+let reorganize ?registry ?tracer ~access ~config () =
+  let ctx = Ctx.make ?registry ?tracer ~access ~config () in
   (ctx, ref empty_report)
 
 let pp_report ppf r =

@@ -22,7 +22,7 @@ let apply_op ctx new_tree ?txn op =
   (match op with
   | Record.Side_insert { key; child } -> Tree.insert_base_entry new_tree ?txn ~key ~child ()
   | Record.Side_delete { key; _ } -> Tree.delete_base_entry new_tree ?txn key);
-  ctx.Ctx.metrics.Metrics.side_entries <- ctx.Ctx.metrics.Metrics.side_entries + 1
+  Obs.Counter.incr ctx.Ctx.metrics.Metrics.side_entries
 
 (* Walk the old upper levels and free every internal page. *)
 let discard_old_internals ctx ~old_root =
@@ -144,8 +144,7 @@ let run ctx ?resume ?finish () =
         let entries = Inode.entries p in
         List.iter (fun e -> Builder.feed builder ~key:e.Inode.key ~child:e.Inode.child) entries;
         incr scanned;
-        ctx.Ctx.metrics.Metrics.base_pages_scanned <-
-          ctx.Ctx.metrics.Metrics.base_pages_scanned + 1;
+        Obs.Counter.incr ctx.Ctx.metrics.Metrics.base_pages_scanned;
         let this_low = Inode.low_mark p in
         let next = Tree.next_base (Ctx.tree ctx) this_low in
         let next_key =
@@ -160,7 +159,8 @@ let run ctx ?resume ?finish () =
         if pacing > 0 then Engine.sleep pacing else Engine.yield ();
         if next_key <> max_int then scan next_key
     in
-    if finish = None then scan resume_key;
+    if finish = None then
+      Ctx.span ctx "pass3.scan" (fun () -> scan resume_key);
     Rtable.set_ck ctx.Ctx.rtable (Some max_int);
     (* ---- finalize the new upper levels ---- *)
     let new_root =
@@ -196,19 +196,22 @@ let run ctx ?resume ?finish () =
         Engine.sleep 2;
         acquire_side_x ()
     in
-    acquire_side_x ();
-    (* Final catch-up: only the entries appended while we waited. *)
-    catch_up 1;
-    ignore
-      (Ctx.log_reorg ctx
-         (Record.Switch
-            { old_root; new_root = Tree.root nt; old_name; new_name = old_name + 1 }));
-    Journal.physical journal ~page:(Tree.meta_pid tree) ~off:0 ~len:Btree.Layout.body_start
-      (fun p ->
-        Meta.set_root p (Tree.root nt);
-        Meta.set_tree_name p (old_name + 1);
-        Meta.set_generation p gen);
-    Wal.Log.force_all (Ctx.log ctx);
+    Ctx.span ctx "pass3.switch"
+      ~args:[ ("old_root", Obs.Trace.Int old_root); ("new_root", Obs.Trace.Int (Tree.root nt)) ]
+      (fun () ->
+        acquire_side_x ();
+        (* Final catch-up: only the entries appended while we waited. *)
+        catch_up 1;
+        ignore
+          (Ctx.log_reorg ctx
+             (Record.Switch
+                { old_root; new_root = Tree.root nt; old_name; new_name = old_name + 1 }));
+        Journal.physical journal ~page:(Tree.meta_pid tree) ~off:0
+          ~len:Btree.Layout.body_start (fun p ->
+            Meta.set_root p (Tree.root nt);
+            Meta.set_tree_name p (old_name + 1);
+            Meta.set_generation p gen);
+        Wal.Log.force_all (Ctx.log ctx));
     let cleanup () =
       discard_old_internals ctx ~old_root;
       Journal.physical journal ~page:scratch_meta ~off:0 ~len:1 (fun p ->
@@ -257,8 +260,7 @@ let run ctx ?resume ?finish () =
             List.iter
               (fun (owner, _) ->
                 if Lock_mgr.cancel_wait locks ~owner then
-                  ctx.Ctx.metrics.Metrics.forced_aborts <-
-                    ctx.Ctx.metrics.Metrics.forced_aborts + 1)
+                  Obs.Counter.incr ctx.Ctx.metrics.Metrics.forced_aborts)
               blockers;
           Engine.sleep 3;
           drain ()

@@ -666,7 +666,7 @@ let rebuild_builder_state ctx ~stable_key =
 (* Restart                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let restart ~access ~config =
+let restart ?registry ?tracer ~access ~config () =
   let tree = Access.tree access in
   let mgr = Access.mgr access in
   let journal = Tree.journal tree in
@@ -689,7 +689,7 @@ let restart ~access ~config =
      of a torn block operation): recompute the free sets. *)
   if a.losers <> [] then Alloc.rebuild (Tree.alloc tree);
   (* Forward recovery of the reorganizer's state. *)
-  let ctx = Ctx.make ~access ~config in
+  let ctx = Ctx.make ?registry ?tracer ~access ~config () in
   Rtable.restore ctx.Ctx.rtable a.rt;
   let finished_unit = finish_units ctx log ~open_units:a.open_units in
   let resume =

@@ -38,7 +38,13 @@ type outcome = {
   side_entries : Wal.Record.side_op list;  (** surviving side file, oldest first *)
 }
 
-val restart : access:Btree.Access.t -> config:Config.t -> Ctx.t * outcome
+val restart :
+  ?registry:Obs.Registry.t ->
+  ?tracer:Obs.Trace.t ->
+  access:Btree.Access.t ->
+  config:Config.t ->
+  unit ->
+  Ctx.t * outcome
 (** Run full restart over the (crashed) components behind [access]; returns
     a fresh reorganizer context whose system table reflects the recovered
     state (LK, CK), plus the outcome.  Ends with a flush + checkpoint, so a

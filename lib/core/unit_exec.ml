@@ -162,7 +162,7 @@ let entries_for_leaves ctx ~base ~leaves =
    Reverse the moves (logging full-content reverse MOVE records) and end the
    unit as a no-op. *)
 let undo_moves ctx ~unit_id ~dest ~dest_fresh ~saved =
-  ctx.Ctx.metrics.Metrics.units_undone <- ctx.Ctx.metrics.Metrics.units_undone + 1;
+  Obs.Counter.incr ctx.Ctx.metrics.Metrics.units_undone;
   List.iter
     (fun (org, records, low_mark, prev, next) ->
       let lsn =
@@ -267,8 +267,7 @@ let execute_compact ctx ~base ~leaves ~dest =
             Leaf.clear op;
             Ctx.stamp ctx ~page:org lsn;
             Ctx.stamp ctx ~page:dest_pid lsn;
-            ctx.Ctx.metrics.Metrics.records_moved <-
-              ctx.Ctx.metrics.Metrics.records_moved + List.length records;
+            Obs.Counter.incr ctx.Ctx.metrics.Metrics.records_moved ~by:(List.length records);
             saved := (org, records, org_low, org_prev, org_next) :: !saved
           end)
         contents;
@@ -310,10 +309,10 @@ let execute_compact ctx ~base ~leaves ~dest =
       log_end ctx ~unit_id ~largest_key;
       release_all ctx held;
       let m = ctx.Ctx.metrics in
-      m.Metrics.units <- m.Metrics.units + 1;
-      if dest_fresh then m.Metrics.new_place_units <- m.Metrics.new_place_units + 1
-      else m.Metrics.in_place_units <- m.Metrics.in_place_units + 1;
-      m.Metrics.pages_compacted <- m.Metrics.pages_compacted + List.length orgs;
+      Obs.Counter.incr m.Metrics.units;
+      if dest_fresh then Obs.Counter.incr m.Metrics.new_place_units
+      else Obs.Counter.incr m.Metrics.in_place_units;
+      Obs.Counter.incr m.Metrics.pages_compacted ~by:(List.length orgs);
       Done largest_key
     end
   with
@@ -360,8 +359,7 @@ let execute_move ctx ~base ~org ~dest =
     Leaf.clear (Ctx.page ctx org);
     Ctx.stamp ctx ~page:org lsn;
     Ctx.stamp ctx ~page:dest lsn;
-    ctx.Ctx.metrics.Metrics.records_moved <-
-      ctx.Ctx.metrics.Metrics.records_moved + List.length records;
+    Obs.Counter.incr ctx.Ctx.metrics.Metrics.records_moved ~by:(List.length records);
     (match
        Lock_client.try_acquire (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X
      with
@@ -398,8 +396,8 @@ let execute_move ctx ~base ~org ~dest =
     log_end ctx ~unit_id ~largest_key;
     release_all ctx held;
     let m = ctx.Ctx.metrics in
-    m.Metrics.units <- m.Metrics.units + 1;
-    m.Metrics.move_units <- m.Metrics.move_units + 1;
+    Obs.Counter.incr m.Metrics.units;
+    Obs.Counter.incr m.Metrics.move_units;
     Done largest_key
   with
   | Stale_plan ->
@@ -472,8 +470,7 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
     List.iter (fun r -> assert (Leaf.insert pb r)) recs_a;
     Ctx.stamp ctx ~page:a m2;
     Ctx.stamp ctx ~page:b m2;
-    ctx.Ctx.metrics.Metrics.records_moved <-
-      ctx.Ctx.metrics.Metrics.records_moved + List.length recs_a + List.length recs_b;
+    Obs.Counter.incr ctx.Ctx.metrics.Metrics.records_moved ~by:(List.length recs_a + List.length recs_b);
     (* Upgrade both bases. *)
     let upgrade base =
       match
@@ -489,7 +486,7 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
        if b_base <> a_base then upgrade b_base
      with Lock_client.Deadlock_victim ->
        (* Undo the exchange (§5.2). *)
-       ctx.Ctx.metrics.Metrics.units_undone <- ctx.Ctx.metrics.Metrics.units_undone + 1;
+       Obs.Counter.incr ctx.Ctx.metrics.Metrics.units_undone;
        let p = Rtable.last_lsn ctx.Ctx.rtable in
        let lsn =
          Ctx.log_reorg ctx
@@ -555,8 +552,8 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
     log_end ctx ~unit_id ~largest_key;
     release_all ctx held;
     let m = ctx.Ctx.metrics in
-    m.Metrics.units <- m.Metrics.units + 1;
-    m.Metrics.swap_units <- m.Metrics.swap_units + 1;
+    Obs.Counter.incr m.Metrics.units;
+    Obs.Counter.incr m.Metrics.swap_units;
     Done largest_key
   with
   | Stale_plan ->
@@ -568,17 +565,41 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
 
 (* ------------------------------------------------------------------ *)
 
-let execute_once ctx = function
+let outcome_label = function Done _ -> "done" | Stale -> "stale" | Gave_up -> "gave-up"
+
+let run_plan ctx = function
   | Compact { base; leaves; dest } -> execute_compact ctx ~base ~leaves ~dest
   | Swap { a_base; a; b_base; b } -> execute_swap ctx ~a_base ~a ~b_base ~b
   | Move { base; org; dest } -> execute_move ctx ~base ~org ~dest
+
+(* One span per unit attempt, named by unit kind, closed with the outcome. *)
+let execute_once ctx plan =
+  match ctx.Ctx.tracer with
+  | None -> run_plan ctx plan
+  | Some tr ->
+    let name, args =
+      match plan with
+      | Compact { base; leaves; _ } ->
+        ("unit.compact", [ ("base", Obs.Trace.Int base); ("leaves", Obs.Trace.Int (List.length leaves)) ])
+      | Swap { a; b; _ } -> ("unit.swap", [ ("a", Obs.Trace.Int a); ("b", Obs.Trace.Int b) ])
+      | Move { org; dest; _ } -> ("unit.move", [ ("org", Obs.Trace.Int org); ("dest", Obs.Trace.Int dest) ])
+    in
+    let tid = Sched.Engine.current_fiber () in
+    Obs.Trace.begin_span tr ~tid ~args ~cat:"reorg" name;
+    (try
+       let outcome = run_plan ctx plan in
+       Obs.Trace.end_span tr ~tid ~args:[ ("outcome", Obs.Trace.Str (outcome_label outcome)) ] ();
+       outcome
+     with e ->
+       Obs.Trace.end_span tr ~tid ~args:[ ("outcome", Obs.Trace.Str "exception") ] ();
+       raise e)
 
 let execute ctx plan =
   let limit = ctx.Ctx.config.Config.unit_retry_limit in
   let rec go attempt =
     match execute_once ctx plan with
     | Gave_up when attempt < limit ->
-      ctx.Ctx.metrics.Metrics.unit_retries <- ctx.Ctx.metrics.Metrics.unit_retries + 1;
+      Obs.Counter.incr ctx.Ctx.metrics.Metrics.unit_retries;
       Sched.Engine.sleep (1 + attempt);
       go (attempt + 1)
     | Done _ as outcome ->

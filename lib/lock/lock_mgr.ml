@@ -34,6 +34,16 @@ module Rtbl = Hashtbl.Make (struct
   let hash = Resource.hash
 end)
 
+(* Per-mode tallies: how often each lock mode was immediately granted, had
+   to queue, or named a deadlock victim — the paper's lock-protocol costs
+   are mode-specific (RX is what blocks users; R is what the reorganizer
+   waits on). *)
+type mode_stats = {
+  mutable m_acquires : int;
+  mutable m_waits : int;
+  mutable m_deadlocks : int;
+}
+
 type t = {
   entries : entry Rtbl.t;
   owner_index : (owner, Resource.t list ref) Hashtbl.t;
@@ -46,6 +56,9 @@ type t = {
   mutable instant_signals : int;
   mutable deadlocks : int;
   mutable releases : int;
+  mutable give_ups : int; (* waits cancelled from outside (switch time limit) *)
+  by_mode : (Mode.t, mode_stats) Hashtbl.t;
+  mutable tracer : Obs.Trace.t option;
 }
 
 let create () =
@@ -61,7 +74,48 @@ let create () =
     instant_signals = 0;
     deadlocks = 0;
     releases = 0;
+    give_ups = 0;
+    by_mode = Hashtbl.create 8;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
+let tracer t = t.tracer
+
+let mode_stats t mode =
+  match Hashtbl.find_opt t.by_mode mode with
+  | Some s -> s
+  | None ->
+    let s = { m_acquires = 0; m_waits = 0; m_deadlocks = 0 } in
+    Hashtbl.replace t.by_mode mode s;
+    s
+
+let mode_tally t mode =
+  match Hashtbl.find_opt t.by_mode mode with
+  | Some s -> (s.m_acquires, s.m_waits, s.m_deadlocks)
+  | None -> (0, 0, 0)
+
+let register_obs t reg =
+  Obs.Registry.gauge reg "lock.acquires" (fun () -> t.acquires);
+  Obs.Registry.gauge reg "lock.releases" (fun () -> t.releases);
+  Obs.Registry.gauge reg "lock.waits" (fun () -> t.waits);
+  Obs.Registry.gauge reg "lock.grants_after_wait" (fun () -> t.grants_after_wait);
+  Obs.Registry.gauge reg "lock.give_ups" (fun () -> t.instant_signals);
+  Obs.Registry.gauge reg "lock.cancelled_waits" (fun () -> t.give_ups);
+  Obs.Registry.gauge reg "lock.deadlocks" (fun () -> t.deadlocks);
+  List.iter
+    (fun mode ->
+      let m = Mode.to_string mode in
+      Obs.Registry.gauge reg
+        (Printf.sprintf "lock.acquires.%s" m)
+        (fun () -> let a, _, _ = mode_tally t mode in a);
+      Obs.Registry.gauge reg
+        (Printf.sprintf "lock.waits.%s" m)
+        (fun () -> let _, w, _ = mode_tally t mode in w);
+      Obs.Registry.gauge reg
+        (Printf.sprintf "lock.deadlock_victims.%s" m)
+        (fun () -> let _, _, d = mode_tally t mode in d))
+    Mode.all
 
 let register_reorganizer t o =
   if not (List.mem o t.reorganizers) then t.reorganizers <- o :: t.reorganizers
@@ -203,6 +257,7 @@ let try_acquire t ~owner res mode =
   if List.exists (fun (m, _) -> Mode.covers ~held:m ~need:mode) held then begin
     add_holding t e owner res mode;
     t.acquires <- t.acquires + 1;
+    (mode_stats t mode).m_acquires <- (mode_stats t mode).m_acquires + 1;
     `Granted
   end
   else begin
@@ -214,6 +269,7 @@ let try_acquire t ~owner res mode =
     if ok then begin
       add_holding t e owner res mode;
       t.acquires <- t.acquires + 1;
+      (mode_stats t mode).m_acquires <- (mode_stats t mode).m_acquires + 1;
       `Granted
     end
     else begin
@@ -300,6 +356,17 @@ let resolve_deadlock t cycle =
   | None -> ()
   | Some (res, e, w) ->
     t.deadlocks <- t.deadlocks + 1;
+    (mode_stats t w.w_mode).m_deadlocks <- (mode_stats t w.w_mode).m_deadlocks + 1;
+    (match t.tracer with
+    | Some tr ->
+      Obs.Trace.instant tr ~cat:"lock" "lock.deadlock-victim"
+        ~args:
+          [
+            ("owner", Obs.Trace.Int w.w_owner);
+            ("res", Obs.Trace.Str (Resource.to_string res));
+            ("mode", Obs.Trace.Str (Mode.to_string w.w_mode));
+          ]
+    | None -> ());
     (* Removing the victim may unblock others. *)
     let woken = process_queue t e in
     fire t res e woken;
@@ -319,6 +386,7 @@ let enqueue t ~owner res mode ~instant ~wake =
   else e.queue <- e.queue @ [ w ];
   Hashtbl.replace t.pending owner res;
   t.waits <- t.waits + 1;
+  (mode_stats t mode).m_waits <- (mode_stats t mode).m_waits + 1;
   match find_cycle t owner with
   | Some cycle -> resolve_deadlock t cycle
   | None -> ()
@@ -328,6 +396,18 @@ let cancel_wait t ~owner =
   | None -> false
   | Some (res, e, w) ->
     t.deadlocks <- t.deadlocks + 1;
+    t.give_ups <- t.give_ups + 1;
+    (mode_stats t w.w_mode).m_deadlocks <- (mode_stats t w.w_mode).m_deadlocks + 1;
+    (match t.tracer with
+    | Some tr ->
+      Obs.Trace.instant tr ~cat:"lock" "lock.forced-abort"
+        ~args:
+          [
+            ("owner", Obs.Trace.Int w.w_owner);
+            ("res", Obs.Trace.Str (Resource.to_string res));
+            ("mode", Obs.Trace.Str (Mode.to_string w.w_mode));
+          ]
+    | None -> ());
     let woken = process_queue t e in
     fire t res e woken;
     w.w_wake Deadlock;
@@ -423,4 +503,6 @@ let reset_stats t =
   t.grants_after_wait <- 0;
   t.instant_signals <- 0;
   t.deadlocks <- 0;
-  t.releases <- 0
+  t.releases <- 0;
+  t.give_ups <- 0;
+  Hashtbl.reset t.by_mode

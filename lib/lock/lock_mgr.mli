@@ -104,3 +104,22 @@ val clear : t -> unit
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** {2 Observability} *)
+
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register [lock.acquires], [lock.releases], [lock.waits],
+    [lock.grants_after_wait], [lock.give_ups] (instant-duration RS signals —
+    the paper's give-up count), [lock.cancelled_waits] (switch-time forced
+    aborts), [lock.deadlocks], and per-mode
+    [lock.{acquires,waits,deadlock_victims}.<MODE>] gauges. *)
+
+val mode_tally : t -> Mode.t -> int * int * int
+(** [(acquires, waits, deadlock_victims)] for one mode. *)
+
+val set_tracer : t -> Obs.Trace.t option -> unit
+(** While set, deadlock victims and switch-time forced aborts are recorded
+    as instant events; the scheduler's lock client additionally records each
+    lock wait as a span on the waiting process's timeline row. *)
+
+val tracer : t -> Obs.Trace.t option

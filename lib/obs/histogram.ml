@@ -1,0 +1,39 @@
+(* A named sample collector.  Samples are kept raw (growable array) so the
+   summary can report exact percentiles; the simulated runs this repo cares
+   about collect thousands of samples, not millions, and determinism matters
+   more than memory.  Summaries come from [Util.Stats.summarize], which
+   returns the all-zero summary for an empty histogram — an empty bucket
+   must never crash a metrics dump. *)
+
+type t = { name : string; mutable samples : float array; mutable len : int }
+
+let make name = { name; samples = Array.make 16 0.0; len = 0 }
+
+let name t = t.name
+let count t = t.len
+
+let observe t x =
+  if t.len = Array.length t.samples then begin
+    let fresh = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 fresh 0 t.len;
+    t.samples <- fresh
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1
+
+let observe_int t n = observe t (float_of_int n)
+
+let samples t = Array.sub t.samples 0 t.len
+
+let summary t = Util.Stats.summarize (samples t)
+
+let total t =
+  let acc = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    acc := !acc +. t.samples.(i)
+  done;
+  !acc
+
+let reset t = t.len <- 0
+
+let pp ppf t = Format.fprintf ppf "%s: %a" t.name Util.Stats.pp_summary (summary t)

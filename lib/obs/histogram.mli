@@ -1,0 +1,18 @@
+(** A named sample collector with exact-percentile summaries.
+
+    Samples are stored raw; {!summary} sorts a copy, so call it at reporting
+    time, not on hot paths.  The empty histogram summarizes to
+    [Util.Stats.empty_summary] instead of raising. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+val count : t -> int
+val observe : t -> float -> unit
+val observe_int : t -> int -> unit
+val samples : t -> float array
+val summary : t -> Util.Stats.summary
+val total : t -> float
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(* Minimal hand-rolled JSON emission.  The observability subsystem must not
+   pull in a JSON dependency, and everything it writes (Chrome traces,
+   registry dumps) is generated, never parsed, so a Buffer-based emitter is
+   all that is needed.  Output is deterministic: field order is the call
+   order, floats print with a fixed format. *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let string buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let int buf n = Buffer.add_string buf (string_of_int n)
+
+let float buf x =
+  if Float.is_nan x then Buffer.add_string buf "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.6g" x)
+
+(* [obj buf [ ("k", fun buf -> ...) ]] — fields emitted in list order. *)
+let obj buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_char buf ',';
+      string buf k;
+      Buffer.add_char buf ':';
+      emit buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let arr buf emits =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i emit ->
+      if i > 0 then Buffer.add_char buf ',';
+      emit buf)
+    emits;
+  Buffer.add_char buf ']'

@@ -1,0 +1,55 @@
+(** A registry of named metrics — counters, gauges and histograms — that
+    subsystems register into and that dumps as a sorted table or JSON.
+
+    Two registration styles:
+    - find-or-create by name ({!counter}, {!histogram}) for metrics owned by
+      the registry's user (e.g. the reorganizer's {!Reorg.Metrics});
+    - attachment of closures or pre-existing cells ({!gauge},
+      {!attach_counter}, {!attach_histogram}) so a subsystem can expose the
+      tallies it already keeps (lock manager, buffer pool, WAL) without
+      restructuring them.
+
+    Registration is idempotent by name (replace), so re-wiring the same
+    database across a crash/restart pair is harmless.  Dumps are
+    deterministic: metrics sort by name. *)
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of (unit -> int)
+  | Histogram of Histogram.t
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+(** Find or create.  Raises [Invalid_argument] if the name is registered as
+    a different kind. *)
+
+val histogram : t -> string -> Histogram.t
+(** Find or create, same contract as {!counter}. *)
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** Register a closure evaluated at dump time. *)
+
+val attach_counter : t -> Counter.t -> unit
+val attach_histogram : t -> Histogram.t -> unit
+
+val find : t -> string -> metric option
+
+val value : t -> string -> int option
+(** Current integer value: counter value, gauge reading, or histogram sample
+    count. *)
+
+val sorted : t -> (string * metric) list
+val cardinal : t -> int
+
+val reset : t -> unit
+(** Reset counters and histograms; gauges read live state and are left
+    alone. *)
+
+val dump : t -> string
+(** Render as an aligned text table. *)
+
+val to_json : t -> string
+(** One JSON object, keys sorted; histograms become summary objects. *)

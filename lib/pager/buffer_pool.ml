@@ -19,6 +19,11 @@ type t = {
   deps : (int, int list ref) Hashtbl.t;
   waiters : (int, (unit -> unit) list ref) Hashtbl.t;
   mutable flushes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable dep_flushes : int; (* flushes forced by careful-writing prerequisites *)
+  mutable evictions : int;
+  mutable tracer : Obs.Trace.t option;
 }
 
 let create ?(capacity = max_int) disk =
@@ -31,7 +36,22 @@ let create ?(capacity = max_int) disk =
     deps = Hashtbl.create 16;
     waiters = Hashtbl.create 16;
     flushes = 0;
+    hits = 0;
+    misses = 0;
+    dep_flushes = 0;
+    evictions = 0;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let register_obs t reg =
+  Obs.Registry.gauge reg "pager.hits" (fun () -> t.hits);
+  Obs.Registry.gauge reg "pager.misses" (fun () -> t.misses);
+  Obs.Registry.gauge reg "pager.flushes" (fun () -> t.flushes);
+  Obs.Registry.gauge reg "pager.dep_flushes" (fun () -> t.dep_flushes);
+  Obs.Registry.gauge reg "pager.evictions" (fun () -> t.evictions);
+  Obs.Registry.gauge reg "pager.frames" (fun () -> Hashtbl.length t.frames)
 
 let disk t = t.disk
 
@@ -109,11 +129,26 @@ let rec flush_frame t fr =
     (* Careful writing: prerequisites first. *)
     let ps = prereqs t fr.pid in
     Hashtbl.remove t.deps fr.pid;
+    if ps <> [] then begin
+      t.dep_flushes <- t.dep_flushes + List.length ps;
+      match t.tracer with
+      | Some tr ->
+        List.iter
+          (fun p ->
+            Obs.Trace.instant tr ~cat:"pager" "pager.dep-flush"
+              ~args:[ ("blocked", Obs.Trace.Int fr.pid); ("prereq", Obs.Trace.Int p) ])
+          ps
+      | None -> ()
+    end;
     List.iter (fun p -> flush_page t p) ps;
     (* WAL rule. *)
     t.before_write (Page.lsn fr.data);
     Disk.write t.disk fr.pid fr.data;
     t.flushes <- t.flushes + 1;
+    (match t.tracer with
+    | Some tr ->
+      Obs.Trace.instant tr ~cat:"pager" "pager.flush" ~args:[ ("pid", Obs.Trace.Int fr.pid) ]
+    | None -> ());
     fr.dirty <- false;
     discharge_deps_on t fr.pid;
     fire_waiters t fr.pid
@@ -147,6 +182,7 @@ let evict_one t =
   | None -> failwith "Buffer_pool: all frames pinned"
   | Some fr ->
     flush_frame t fr;
+    t.evictions <- t.evictions + 1;
     Hashtbl.remove t.frames fr.pid
 
 let load t pid =
@@ -160,9 +196,12 @@ let frame t pid =
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.frames pid with
   | Some fr ->
+    t.hits <- t.hits + 1;
     fr.last_use <- t.tick;
     fr
-  | None -> load t pid
+  | None ->
+    t.misses <- t.misses + 1;
+    load t pid
 
 let get t pid = (frame t pid).data
 

@@ -94,3 +94,14 @@ val dirty_pages : t -> int list
 val frame_count : t -> int
 val flushes : t -> int
 (** Number of page writes issued by this pool since creation. *)
+
+(** {2 Observability} *)
+
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register [pager.hits], [pager.misses], [pager.flushes],
+    [pager.dep_flushes] (flushes forced by careful-writing prerequisites),
+    [pager.evictions] and [pager.frames] gauges. *)
+
+val set_tracer : t -> Obs.Trace.t option -> unit
+(** While set, every page flush is recorded as a [pager.flush] instant event
+    and every careful-writing prerequisite flush as [pager.dep-flush]. *)

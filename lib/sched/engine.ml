@@ -6,17 +6,32 @@ type _ Effect.t +=
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
   | Sleep : int -> unit Effect.t
   | Now : int Effect.t
+  | Self : int Effect.t
   | Spawn : (string option * (unit -> unit)) -> unit Effect.t
 
+(* A fiber is one cooperative process.  Fibers carry an id and a name so the
+   tracer can put each process on its own timeline row, and so blocked time
+   can be attributed to the process that waited. *)
+type fiber = { fid : int; fname : string }
+
 type t = {
-  mutable runq : (unit -> unit) list; (* reversed tail for O(1) push *)
-  mutable runq_front : (unit -> unit) list;
-  mutable timers : (int * (unit -> unit)) list; (* sorted by time *)
+  mutable runq : (fiber * (unit -> unit)) list; (* reversed tail for O(1) push *)
+  mutable runq_front : (fiber * (unit -> unit)) list;
+  mutable timers : (int * fiber * (unit -> unit)) list; (* sorted by time *)
   mutable time : int;
   mutable stop : bool;
   mutable live : int;
   rng : Util.Rng.t option;
+  (* --- observability --- *)
+  mutable cur : fiber; (* fiber owning the currently running slice *)
+  mutable next_fid : int;
+  dispatches : Obs.Counter.t;
+  spawned : Obs.Counter.t;
+  blocked : Obs.Histogram.t; (* per-wait blocked ticks, over all fibers *)
+  mutable tracer : Obs.Trace.t option;
 }
+
+let root_fiber = { fid = 0; fname = "main" }
 
 let create ?(seed = 0) ?(random = false) () =
   {
@@ -27,9 +42,34 @@ let create ?(seed = 0) ?(random = false) () =
     stop = false;
     live = 0;
     rng = (if random then Some (Util.Rng.create seed) else None);
+    cur = root_fiber;
+    next_fid = 1;
+    dispatches = Obs.Counter.make "sched.dispatches";
+    spawned = Obs.Counter.make "sched.spawned";
+    blocked = Obs.Histogram.make "sched.blocked_ticks";
+    tracer = None;
   }
 
-let enqueue t thunk = t.runq <- thunk :: t.runq
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  match tracer with
+  | Some tr ->
+    Obs.Trace.set_clock tr (fun () -> t.time);
+    Obs.Trace.name_thread tr ~tid:root_fiber.fid root_fiber.fname
+  | None -> ()
+
+let tracer t = t.tracer
+
+let register_obs t reg =
+  Obs.Registry.attach_counter reg t.dispatches;
+  Obs.Registry.attach_counter reg t.spawned;
+  Obs.Registry.attach_histogram reg t.blocked;
+  Obs.Registry.gauge reg "sched.time" (fun () -> t.time);
+  Obs.Registry.gauge reg "sched.live" (fun () -> t.live)
+
+let blocked_ticks t = t.blocked
+
+let enqueue t fib thunk = t.runq <- (fib, thunk) :: t.runq
 
 let runq_len t = List.length t.runq + List.length t.runq_front
 
@@ -62,13 +102,23 @@ let pop_random t rng =
 
 let pop t = match t.rng with Some rng -> pop_random t rng | None -> pop_fifo t
 
-let add_timer t at thunk =
+let add_timer t at fib thunk =
   let rec insert = function
-    | [] -> [ (at, thunk) ]
-    | ((a, _) as hd) :: rest when a <= at -> hd :: insert rest
-    | rest -> (at, thunk) :: rest
+    | [] -> [ (at, fib, thunk) ]
+    | ((a, _, _) as hd) :: rest when a <= at -> hd :: insert rest
+    | rest -> (at, fib, thunk) :: rest
   in
   t.timers <- insert t.timers
+
+(* Record the end of a genuine wait (a [Suspend], i.e. a lock queue, a wait
+   queue, a durability callback): blocked from [since] until now. *)
+let note_unblocked t fib ~since =
+  let dur = t.time - since in
+  Obs.Histogram.observe_int t.blocked dur;
+  match t.tracer with
+  | Some tr when dur > 0 ->
+    Obs.Trace.complete tr ~tid:fib.fid ~cat:"sched" ~ts:since ~dur "blocked"
+  | _ -> ()
 
 let rec exec t fn =
   match_with fn ()
@@ -79,19 +129,29 @@ let rec exec t fn =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
           | Yield ->
-            Some (fun (k : (a, _) continuation) -> enqueue t (fun () -> continue k ()))
+            Some
+              (fun (k : (a, _) continuation) ->
+                let fib = t.cur in
+                enqueue t fib (fun () -> continue k ()))
           | Suspend register ->
             Some
               (fun (k : (a, _) continuation) ->
+                let fib = t.cur in
+                let since = t.time in
                 let resumed = ref false in
                 register (fun () ->
                     if !resumed then invalid_arg "Engine: resume called twice";
                     resumed := true;
-                    enqueue t (fun () -> continue k ())))
+                    enqueue t fib (fun () ->
+                        note_unblocked t fib ~since;
+                        continue k ())))
           | Sleep n ->
-            Some (fun (k : (a, _) continuation) ->
-                add_timer t (t.time + max 1 n) (fun () -> continue k ()))
+            Some
+              (fun (k : (a, _) continuation) ->
+                let fib = t.cur in
+                add_timer t (t.time + max 1 n) fib (fun () -> continue k ()))
           | Now -> Some (fun (k : (a, _) continuation) -> continue k t.time)
+          | Self -> Some (fun (k : (a, _) continuation) -> continue k t.cur.fid)
           | Spawn (name, f) ->
             Some
               (fun (k : (a, _) continuation) ->
@@ -101,16 +161,21 @@ let rec exec t fn =
     }
 
 and spawn t ?name fn =
-  ignore name;
+  let fid = t.next_fid in
+  t.next_fid <- fid + 1;
+  let fname = match name with Some n -> n | None -> Printf.sprintf "proc-%d" fid in
+  let fib = { fid; fname } in
+  (match t.tracer with Some tr -> Obs.Trace.name_thread tr ~tid:fid fname | None -> ());
+  Obs.Counter.incr t.spawned;
   t.live <- t.live + 1;
-  enqueue t (fun () -> exec t fn)
+  enqueue t fib (fun () -> exec t fn)
 
 let release_due_timers t =
   let rec go () =
     match t.timers with
-    | (at, thunk) :: rest when at <= t.time ->
+    | (at, fib, thunk) :: rest when at <= t.time ->
       t.timers <- rest;
-      enqueue t thunk;
+      enqueue t fib thunk;
       go ()
     | _ -> ()
   in
@@ -122,15 +187,17 @@ let run t =
     else begin
       release_due_timers t;
       match pop t with
-      | Some thunk ->
+      | Some (fib, thunk) ->
         t.time <- t.time + 1;
+        t.cur <- fib;
+        Obs.Counter.incr t.dispatches;
         thunk ();
         loop ()
       | None -> begin
         (* Idle: jump to the next timer. *)
         match t.timers with
         | [] -> ()
-        | (at, _) :: _ ->
+        | (at, _, _) :: _ ->
           t.time <- max t.time at;
           loop ()
       end
@@ -142,9 +209,11 @@ let stop t = t.stop <- true
 let stopped t = t.stop
 let now t = t.time
 let live t = t.live
+let dispatches t = Obs.Counter.get t.dispatches
 
 let yield () = perform Yield
 let suspend register = perform (Suspend register)
 let sleep n = perform (Sleep n)
 let current_time () = perform Now
+let current_fiber () = perform Self
 let spawn_child ?name fn = perform (Spawn (name, fn))

@@ -33,6 +33,26 @@ val now : t -> int
 val live : t -> int
 (** Processes spawned but not yet finished. *)
 
+(** {2 Observability}
+
+    The engine is the source of logical time, so it is also the natural
+    anchor for deterministic tracing: {!set_tracer} points the tracer's
+    clock at this engine and gives every spawned process its own timeline
+    row (named after [spawn]'s [?name]).  While a tracer is attached, every
+    completed {!suspend} wait is recorded as a ["blocked"] span on the
+    waiting process's row. *)
+
+val set_tracer : t -> Obs.Trace.t option -> unit
+val tracer : t -> Obs.Trace.t option
+
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register [sched.dispatches], [sched.spawned], [sched.blocked_ticks]
+    (histogram of per-wait blocked durations), [sched.time] and
+    [sched.live]. *)
+
+val dispatches : t -> int
+val blocked_ticks : t -> Obs.Histogram.t
+
 (** {2 Primitives usable only inside a process} *)
 
 val yield : unit -> unit
@@ -48,6 +68,9 @@ val sleep : int -> unit
 
 val current_time : unit -> int
 (** {!now} from inside a process. *)
+
+val current_fiber : unit -> int
+(** Id of the calling process — the [tid] used for its trace timeline row. *)
 
 val spawn_child : ?name:string -> (unit -> unit) -> unit
 (** Spawn from inside a process. *)

@@ -65,6 +65,16 @@ let load ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking ~fill
       Btree.Bulk.load ~journal ~alloc ~meta_pid:0 ~tree_name:1 ~fill ?internal_fill records)
     ()
 
+let register_obs t reg =
+  Lockmgr.Lock_mgr.register_obs t.locks reg;
+  Buffer_pool.register_obs t.pool reg;
+  Wal.Log.register_obs t.log reg
+
+let set_tracers t tracer =
+  Lockmgr.Lock_mgr.set_tracer t.locks tracer;
+  Buffer_pool.set_tracer t.pool tracer;
+  Wal.Log.set_tracer t.log tracer
+
 let checkpoint t ?(reorg_table = Record.empty_reorg_table) () =
   let body =
     Record.Checkpoint

@@ -32,6 +32,12 @@ val load :
   t
 (** Bulk-loaded tree (sorted records), flushed to disk. *)
 
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register the lock manager's, buffer pool's and log's gauges. *)
+
+val set_tracers : t -> Obs.Trace.t option -> unit
+(** Point every subsystem's tracer hook at the same trace (or detach). *)
+
 val checkpoint : t -> ?reorg_table:Wal.Record.reorg_table -> unit -> unit
 (** Write and force a checkpoint record. *)
 

@@ -34,7 +34,7 @@ let variant name config =
   ( name,
     r,
     s,
-    ctx.Reorg.Ctx.metrics.Reorg.Metrics.log_bytes,
+    (Reorg.Metrics.log_bytes ctx.Reorg.Ctx.metrics),
     range_cost db,
     dt )
 

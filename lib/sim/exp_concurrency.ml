@@ -27,7 +27,7 @@ let mk_db ?record_locking seed = Scenario.aged ?record_locking ~seed ~n:1500 ~f1
 
 let run_ours ?record_locking seed =
   let db, _ = mk_db ?record_locking seed in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let finished = ref false in
   Engine.spawn eng (fun () ->

@@ -30,8 +30,8 @@ let run () =
       let forces = (Wal.Log.stats db.Db.log).Wal.Log.forced - forces0 in
       let pages_per_unit =
         Util.Stats.ratio
-          (float_of_int (m.Reorg.Metrics.pages_compacted + m.Reorg.Metrics.units))
-          (float_of_int m.Reorg.Metrics.units)
+          (float_of_int ((Reorg.Metrics.pages_compacted m) + (Reorg.Metrics.units m)))
+          (float_of_int (Reorg.Metrics.units m))
       in
       Util.Table.add_row table
         [ Printf.sprintf "%.2f" f1; "paper (one process)";

@@ -36,13 +36,13 @@ let run () =
       let m, r = measure ~careful ~swap_pass in
       Util.Table.add_row table
         [ name; string_of_int r.Reorg.Driver.pass1_units; string_of_int r.Reorg.Driver.swaps;
-          Util.Table.fmt_int m.Reorg.Metrics.records_moved;
-          Util.Table.fmt_int m.Reorg.Metrics.log_records;
-          Util.Table.fmt_bytes m.Reorg.Metrics.log_bytes;
+          Util.Table.fmt_int (Reorg.Metrics.records_moved m);
+          Util.Table.fmt_int (Reorg.Metrics.log_records m);
+          Util.Table.fmt_bytes (Reorg.Metrics.log_bytes m);
           Util.Table.fmt_float
             (Util.Stats.ratio
-               (float_of_int m.Reorg.Metrics.log_bytes)
-               (float_of_int m.Reorg.Metrics.records_moved)) ])
+               (float_of_int (Reorg.Metrics.log_bytes m))
+               (float_of_int (Reorg.Metrics.records_moved m))) ])
     [
       ("careful writing, pass 1 only", true, false);
       ("full contents,   pass 1 only", false, false);

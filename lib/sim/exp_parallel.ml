@@ -14,7 +14,7 @@ let run_one ~workers =
   let config =
     { Reorg.Config.default with io_pacing = 4; swap_pass = false; shrink_pass = false }
   in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   let finished = ref false in
   let elapsed = ref 0 in
@@ -32,7 +32,7 @@ let run_one ~workers =
   Engine.run eng;
   Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
   Btree.Invariant.check_consistent_with db.Db.tree ~expected;
-  (!elapsed, ctx.Reorg.Ctx.metrics.Reorg.Metrics.units, stats)
+  (!elapsed, (Reorg.Metrics.units ctx.Reorg.Ctx.metrics), stats)
 
 let run () =
   let table =

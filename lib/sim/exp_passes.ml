@@ -45,7 +45,7 @@ let run_figure1 () =
         layout_string db ]
   in
   snap "initial (sparse, scattered)";
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   Engine.spawn eng (fun () ->
       ignore (Reorg.Pass1.run ctx);
@@ -75,15 +75,15 @@ let run_figure2 () =
       let ctx, r, _ = Scenario.run_reorg db in
       let m = ctx.Reorg.Ctx.metrics in
       let d =
-        if m.Reorg.Metrics.units = 0 then 0.0
+        if (Reorg.Metrics.units m) = 0 then 0.0
         else
-          float_of_int (m.Reorg.Metrics.pages_compacted + m.Reorg.Metrics.units)
-          /. float_of_int m.Reorg.Metrics.units
+          float_of_int ((Reorg.Metrics.pages_compacted m) + (Reorg.Metrics.units m))
+          /. float_of_int (Reorg.Metrics.units m)
       in
       Util.Table.add_row table
         [ Printf.sprintf "%.2f" f1; string_of_int r.Reorg.Driver.pass1_units;
-          string_of_int m.Reorg.Metrics.new_place_units;
-          string_of_int m.Reorg.Metrics.in_place_units; Printf.sprintf "%.1f" d;
+          string_of_int (Reorg.Metrics.new_place_units m);
+          string_of_int (Reorg.Metrics.in_place_units m); Printf.sprintf "%.1f" d;
           string_of_int r.Reorg.Driver.swaps; string_of_int r.Reorg.Driver.moves ])
     [ 0.15; 0.25; 0.35; 0.45 ];
   table

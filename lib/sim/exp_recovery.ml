@@ -11,24 +11,24 @@ module Tree = Btree.Tree
 
 let crash_ours ~crash_at =
   let db, expected = Scenario.aged ~seed:47 ~n:1200 ~f1:0.3 () in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
   Engine.spawn eng (fun () ->
       Engine.sleep crash_at;
       Engine.stop eng);
   Engine.run eng;
-  let units_before = ctx.Reorg.Ctx.metrics.Reorg.Metrics.units in
+  let units_before = (Reorg.Metrics.units ctx.Reorg.Ctx.metrics) in
   Sim_util.partial_flush db (crash_at * 3);
   Db.crash db;
-  let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default () in
   let lk = Reorg.Rtable.lk ctx2.Reorg.Ctx.rtable in
   let eng2 = Engine.create () in
   Engine.spawn eng2 (fun () -> ignore (Reorg.Recovery.resume_reorganization ctx2 outcome));
   Engine.run eng2;
   Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
   Btree.Invariant.check_consistent_with db.Db.tree ~expected;
-  let units_after_resume = ctx2.Reorg.Ctx.metrics.Reorg.Metrics.units in
+  let units_after_resume = (Reorg.Metrics.units ctx2.Reorg.Ctx.metrics) in
   ( units_before,
     (if lk > min_int then units_before else 0),
     units_after_resume,
@@ -52,7 +52,7 @@ let crash_tandem ~crash_at =
      and the whole pass restarts from the front (its scan has no durable
      cursor).  The completed merges whose pages were committed survive as
      tree state, but the reorganizer re-scans everything. *)
-  let _ctx, _outcome = Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default in
+  let _ctx, _outcome = Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default () in
   let stats2 = Baseline.Tandem.create_stats () in
   let eng2 = Engine.create () in
   Engine.spawn eng2 (fun () ->

@@ -30,7 +30,7 @@ let run ?(n = 2500) () =
             let ctx, r, _ = Scenario.run_reorg ~config db in
             Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
             Btree.Invariant.check_consistent_with db.Db.tree ~expected;
-            (name, r, ctx.Reorg.Ctx.metrics.Reorg.Metrics.log_bytes))
+            (name, r, (Reorg.Metrics.log_bytes ctx.Reorg.Ctx.metrics)))
           [
             ("paper", Reorg.Config.Paper_heuristic);
             ("first-free", Reorg.Config.First_free);

@@ -15,7 +15,7 @@ let run_one ?(lambda = false) ~updaters ~think ~switch_wait () =
   let config =
     { Reorg.Config.default with switch_wait; scan_pacing = 12; lambda_switch = lambda }
   in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   let finished = ref false in
   let in_pass3 = ref false in
@@ -41,8 +41,8 @@ let run_one ?(lambda = false) ~updaters ~think ~switch_wait () =
   Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;
   let m = ctx.Reorg.Ctx.metrics in
   ( !switch_ended - !switch_started,
-    m.Reorg.Metrics.side_entries,
-    m.Reorg.Metrics.forced_aborts,
+    (Reorg.Metrics.side_entries m),
+    (Reorg.Metrics.forced_aborts m),
     stats.Workload.Mix.committed )
 
 let run () =

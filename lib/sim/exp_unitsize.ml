@@ -12,7 +12,7 @@ module Engine = Sched.Engine
 let run_one ~unit_pages =
   let db, expected = Scenario.aged ~seed:59 ~n:1500 ~f1:0.25 () in
   let config = { Reorg.Config.default with unit_pages; shrink_pass = false } in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   let finished = ref false in
   Engine.spawn eng (fun () ->
@@ -55,7 +55,7 @@ let run () =
       let ticks, metrics, stats = run_one ~unit_pages in
       Util.Table.add_row table
         [ string_of_int unit_pages; Util.Table.fmt_int ticks;
-          string_of_int metrics.Reorg.Metrics.units;
+          string_of_int (Reorg.Metrics.units metrics);
           Util.Table.fmt_int stats.Workload.Mix.blocked_ticks;
           Util.Table.fmt_float
             (Util.Stats.ratio

@@ -50,12 +50,19 @@ let purged ?(page_size = 512) ~seed ~n ~ranges ~width () =
   in
   (db, expected)
 
-let run_reorg ?(config = Reorg.Config.default) ?(users = 0) ?(user_mix = Workload.Mix.read_mostly)
-    ?(user_ops = 10_000) ?(seed = 1) db =
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+let run_reorg ?registry ?tracer ?(config = Reorg.Config.default) ?(users = 0)
+    ?(user_mix = Workload.Mix.read_mostly) ?(user_ops = 10_000) ?(seed = 1) db =
+  let ctx = Reorg.Ctx.make ?registry ?tracer ~access:db.Db.access ~config () in
   let eng = Engine.create () in
+  Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
+  Db.set_tracers db ctx.Reorg.Ctx.tracer;
+  (match registry with
+  | Some reg ->
+    Engine.register_obs eng reg;
+    Db.register_obs db reg
+  | None -> ());
   let report = ref None in
-  Engine.spawn eng (fun () -> report := Some (Reorg.Driver.run ctx));
+  Engine.spawn eng ~name:"reorganizer" (fun () -> report := Some (Reorg.Driver.run ctx));
   let ustats =
     if users > 0 then
       Workload.Mix.spawn_users eng ~access:db.Db.access ~seed ~users ~ops_per_user:user_ops

@@ -36,6 +36,8 @@ val purged :
 (** Clustered range deletions (retention purges). *)
 
 val run_reorg :
+  ?registry:Obs.Registry.t ->
+  ?tracer:Obs.Trace.t ->
   ?config:Reorg.Config.t ->
   ?users:int ->
   ?user_mix:Workload.Mix.mix ->
@@ -45,4 +47,7 @@ val run_reorg :
   Reorg.Ctx.t * Reorg.Driver.report * Workload.Mix.stats
 (** Run the full reorganization inside a fresh scheduler, optionally with
     concurrent users (they stop when the reorganizer finishes or after
-    [user_ops], default 10_000 each). *)
+    [user_ops], default 10_000 each).  [registry] collects every subsystem's
+    counters (scheduler, locks, pager, WAL, reorganizer); [tracer] records
+    the run as spans/instants on per-process timeline rows, with its clock
+    driven by the scheduler's logical time. *)

@@ -13,6 +13,23 @@ let block mgr ~txn res mode ~instant =
           resume ()));
   let ticks = Sched.Engine.current_time () - started in
   Txn.note_wait txn ~ticks;
+  (match Lock_mgr.tracer mgr with
+  | Some tr ->
+    let name = if instant then "lock.rs-wait" else "lock.wait" in
+    let outcome =
+      match !result with Lock_mgr.Granted -> "granted" | Lock_mgr.Deadlock -> "deadlock"
+    in
+    Obs.Trace.complete tr
+      ~tid:(Sched.Engine.current_fiber ())
+      ~cat:"lock" ~ts:started ~dur:ticks name
+      ~args:
+        [
+          ("res", Obs.Trace.Str (Lockmgr.Resource.to_string res));
+          ("mode", Obs.Trace.Str (Lockmgr.Mode.to_string mode));
+          ("txn", Obs.Trace.Int txn.Txn.id);
+          ("outcome", Obs.Trace.Str outcome);
+        ]
+  | None -> ());
   match !result with
   | Lock_mgr.Granted -> ()
   | Lock_mgr.Deadlock -> raise Deadlock_victim

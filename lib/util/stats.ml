@@ -24,9 +24,16 @@ let percentile xs p =
   let idx = if rank <= 0 then 0 else if rank > n then n - 1 else rank - 1 in
   sorted.(idx)
 
+(* The well-defined summary of the empty sample: everything zero.  Metrics
+   dumps summarize histograms that may never have been fed (an experiment
+   with swaps disabled, a crash before pass 3) and must not crash. *)
+let empty_summary =
+  { count = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+
 let summarize xs =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  if n = 0 then empty_summary
+  else
   let m = mean xs in
   let var =
     Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
@@ -44,6 +51,10 @@ let summarize xs =
     p90 = percentile xs 90.0;
     p99 = percentile xs 99.0;
   }
+
+(* [None] for the empty sample, for callers that want to distinguish "no
+   data" from a legitimately all-zero distribution. *)
+let summarize_opt xs = if Array.length xs = 0 then None else Some (summarize xs)
 
 let ratio a b = if b = 0.0 then nan else a /. b
 

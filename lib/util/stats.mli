@@ -12,8 +12,16 @@ type summary = {
 }
 (** Summary of a sample. *)
 
+val empty_summary : summary
+(** The all-zero summary: what {!summarize} returns for the empty sample. *)
+
 val summarize : float array -> summary
-(** Descriptive summary.  Raises [Invalid_argument] on an empty sample. *)
+(** Descriptive summary.  The empty sample yields {!empty_summary} — an
+    empty histogram bucket must never crash a metrics dump. *)
+
+val summarize_opt : float array -> summary option
+(** [None] on the empty sample, for callers that must distinguish "no data"
+    from an all-zero distribution. *)
 
 val mean : float array -> float
 

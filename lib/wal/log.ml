@@ -11,6 +11,7 @@ type t = {
   mutable records : int;
   mutable bytes : int;
   mutable forced : int;
+  mutable tracer : Obs.Trace.t option;
 }
 
 let create () =
@@ -23,7 +24,16 @@ let create () =
     records = 0;
     bytes = 0;
     forced = 0;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let register_obs t reg =
+  Obs.Registry.gauge reg "wal.records" (fun () -> t.records);
+  Obs.Registry.gauge reg "wal.bytes" (fun () -> t.bytes);
+  Obs.Registry.gauge reg "wal.forced" (fun () -> t.forced);
+  Obs.Registry.gauge reg "wal.flushed_lsn" (fun () -> t.flushed)
 
 let slot t lsn = lsn - t.base - 1
 
@@ -50,6 +60,11 @@ let force t lsn =
   let lsn = min lsn (head_lsn t) in
   if lsn > t.flushed then begin
     t.forced <- t.forced + 1;
+    (match t.tracer with
+    | Some tr ->
+      Obs.Trace.instant tr ~cat:"wal" "wal.force"
+        ~args:[ ("from", Obs.Trace.Int t.flushed); ("to", Obs.Trace.Int lsn) ]
+    | None -> ());
     (* Track the most recent checkpoint as it becomes stable. *)
     for l = t.flushed + 1 to lsn do
       match t.entries.(slot t l) with

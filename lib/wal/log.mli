@@ -49,3 +49,13 @@ val last_checkpoint : t -> (Lsn.t * Record.body) option
 val stats : t -> stats
 val reset_stats : t -> unit
 (** Zeroes the counters in {!stats} (the records themselves are kept). *)
+
+(** {2 Observability} *)
+
+val register_obs : t -> Obs.Registry.t -> unit
+(** Register [wal.records], [wal.bytes], [wal.forced] and
+    [wal.flushed_lsn] gauges. *)
+
+val set_tracer : t -> Obs.Trace.t option -> unit
+(** While set, every force that actually advances the stable boundary is
+    recorded as a [wal.force] instant event. *)

@@ -62,7 +62,7 @@ let spawn_users eng ~access ~seed ~users ~ops_per_user ?(think = 1)
   let stats = create_stats () in
   let mgr = Access.mgr access in
   for u = 0 to users - 1 do
-    Engine.spawn eng (fun () ->
+    Engine.spawn eng ~name:(Printf.sprintf "user-%d" u) (fun () ->
         let rng = Util.Rng.create (seed + (u * 7919)) in
         while not (start ()) && not (stop ()) do
           Engine.sleep 1

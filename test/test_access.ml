@@ -365,7 +365,7 @@ let test_record_lock_conflicts_on_same_key () =
 let test_reorg_with_record_locking_users () =
   let records = List.init 500 (fun i -> (2 * i, payload (2 * i))) in
   let db = Db.load ~record_locking:true ~leaf_pages:2048 ~fill:0.3 records in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let finished = ref false in
   Engine.spawn eng (fun () ->

@@ -108,7 +108,7 @@ let test_crash_rolls_back_in_flight_op () =
       Sim.Sim_util.partial_flush db (crash_at * 7);
       Db.crash db;
       let _ctx, outcome =
-        Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default
+        Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default ()
       in
       ignore outcome;
       Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree;

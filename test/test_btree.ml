@@ -229,7 +229,7 @@ let test_cursor_survives_reorg () =
   let records = List.init 400 (fun i -> (2 * i, payload (2 * i))) in
   let db = Sim.Db.load ~leaf_pages:2048 ~fill:0.3 records in
   Workload.Scramble.spread_leaves db.Sim.Db.tree (Util.Rng.create 3) ~span_factor:1.5;
-  let ctx = Reorg.Ctx.make ~access:db.Sim.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Sim.Db.access ~config:Reorg.Config.default () in
   let eng = Sched.Engine.create () in
   Sched.Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
   Sched.Engine.run eng;

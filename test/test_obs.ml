@@ -1,0 +1,196 @@
+(* Observability tests: registry, histograms, span nesting, and the golden
+   determinism property — same seed, same Chrome-trace bytes. *)
+
+module Registry = Obs.Registry
+module Counter = Obs.Counter
+module Histogram = Obs.Histogram
+module Trace = Obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_counters () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "a.hits" in
+  Counter.incr c;
+  Counter.incr c ~by:4;
+  Alcotest.(check int) "value" 5 (Counter.get c);
+  (* Find-or-create returns the same cell. *)
+  let c' = Registry.counter reg "a.hits" in
+  Counter.incr c';
+  Alcotest.(check int) "shared cell" 6 (Counter.get c);
+  Alcotest.(check (option int)) "value lookup" (Some 6) (Registry.value reg "a.hits");
+  Alcotest.(check (option int)) "missing" None (Registry.value reg "nope");
+  (* Kind mismatch is an error. *)
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Registry.histogram: a.hits is not a histogram") (fun () ->
+      ignore (Registry.histogram reg "a.hits"));
+  Registry.reset reg;
+  Alcotest.(check (option int)) "reset" (Some 0) (Registry.value reg "a.hits")
+
+let test_registry_gauges_and_order () =
+  let reg = Registry.create () in
+  let live = ref 3 in
+  Registry.gauge reg "z.live" (fun () -> !live);
+  ignore (Registry.counter reg "b.count");
+  ignore (Registry.counter reg "a.count");
+  Alcotest.(check (list string)) "sorted dump order"
+    [ "a.count"; "b.count"; "z.live" ]
+    (List.map fst (Registry.sorted reg));
+  Alcotest.(check (option int)) "gauge reads live state" (Some 3) (Registry.value reg "z.live");
+  live := 9;
+  Alcotest.(check (option int)) "gauge re-reads" (Some 9) (Registry.value reg "z.live");
+  (* Gauges survive reset untouched (they have no stored state). *)
+  Registry.reset reg;
+  Alcotest.(check (option int)) "gauge after reset" (Some 9) (Registry.value reg "z.live");
+  (* Re-registration by name is idempotent, not an error. *)
+  Registry.gauge reg "z.live" (fun () -> 42);
+  Alcotest.(check (option int)) "replaced" (Some 42) (Registry.value reg "z.live");
+  Alcotest.(check int) "cardinal" 3 (Registry.cardinal reg)
+
+let test_histogram_summary () =
+  let h = Histogram.make "test.h" in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  (* Empty histograms summarize to the zero summary instead of raising. *)
+  let s0 = Histogram.summary h in
+  Alcotest.(check int) "empty summary count" 0 s0.Util.Stats.count;
+  Alcotest.(check (float 0.0)) "empty summary mean" 0.0 s0.Util.Stats.mean;
+  List.iter (fun v -> Histogram.observe_int h v) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  let s = Histogram.summary h in
+  Alcotest.(check int) "count" 10 s.Util.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 5.5 s.Util.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Util.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 10.0 s.Util.Stats.max;
+  Alcotest.(check (float 1e-9)) "total" 55.0 (Histogram.total h);
+  Histogram.reset h;
+  Alcotest.(check int) "reset" 0 (Histogram.count h)
+
+let test_registry_json () =
+  let reg = Registry.create () in
+  Counter.incr (Registry.counter reg "a") ~by:7;
+  Registry.gauge reg "b" (fun () -> 2);
+  let j = Registry.to_json reg in
+  Alcotest.(check string) "json" "{\"a\":7,\"b\":2}" j
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_span_nesting () =
+  let time = ref 0 in
+  let tr = Trace.create ~clock:(fun () -> !time) () in
+  Trace.begin_span tr ~cat:"t" "outer";
+  time := 2;
+  Trace.begin_span tr ~cat:"t" "inner";
+  time := 5;
+  Trace.end_span tr ();
+  time := 9;
+  Trace.end_span tr ~args:[ ("outcome", Trace.Str "ok") ] ();
+  Alcotest.(check int) "two spans" 2 (Trace.event_count tr);
+  let json = Trace.to_chrome_json tr in
+  (* Inner closes first: ts=2 dur=3; outer spans the whole interval. *)
+  Alcotest.(check bool) "inner interval" true
+    (contains ~needle:"\"name\":\"inner\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":2,\"dur\":3" json);
+  Alcotest.(check bool) "outer interval" true
+    (contains ~needle:"\"name\":\"outer\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":9" json);
+  Alcotest.(check bool) "end args appended" true
+    (contains ~needle:"\"outcome\":\"ok\"" json);
+  Alcotest.check_raises "unbalanced end"
+    (Invalid_argument "Trace.end_span: no open span for tid") (fun () ->
+      Trace.end_span tr ())
+
+let test_with_span_on_exception () =
+  let time = ref 0 in
+  let tr = Trace.create ~clock:(fun () -> !time) () in
+  (try
+     Trace.with_span tr ~cat:"t" "boom" (fun () ->
+         time := 4;
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite exception" 1 (Trace.event_count tr);
+  Alcotest.(check int) "named" 1 (Trace.count_named tr "boom")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One fixed-seed concurrent reorganization, fully instrumented. *)
+let traced_run () =
+  let db, _ = Sim.Scenario.aged ~seed:11 ~n:600 ~f1:0.3 () in
+  let registry = Obs.Registry.create () in
+  let tracer = Obs.Trace.create () in
+  let ctx, _report, _ustats =
+    Sim.Scenario.run_reorg ~registry ~tracer ~users:4 ~user_mix:Workload.Mix.update_heavy db
+  in
+  (ctx, registry, tracer)
+
+let test_golden_trace_determinism () =
+  let _, reg1, tr1 = traced_run () in
+  let _, reg2, tr2 = traced_run () in
+  Alcotest.(check string) "identical chrome JSON" (Trace.to_chrome_json tr1)
+    (Trace.to_chrome_json tr2);
+  Alcotest.(check string) "identical registry dump" (Registry.dump reg1) (Registry.dump reg2);
+  Alcotest.(check string) "identical timeline" (Trace.to_timeline tr1) (Trace.to_timeline tr2)
+
+let test_trace_covers_subsystems () =
+  let ctx, reg, tr = traced_run () in
+  let json = Trace.to_chrome_json tr in
+  (* All three passes, per-unit spans, and lock waits show up. *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "trace mentions %S" needle) true
+        (contains ~needle json))
+    [ "pass1"; "pass2"; "pass3"; "unit."; "lock.wait"; "reorganizer"; "user-0" ];
+  (* The registry saw every layer. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true (Registry.value reg name <> None))
+    [
+      "sched.dispatches";
+      "lock.acquires";
+      "pager.hits";
+      "wal.records";
+      "core.units";
+    ];
+  (* Registry counters agree with the Metrics accessors. *)
+  Alcotest.(check (option int)) "core.units agrees"
+    (Some (Reorg.Metrics.units ctx.Reorg.Ctx.metrics))
+    (Registry.value reg "core.units");
+  (* Chrome export parses as balanced JSON (cheap structural check). *)
+  let depth = ref 0 and min_depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '{' || c = '[' then incr depth
+      else if c = '}' || c = ']' then decr depth;
+      if !depth < !min_depth then min_depth := !depth)
+    json;
+  Alcotest.(check int) "balanced brackets" 0 !depth;
+  Alcotest.(check int) "never negative" 0 !min_depth
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_registry_counters;
+          Alcotest.test_case "gauges and order" `Quick test_registry_gauges_and_order;
+          Alcotest.test_case "histogram summaries" `Quick test_histogram_summary;
+          Alcotest.test_case "json" `Quick test_registry_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "with_span on exception" `Quick test_with_span_on_exception;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "golden determinism" `Quick test_golden_trace_determinism;
+          Alcotest.test_case "subsystem coverage" `Quick test_trace_covers_subsystems;
+        ] );
+    ]

@@ -12,7 +12,7 @@ module Buffer_pool = Pager.Buffer_pool
 let payload = Db.payload_for
 
 let restart db =
-  Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default
+  Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default ()
 
 (* Flush a seeded random subset of dirty pages — the arbitrary disk states a
    crash can leave behind (flush_page honours the WAL rule and careful
@@ -86,7 +86,7 @@ let mk_sparse ?(n = 700) ?(seed = 5) () =
 
 (* Run the reorganization but crash after [crash_at] scheduler ticks. *)
 let crash_reorg_at db crash_at =
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let finished = ref false in
   Engine.spawn eng (fun () ->
@@ -159,7 +159,7 @@ let test_crash_with_concurrent_updaters () =
      committed user work must survive, uncommitted must roll back, and the
      reorganization must be resumable. *)
   let db, records = mk_sparse ~n:400 () in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let committed : (int, string) Hashtbl.t = Hashtbl.create 32 in
   List.iter (fun (k, v) -> Hashtbl.replace committed k v) records;
@@ -199,14 +199,14 @@ let test_work_preserved_vs_rollback () =
      an identical crash, our LK (completed prefix) is retained and the
      resumed run does not repeat completed units. *)
   let db, _records = mk_sparse ~n:400 () in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
   Engine.spawn eng (fun () ->
       Engine.sleep 60;
       Engine.stop eng);
   Engine.run eng;
-  let units_before = ctx.Reorg.Ctx.metrics.Reorg.Metrics.units in
+  let units_before = (Reorg.Metrics.units ctx.Reorg.Ctx.metrics) in
   partial_flush db 13;
   Db.crash db;
   let ctx2, outcome = restart db in
@@ -227,7 +227,7 @@ let test_crash_with_checkpointer () =
   List.iter
     (fun crash_at ->
       let db, records = mk_sparse ~n:400 ~seed:(crash_at + 1) () in
-      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
       let eng = Engine.create () in
       let finished = ref false in
       Engine.spawn eng (fun () ->
@@ -256,7 +256,7 @@ let test_crash_point_sweep_lambda () =
   List.iter
     (fun crash_at ->
       let db, records = mk_sparse ~n:400 ~seed:(crash_at * 13) () in
-      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
       let eng = Engine.create () in
       Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
       Engine.spawn eng (fun () ->
@@ -265,7 +265,7 @@ let test_crash_point_sweep_lambda () =
       Engine.run eng;
       partial_flush db (crash_at * 5);
       Db.crash db;
-      let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config in
+      let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config () in
       let eng2 = Engine.create () in
       Engine.spawn eng2 (fun () ->
           ignore (Reorg.Recovery.resume_reorganization ctx2 outcome));
@@ -286,7 +286,7 @@ let crash_anywhere_prop =
           triple (int_bound 1000) (int_range 5 800) (int_bound 1000)))
     (fun (seed, crash_at, flush_seed) ->
       let db, records = mk_sparse ~n:300 ~seed () in
-      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
       let eng = Engine.create () in
       Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
       Engine.spawn eng (fun () ->

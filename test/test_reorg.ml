@@ -28,7 +28,7 @@ let sparse_db ?(page_size = 512) ?(n = 800) ?(survive = 0.34) ?(seed = 11) () =
   (db, expected)
 
 let run_reorg ?(config = Reorg.Config.default) db =
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   let report = ref None in
   Engine.spawn eng (fun () -> report := Some (Reorg.Driver.run ctx));
@@ -118,7 +118,7 @@ let test_careful_writing_smaller_log () =
     let config = { Reorg.Config.default with careful_writing = careful; shrink_pass = false } in
     let ctx, _ = run_reorg ~config db in
     check db;
-    ctx.Reorg.Ctx.metrics.Reorg.Metrics.log_bytes
+    (Reorg.Metrics.log_bytes ctx.Reorg.Ctx.metrics)
   in
   let careful = log_bytes true in
   let full = log_bytes false in
@@ -130,7 +130,7 @@ let test_careful_writing_smaller_log () =
 let test_reorg_with_concurrent_readers () =
   let db, expected = sparse_db () in
   let live_keys = Array.of_list (List.map fst expected) in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let rng = Util.Rng.create 99 in
   let reads = ref 0 and wrong = ref 0 in
@@ -157,7 +157,7 @@ let test_reorg_with_concurrent_readers () =
 
 let test_reorg_with_concurrent_updaters () =
   let db, expected = sparse_db ~n:600 () in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let model = Hashtbl.create 64 in
   List.iter (fun (k, v) -> Hashtbl.replace model k v) expected;
@@ -199,7 +199,7 @@ let test_updater_blocked_by_rx_gives_up () =
   (* Direct protocol check: a reader that hits RX waits via instant RS and
      then succeeds; counted in Txn.gave_up. *)
   let db, expected = sparse_db ~n:400 () in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
   let eng = Engine.create () in
   let gave_up = ref 0 in
   Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ctx));
@@ -252,7 +252,7 @@ let test_lambda_switch () =
      under concurrent split-heavy updaters. *)
   let db, _ = sparse_db ~n:600 () in
   let config = { Reorg.Config.default with lambda_switch = true; scan_pacing = 6 } in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   let finished = ref false in
   Engine.spawn eng (fun () ->
@@ -282,7 +282,7 @@ let test_lambda_switch () =
   done;
   Engine.run eng;
   Alcotest.(check bool) "no forced aborts in lambda mode" true
-    (ctx.Reorg.Ctx.metrics.Reorg.Metrics.forced_aborts = 0);
+    ((Reorg.Metrics.forced_aborts ctx.Reorg.Ctx.metrics) = 0);
   Alcotest.(check bool) "reorg bit cleared after background drain" false
     (Tree.reorg_bit db.Db.tree);
   check db;
@@ -296,7 +296,7 @@ let test_parallel_pass1 () =
     (fun workers ->
       let db, expected = sparse_db ~n:800 ~seed:(workers * 3) () in
       let before = Tree.stats db.Db.tree in
-      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default in
+      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config:Reorg.Config.default () in
       let eng = Engine.create () in
       let report = ref None in
       Engine.spawn eng (fun () -> report := Some (Reorg.Driver.run ~pass1_workers:workers ctx));
@@ -318,7 +318,7 @@ let test_parallel_pass1 () =
 let test_parallel_with_users_and_pacing () =
   let db, _ = sparse_db ~n:800 () in
   let config = { Reorg.Config.default with io_pacing = 3 } in
-  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+  let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   let finished = ref false in
   Engine.spawn eng (fun () ->
@@ -341,7 +341,7 @@ let test_parallel_crash_recovery () =
     (fun crash_at ->
       let db, expected = sparse_db ~n:800 ~seed:(crash_at + 2) () in
       let config = { Reorg.Config.default with io_pacing = 2 } in
-      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config in
+      let ctx = Reorg.Ctx.make ~access:db.Db.access ~config () in
       let eng = Engine.create () in
       Engine.spawn eng (fun () -> ignore (Reorg.Driver.run ~pass1_workers:4 ctx));
       Engine.spawn eng (fun () ->
@@ -355,7 +355,7 @@ let test_parallel_crash_recovery () =
         (Pager.Buffer_pool.dirty_pages db.Db.pool);
       Db.crash db;
       let ctx2, outcome =
-        Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default
+        Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default ()
       in
       let eng2 = Engine.create () in
       Engine.spawn eng2 (fun () ->

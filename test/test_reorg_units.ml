@@ -17,7 +17,7 @@ module Builder = Reorg.Builder
 
 let payload = Db.payload_for
 
-let mk_ctx ?(config = Reorg.Config.default) db = Ctx.make ~access:db.Db.access ~config
+let mk_ctx ?(config = Reorg.Config.default) db = Ctx.make ~access:db.Db.access ~config ()
 
 let in_engine f =
   let eng = Engine.create () in

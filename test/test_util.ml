@@ -49,8 +49,14 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "p50" 3.0 s.Util.Stats.p50
 
 let test_stats_empty () =
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample") (fun () ->
-      ignore (Util.Stats.summarize [||]))
+  (* The empty sample yields the all-zero summary rather than raising, so an
+     empty histogram bucket never crashes a metrics dump. *)
+  let s = Util.Stats.summarize [||] in
+  Alcotest.(check int) "count" 0 s.Util.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 s.Util.Stats.mean;
+  Alcotest.(check (float 1e-9)) "p99" 0.0 s.Util.Stats.p99;
+  Alcotest.(check bool) "opt none" true (Util.Stats.summarize_opt [||] = None);
+  Alcotest.(check bool) "opt some" true (Util.Stats.summarize_opt [| 1.0 |] <> None)
 
 let test_percentile_extremes () =
   let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
