@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench torture clean
 
 all: build
 
@@ -14,6 +14,15 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Exhaustive crash-point sweep: crash at every write boundary on three seeds,
+# recover forward, verify.  Fast (in-memory disk), run it before shipping
+# anything that touches the pager, WAL or recovery.
+torture:
+	dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 1 -n 120
+	dune exec bin/reorg_cli.exe -- torture --seed 23 --stride 1 -n 120
+	dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 1 -n 120
+	dune exec bin/reorg_cli.exe -- torture --seed 7 --stride 17 --users 2
 
 clean:
 	dune clean

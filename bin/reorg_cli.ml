@@ -8,7 +8,8 @@
      reorg-cli reorganize --records 5000 --fill 0.25 --no-swap
      reorg-cli inspect --records 2000 --fill 0.3
      reorg-cli crash --at 150                # crash + forward recovery
-     reorg-cli workload --users 8 --mix update-heavy *)
+     reorg-cli workload --users 8 --mix update-heavy
+     reorg-cli torture --seed 42 --stride 1  # crash at every write boundary *)
 
 open Cmdliner
 
@@ -198,8 +199,7 @@ let crash at records seed =
   Printf.printf "crash at tick %d: %d units complete, LK=%d\n" at
     (Reorg.Metrics.units ctx.Reorg.Ctx.metrics)
     (Reorg.Rtable.lk ctx.Reorg.Ctx.rtable);
-  Sim.Sim_util.partial_flush db seed;
-  Sim.Db.crash db;
+  Sim.Db.crash_now ~flush_seed:seed db;
   let ctx2, outcome =
     Reorg.Recovery.restart ~access:db.Sim.Db.access ~config:Reorg.Config.default ()
   in
@@ -220,6 +220,28 @@ let crash at records seed =
   Btree.Invariant.check_consistent_with db.Sim.Db.tree ~expected;
   print_tree_stats "after" db.Sim.Db.tree;
   print_endline "all records intact, invariants OK"
+
+let torture seed stride records users trace metrics =
+  setup_logs ();
+  let registry, tracer = obs_setup ~trace ~metrics in
+  match Sim.Torture.run ?registry ?tracer ~seed ~stride ~n:records ~users () with
+  | r ->
+    Printf.printf
+      "torture: seed=%d stride=%d\n\
+       boundaries: %d page writes, %d log forces\n\
+       tested %d crash points: %d crashed, %d survived to the end\n\
+       faults: %d torn page writes, %d torn WAL tails (%d repaired on recovery)\n\
+       recovery finished %d interrupted units forward\n"
+      seed stride r.Sim.Torture.write_boundaries r.Sim.Torture.force_boundaries
+      r.Sim.Torture.points r.Sim.Torture.crashes r.Sim.Torture.survivors
+      r.Sim.Torture.torn_writes r.Sim.Torture.torn_tails r.Sim.Torture.torn_repaired
+      r.Sim.Torture.units_finished;
+    obs_report ~trace registry tracer;
+    print_endline "all crash points recovered, invariants OK"
+  | exception Sim.Torture.Failed msg ->
+    obs_report ~trace registry tracer;
+    Printf.eprintf "torture FAILED: %s\n" msg;
+    exit 2
 
 let workload users mix_name records seed trace metrics =
   setup_logs ();
@@ -272,6 +294,28 @@ let crash_cmd =
     (Cmd.info "crash" ~doc:"Crash mid-reorganization and recover forward.")
     Term.(const crash $ at_t $ records_t $ seed_t)
 
+let torture_cmd =
+  let stride_t =
+    Arg.(
+      value & opt int 17
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Test every $(docv)-th crash point (1 = exhaustive sweep of every boundary).")
+  in
+  let users_t =
+    Arg.(
+      value & opt int 0
+      & info [ "users" ] ~docv:"N" ~doc:"Concurrent user writers during each cycle.")
+  in
+  let records_t =
+    Arg.(value & opt int 400 & info [ "records"; "n" ] ~docv:"N" ~doc:"Number of records.")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Crash at every write boundary (torn pages, torn WAL tails), recover, verify \
+          forward recovery.")
+    Term.(const torture $ seed_t $ stride_t $ records_t $ users_t $ trace_t $ metrics_t)
+
 let workload_cmd =
   let users_t =
     Arg.(value & opt int 8 & info [ "users" ] ~docv:"N" ~doc:"Concurrent user processes.")
@@ -291,4 +335,7 @@ let () =
     Cmd.info "reorg-cli" ~version:"1.0.0"
       ~doc:"On-line reorganization of sparsely-populated B+-trees (Salzberg & Zou, SIGMOD '96)"
   in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; reorganize_cmd; inspect_cmd; crash_cmd; workload_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ demo_cmd; reorganize_cmd; inspect_cmd; crash_cmd; workload_cmd; torture_cmd ]))

@@ -21,4 +21,9 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== torture sweep =="
+dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 1 -n 120 >/dev/null
+dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 1 -n 120 >/dev/null
+echo "torture OK"
+
 echo "All checks passed."

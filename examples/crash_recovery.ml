@@ -28,8 +28,7 @@ let () =
     (Reorg.Rtable.lk ctx.Reorg.Ctx.rtable);
 
   (* Some dirty pages happened to reach disk, most did not. *)
-  Sim.Sim_util.partial_flush db 17;
-  Db.crash db;
+  Db.crash_now ~flush_seed:17 db;
 
   (* Restart: analysis, redo, loser undo — then FORWARD recovery of the
      in-flight reorganization unit. *)

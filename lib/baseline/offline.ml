@@ -49,7 +49,7 @@ let reorganize ~access ~f2 =
     let new_leaves = ref [] in
     let usable =
       Btree.Layout.usable_bytes
-        ~page_size:(Pager.Disk.page_size (Buffer_pool.disk pool))
+        ~page_size:(Buffer_pool.page_size pool)
     in
     let target = int_of_float (f2 *. float_of_int usable) in
     let cur = ref None in

@@ -51,7 +51,7 @@ let block_op ~access stats f =
 let page tree pid = Buffer_pool.get (Tree.pool tree) pid
 
 let whole_page tree ?txn pid f =
-  let size = Pager.Disk.page_size (Buffer_pool.disk (Tree.pool tree)) in
+  let size = Buffer_pool.page_size (Tree.pool tree) in
   Journal.physical (Tree.journal tree) ?txn ~page:pid ~off:0 ~len:size f
 
 let entry_key_of_leaf tree pid =
@@ -95,7 +95,7 @@ let merge_blocks tree tx ~a ~b =
 let compact ~access ~f2 stats =
   let tree = Access.tree access in
   let usable =
-    Layout.usable_bytes ~page_size:(Pager.Disk.page_size (Buffer_pool.disk (Tree.pool tree)))
+    Layout.usable_bytes ~page_size:(Buffer_pool.page_size (Tree.pool tree))
   in
   let usable = int_of_float (f2 *. float_of_int usable) in
   let target = usable in

@@ -5,8 +5,7 @@ module Journal = Transact.Journal
 let chunk_leaves ~pool ~alloc ~fill records =
   (* Pack records into fresh leaves, filling each to [fill] of usable bytes.
      Returns (low key, pid) entries in order. *)
-  let disk = Buffer_pool.disk pool in
-  let usable = Layout.usable_bytes ~page_size:(Pager.Disk.page_size disk) in
+  let usable = Layout.usable_bytes ~page_size:(Buffer_pool.page_size pool) in
   let target = int_of_float (fill *. float_of_int usable) in
   let entries = ref [] in
   let current = ref None in
@@ -52,8 +51,7 @@ let chunk_leaves ~pool ~alloc ~fill records =
 
 let build_internal_levels ~journal ~alloc ~fill ?(start_level = 1) ?(gen = 0) ?on_page entries =
   let pool = Journal.pool journal in
-  let disk = Buffer_pool.disk pool in
-  let page_size = Pager.Disk.page_size disk in
+  let page_size = Buffer_pool.page_size pool in
   let capacity = (page_size - Layout.body_start) / Layout.entry_size in
   let per_node = max 2 (int_of_float (fill *. float_of_int capacity)) in
   let rec build level entries =

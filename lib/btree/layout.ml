@@ -2,14 +2,17 @@ let kind_leaf = 1
 let kind_internal = 2
 let kind_meta = 3
 
-let off_level = 9
-let off_count = 10
-let off_heap_top = 12
-let off_low_mark = 14
-let off_prev = 22
-let off_next = 26
-let off_generation = 30
-let body_start = 32
+(* All offsets are relative to the pager header so the tree layout follows
+   automatically if the header grows (it did, when per-page checksums were
+   added). *)
+let off_level = Pager.Page.header_size
+let off_count = off_level + 1
+let off_heap_top = off_count + 2
+let off_low_mark = off_heap_top + 2
+let off_prev = off_low_mark + 8
+let off_next = off_prev + 4
+let off_generation = off_next + 4
+let body_start = off_generation + 2
 
 let nil_pid = 0xFFFFFFFF
 

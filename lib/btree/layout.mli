@@ -1,17 +1,18 @@
 (** Shared byte-layout constants for B+-tree pages.
 
     All pages start with the pager header ({!Pager.Page.header_size} bytes:
-    kind, LSN).  The tree adds, for every node kind:
+    kind, LSN, checksum).  The tree adds, for every node kind, at offsets
+    relative to [h = Pager.Page.header_size] (= 13):
 
     {v
-      9        level      (u8; 0 = leaf)
-      10..11   nslots / nentries (u16)
-      12..13   heap_top   (u16; leaf pages only)
-      14..21   low mark   (i64; smallest key the page was created to cover)
-      22..25   prev       (u32; leaf side pointer, nil_pid = none)
-      26..29   next       (u32; leaf side pointer)
-      30..31   reserved
-      32..     slot directory (leaf) / entry array (internal)
+      h        level      (u8; 0 = leaf)
+      h+1..2   nslots / nentries (u16)
+      h+3..4   heap_top   (u16; leaf pages only)
+      h+5..12  low mark   (i64; smallest key the page was created to cover)
+      h+13..16 prev       (u32; leaf side pointer, nil_pid = none)
+      h+17..20 next       (u32; leaf side pointer)
+      h+21..22 generation (u16)
+      h+23..   slot directory (leaf) / entry array (internal)
     v} *)
 
 val kind_leaf : int
@@ -25,12 +26,12 @@ val off_low_mark : int
 val off_prev : int
 val off_next : int
 val off_generation : int
-(** u16 at offset 30: build generation of internal pages — pass 3 tags the
-    pages of the new upper levels with a fresh generation so recovery can
-    tell them from the old tree's. *)
+(** u16 build generation of internal pages — pass 3 tags the pages of the
+    new upper levels with a fresh generation so recovery can tell them from
+    the old tree's. *)
 
 val body_start : int
-(** = 32; first byte of the slot directory / entry array. *)
+(** First byte of the slot directory / entry array. *)
 
 val nil_pid : int
 (** Sentinel page id meaning "none" (0xFFFFFFFF). *)

@@ -1,9 +1,9 @@
 module Page = Pager.Page
 
-let off_root = 9
-let off_tree_name = 13
-let off_reorg_bit = 17
-let off_generation = 18
+let off_root = Page.header_size
+let off_tree_name = off_root + 4
+let off_reorg_bit = off_tree_name + 4
+let off_generation = off_reorg_bit + 1
 
 let init p ~root ~tree_name =
   Page.fill p 0 (Bytes.length p) '\000';

@@ -16,7 +16,7 @@ let meta_pid t = t.meta_pid
 
 let page t pid = Buffer_pool.get (pool t) pid
 
-let page_size t = Pager.Disk.page_size (Buffer_pool.disk (pool t))
+let page_size t = Buffer_pool.page_size (pool t)
 
 (* Whole-page logged mutation (structural).  The before/after images include
    the header; redo re-stamps the LSN afterwards, so the stale LSN bytes in

@@ -51,7 +51,7 @@ let pool t = Journal.pool (journal t)
 let log t = Journal.log (journal t)
 let alloc t = Tree.alloc (tree t)
 let page t pid = Pager.Buffer_pool.get (pool t) pid
-let page_size t = Pager.Disk.page_size (Pager.Buffer_pool.disk (pool t))
+let page_size t = Pager.Buffer_pool.page_size (pool t)
 let usable_bytes t = Btree.Layout.usable_bytes ~page_size:(page_size t)
 
 let log_reorg t body =

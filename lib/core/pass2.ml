@@ -48,16 +48,42 @@ let run ctx =
         (match Pager.Alloc.pending_release (Ctx.alloc ctx) target with
         | Some dep -> Pager.Buffer_pool.flush_page (Ctx.pool ctx) dep
         | None -> ());
+        (* A swap logs and rewrites two full pages, so before swapping try to
+           cascade: if the leaf occupying [target] can move straight into its
+           own final slot, one cheap move vacates [target] and the next
+           iteration finishes with a second move.  Under the paper heuristic
+           pass 1 leaves the file nearly sorted, so the occupant's slot is
+           usually free; under first-free placement it rarely is. *)
+        let cascade_dest =
+          if Pager.Alloc.is_free (Ctx.alloc ctx) target then None
+          else
+            let rec slot_of j = function
+              | [] -> None
+              | p :: rest ->
+                if j > i && p = target then Some (leaf_lo + j) else slot_of (j + 1) rest
+            in
+            match slot_of 0 leaves with
+            | Some slot when Pager.Alloc.is_free (Ctx.alloc ctx) slot -> Some slot
+            | _ -> None
+        in
+        let advance = ref true in
         let plan =
           if Pager.Alloc.is_free (Ctx.alloc ctx) target then
             Option.map
               (fun base -> Unit_exec.Move { base; org = pid; dest = target })
               (base_of_leaf ctx pid)
           else
-            match (base_of_leaf ctx pid, base_of_leaf ctx target) with
-            | Some a_base, Some b_base ->
-              Some (Unit_exec.Swap { a_base; a = pid; b_base; b = target })
-            | _ -> None
+            match cascade_dest with
+            | Some slot ->
+              advance := false;
+              Option.map
+                (fun base -> Unit_exec.Move { base; org = target; dest = slot })
+                (base_of_leaf ctx target)
+            | None -> (
+              match (base_of_leaf ctx pid, base_of_leaf ctx target) with
+              | Some a_base, Some b_base ->
+                Some (Unit_exec.Swap { a_base; a = pid; b_base; b = target })
+              | _ -> None)
         in
         match plan with
         | None -> frontier := i + 1 (* unreachable page situation: skip *)
@@ -69,7 +95,7 @@ let run ctx =
             | Unit_exec.Move _ -> incr moves
             | Unit_exec.Compact _ -> ());
             stale := 0;
-            frontier := i + 1
+            if !advance then frontier := i + 1
           | Unit_exec.Stale ->
             (* Replan from the same frontier, but never spin forever. *)
             incr stale;

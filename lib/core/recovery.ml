@@ -20,8 +20,10 @@ type resume =
 type outcome = {
   resume : resume;
   finished_unit : int option;
+  units_finished : int;
   losers_undone : int;
   redo_applied : int;
+  torn_pages : int;
   side_entries : Record.side_op list;
 }
 
@@ -626,9 +628,9 @@ let sweep_old_generation ctx =
   let pool = Ctx.pool ctx in
   let alloc = Ctx.alloc ctx in
   let cur = Tree.generation tree in
-  let disk = Buffer_pool.disk pool in
+  let backend = Buffer_pool.backend pool in
   let _, leaf_hi = Alloc.leaf_zone alloc in
-  for pid = leaf_hi to Pager.Disk.page_count disk - 1 do
+  for pid = leaf_hi to Pager.Backend.page_count backend - 1 do
     let p = Buffer_pool.get pool pid in
     let stale_internal = Inode.is_internal p && Inode.generation p < cur in
     let stray_meta = Page.kind p = Btree.Layout.kind_meta && pid <> Tree.meta_pid tree in
@@ -646,10 +648,10 @@ let rebuild_builder_state ctx ~stable_key =
   let pool = Ctx.pool ctx in
   let alloc = Ctx.alloc ctx in
   let gen = Tree.generation tree + 1 in
-  let disk = Buffer_pool.disk pool in
+  let backend = Buffer_pool.backend pool in
   let _, leaf_hi = Alloc.leaf_zone alloc in
   let keep = ref [] in
-  for pid = leaf_hi to Pager.Disk.page_count disk - 1 do
+  for pid = leaf_hi to Pager.Backend.page_count backend - 1 do
     let p = Buffer_pool.get pool pid in
     if Inode.is_internal p && Inode.generation p = gen then
       if Inode.level p = 1 && Inode.low_mark p < stable_key then
@@ -672,6 +674,17 @@ let restart ?registry ?tracer ~access ~config () =
   let journal = Tree.journal tree in
   let log = Journal.log journal in
   let pool = Tree.pool tree in
+  let torn_before = Buffer_pool.torn_detected pool in
+  (* Restart runs in read-repair mode: a checksum mismatch accepts the
+     surviving pre-tear (LSN, body) pair instead of being fatal.  The WAL
+     rule forced the log past the torn write's LSN before it was issued, so
+     redo's ordinary page-LSN guard replays exactly the lost suffix against
+     the survivor — and nothing older, which matters because a
+     careful-writing move below the survivor's LSN may name an origin page
+     that has since been recycled. *)
+  Buffer_pool.set_read_repair pool true;
+  Fun.protect ~finally:(fun () -> Buffer_pool.set_read_repair pool false)
+  @@ fun () ->
   let a = analyze log in
   (* Redo everything stable; page-LSN guards make it exact. *)
   let redo_applied = redo ~tree ~unit_types:a.unit_types log in
@@ -718,12 +731,24 @@ let restart ?registry ?tracer ~access ~config () =
   Buffer_pool.flush_all pool;
   Log.force_all log;
   Ctx.checkpoint ctx;
+  let units_finished = List.length a.open_units in
+  let torn_pages = Buffer_pool.torn_detected pool - torn_before in
+  (match registry with
+  | Some reg ->
+    Obs.Counter.incr (Obs.Registry.counter reg "recovery.restarts");
+    if units_finished > 0 then
+      Obs.Counter.incr (Obs.Registry.counter reg "recovery.units_finished") ~by:units_finished;
+    if torn_pages > 0 then
+      Obs.Counter.incr (Obs.Registry.counter reg "recovery.torn_pages") ~by:torn_pages
+  | None -> ());
   ( ctx,
     {
       resume;
       finished_unit;
+      units_finished;
       losers_undone = List.length a.losers;
       redo_applied;
+      torn_pages;
       side_entries = a.side;
     } )
 

@@ -33,8 +33,10 @@ type resume =
 type outcome = {
   resume : resume;
   finished_unit : int option;  (** unit completed by forward recovery *)
+  units_finished : int;  (** BEGIN-without-END units finished forward *)
   losers_undone : int;
   redo_applied : int;  (** log records whose redo changed a page *)
+  torn_pages : int;  (** torn pages detected (and repaired by redo) *)
   side_entries : Wal.Record.side_op list;  (** surviving side file, oldest first *)
 }
 
@@ -47,8 +49,12 @@ val restart :
   Ctx.t * outcome
 (** Run full restart over the (crashed) components behind [access]; returns
     a fresh reorganizer context whose system table reflects the recovered
-    state (LK, CK), plus the outcome.  Ends with a flush + checkpoint, so a
-    subsequent crash recovers from here. *)
+    state (LK, CK), plus the outcome.  Runs with the buffer pool in
+    read-repair mode, so checksum-detected torn pages are rebuilt by redo
+    instead of raising.  When [registry] is given, bumps the
+    [recovery.restarts], [recovery.units_finished] and [recovery.torn_pages]
+    counters.  Ends with a flush + checkpoint, so a subsequent crash recovers
+    from here. *)
 
 val resume_reorganization : Ctx.t -> outcome -> Driver.report option
 (** Relaunch the reorganization where {!restart} said to (must run inside a

@@ -123,10 +123,35 @@ let apply_edits_to_base ctx ~base ~edits ~lsn =
     edits;
   Ctx.stamp ctx ~page:base lsn
 
+(* A concurrent updater can split the base page itself between the time a
+   unit captures its plan and the time it logs MODIFY, relocating entries to
+   a fresh sibling.  A MODIFY applied to the planned base would then miss
+   its entry and leave a stale child pointer behind, so resolve which base
+   page holds each key {e now} and group the edits accordingly. *)
+let resolve_base ctx ~hint key =
+  match Btree.Tree.parent_of_leaf (Ctx.tree ctx) key with
+  | Some b -> b
+  | None | (exception Not_found) -> hint
+
 let log_modify ctx ~unit_id ~base ~edits =
-  let prev = Rtable.last_lsn ctx.Ctx.rtable in
-  let lsn = Ctx.log_reorg ctx (Record.Reorg_modify { unit_id; base; edits; prev }) in
-  apply_edits_to_base ctx ~base ~edits ~lsn
+  let resolved =
+    List.map
+      (fun edit ->
+        let key =
+          match edit with
+          | Record.Delete_entry { key; _ } | Record.Insert_entry { key; _ } -> key
+          | Record.Update_entry { org_key; _ } -> org_key
+        in
+        (resolve_base ctx ~hint:base key, edit))
+      edits
+  in
+  List.iter
+    (fun b ->
+      let es = List.filter_map (fun (b', e) -> if b' = b then Some e else None) resolved in
+      let prev = Rtable.last_lsn ctx.Ctx.rtable in
+      let lsn = Ctx.log_reorg ctx (Record.Reorg_modify { unit_id; base = b; edits = es; prev }) in
+      apply_edits_to_base ctx ~base:b ~edits:es ~lsn)
+    (List.sort_uniq compare (List.map fst resolved))
 
 let log_end ctx ~unit_id ~largest_key =
   let prev = Rtable.last_lsn ctx.Ctx.rtable in
@@ -198,6 +223,18 @@ let undo_moves ctx ~unit_id ~dest ~dest_fresh ~saved =
 
 let execute_compact ctx ~base ~leaves ~dest =
   let held = ref [] in
+  (* A fresh destination is claimed the moment it is validated: lock waits
+     yield, and a concurrent updater's split could otherwise allocate the
+     same page.  [claimed] is cleared once the unit owns the page (or the
+     undo path has released it). *)
+  let claimed = ref None in
+  let release_claim () =
+    match !claimed with
+    | Some e ->
+      claimed := None;
+      Alloc.release (Ctx.alloc ctx) e
+    | None -> ()
+  in
   try
     acquire ctx held (Resource.Page base) Mode.R;
     let entries = entries_for_leaves ctx ~base ~leaves in
@@ -216,7 +253,8 @@ let execute_compact ctx ~base ~leaves ~dest =
         if not (List.mem d leaves) then raise Stale_plan;
         (d, false)
       | `New_place e ->
-        if not (Alloc.is_free (Ctx.alloc ctx) e) then raise Stale_plan;
+        if not (Alloc.try_claim (Ctx.alloc ctx) e) then raise Stale_plan;
+        claimed := Some e;
         (e, true)
     in
     let orgs = List.filter (fun l -> l <> dest_pid) leaves in
@@ -249,7 +287,7 @@ let execute_compact ctx ~base ~leaves ~dest =
       in
       Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
       if dest_fresh then begin
-        Alloc.alloc_specific (Ctx.alloc ctx) dest_pid;
+        claimed := None (* ownership passes to the unit: undo or the tree *);
         format_dest ctx dest_pid ~low_mark ~prev:(opt_pid prev_n) ~next:(opt_pid next_n)
       end;
       (* Move records, saving enough to undo (§5.2). *)
@@ -317,9 +355,11 @@ let execute_compact ctx ~base ~leaves ~dest =
     end
   with
   | Stale_plan ->
+    release_claim ();
     release_all ctx held;
     Stale
   | Lock_client.Deadlock_victim ->
+    release_claim ();
     release_all ctx held;
     Gave_up
 
@@ -327,12 +367,20 @@ let execute_compact ctx ~base ~leaves ~dest =
    the entry key and redirects the child. *)
 let execute_move ctx ~base ~org ~dest =
   let held = ref [] in
+  let claimed = ref false in
+  let release_claim () =
+    if !claimed then begin
+      claimed := false;
+      Alloc.release (Ctx.alloc ctx) dest
+    end
+  in
   try
     acquire ctx held (Resource.Page base) Mode.R;
     let entries = entries_for_leaves ctx ~base ~leaves:[ org ] in
     let entry = List.hd entries in
     acquire ctx held (Resource.Page org) Mode.RX;
-    if not (Alloc.is_free (Ctx.alloc ctx) dest) then raise Stale_plan;
+    if not (Alloc.try_claim (Ctx.alloc ctx) dest) then raise Stale_plan;
+    claimed := true;
     let op = Ctx.page ctx org in
     let records = Leaf.records op in
     let low_mark = Leaf.low_mark op in
@@ -350,7 +398,7 @@ let execute_move ctx ~base ~org ~dest =
            { unit_id; rtype = Record.Move; base_pages = [ base ]; leaf_pages = [ org ] })
     in
     Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
-    Alloc.alloc_specific (Ctx.alloc ctx) dest;
+    claimed := false (* ownership passes to the unit: undo or the tree *);
     format_dest ctx dest ~low_mark ~prev:(opt_pid prev_n) ~next:(opt_pid next_n);
     let careful = plan_careful ctx ~blocked:org ~prereq:dest in
     let lsn = log_move ctx ~unit_id ~org ~dest ~careful records in
@@ -401,9 +449,11 @@ let execute_move ctx ~base ~org ~dest =
     Done largest_key
   with
   | Stale_plan ->
+    release_claim ();
     release_all ctx held;
     Stale
   | Lock_client.Deadlock_victim ->
+    release_claim ();
     release_all ctx held;
     Gave_up
 

@@ -38,6 +38,12 @@ val alloc_specific : t -> int -> unit
 (** Claim a specific free page (used by copying-switching, which chose its
     target itself).  Raises [Invalid_argument] if the page is not free. *)
 
+val try_claim : t -> int -> bool
+(** [alloc_specific] that reports failure instead of raising: claims the
+    page and returns [true] iff it is still free.  Lets a reorganization
+    unit atomically re-validate its chosen destination after lock waits
+    (a concurrent updater may have allocated it meanwhile). *)
+
 val free : t -> int -> unit
 (** Mark the page free: zeroes its kind byte through the pool and returns it
     to its zone's free set. *)

@@ -1,0 +1,73 @@
+module type S = sig
+  type t
+
+  val page_size : t -> int
+  val page_count : t -> int
+  val grow : t -> int -> unit
+  val read : t -> int -> Page.t
+  val write : t -> int -> Page.t -> unit
+  val peek : t -> int -> Page.t
+  val sync : t -> unit
+  val stats : t -> Disk.stats
+  val reset_stats : t -> unit
+end
+
+type t = B : (module S with type t = 'a) * 'a -> t
+
+let page_size (B ((module M), h)) = M.page_size h
+let page_count (B ((module M), h)) = M.page_count h
+let grow (B ((module M), h)) n = M.grow h n
+let read (B ((module M), h)) pid = M.read h pid
+let write (B ((module M), h)) pid page = M.write h pid page
+let peek (B ((module M), h)) pid = M.peek h pid
+let sync (B ((module M), h)) = M.sync h
+let stats (B ((module M), h)) = M.stats h
+let reset_stats (B ((module M), h)) = M.reset_stats h
+
+let of_disk d = B ((module Disk), d)
+
+module Faulty = struct
+  type outer = t
+
+  type t = { inner : outer; fault : Fault.t }
+
+  let page_size t = page_size t.inner
+  let page_count t = page_count t.inner
+
+  let grow t n =
+    Fault.check t.fault;
+    grow t.inner n
+
+  let read t pid =
+    Fault.check t.fault;
+    read t.inner pid
+
+  let write t pid page =
+    (match Fault.on_write t.fault with
+    | `Full -> write t.inner pid page
+    | `Torn ->
+        (if Sys.getenv_opt "TORN_DEBUG" <> None && Fault.armed t.fault then
+           Printf.eprintf "[torn] page %d (kind %d, lsn %Ld)\n%!" pid (Page.kind page) (Page.lsn page));
+        (* The atomic prefix (kind + checksum) lands; the LSN and body do
+           not.  The stored checksum (computed over the new LSN and body)
+           then disagrees with the surviving old pair, which is exactly what
+           read-side verification detects — and the old LSN still describes
+           the old body, so recovery knows where to resume replay. *)
+        let img = peek t.inner pid in
+        Page.blit ~src:page ~src_off:0 ~dst:img ~dst_off:0 ~len:Page.torn_prefix;
+        write t.inner pid img);
+    (* If this write tripped the plan, die *after* applying it: the crash
+       happens at the boundary, not before it. *)
+    Fault.check t.fault
+
+  let peek t pid = peek t.inner pid
+
+  let sync t =
+    Fault.check t.fault;
+    sync t.inner
+
+  let stats t = stats t.inner
+  let reset_stats t = reset_stats t.inner
+end
+
+let faulty ~fault inner = B ((module Faulty), { Faulty.inner; fault })

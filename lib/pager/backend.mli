@@ -1,0 +1,51 @@
+(** The storage-backend seam.
+
+    Everything above the pager talks to stable storage through this one
+    interface — the buffer pool reads and writes through it, the allocator
+    grows through it, recovery's analysis sweep scans through it.  The
+    in-memory {!Disk} is one implementation; {!faulty} wraps any backend
+    with a {!Fault} controller that can kill the machine at a precise write
+    boundary or tear a page in half.  Because the seam is a first-class
+    value, wrappers compose without the rest of the system knowing. *)
+
+module type S = sig
+  type t
+
+  val page_size : t -> int
+  val page_count : t -> int
+  val grow : t -> int -> unit
+  val read : t -> int -> Page.t
+  val write : t -> int -> Page.t -> unit
+
+  val peek : t -> int -> Page.t
+  (** Read without accounting or fault checks — for assertions and
+      post-mortem inspection, which model neither I/O cost nor the crashed
+      machine. *)
+
+  val sync : t -> unit
+  val stats : t -> Disk.stats
+  val reset_stats : t -> unit
+end
+
+type t = B : (module S with type t = 'a) * 'a -> t
+(** A backend packaged with its implementation. *)
+
+val page_size : t -> int
+val page_count : t -> int
+val grow : t -> int -> unit
+val read : t -> int -> Page.t
+val write : t -> int -> Page.t -> unit
+val peek : t -> int -> Page.t
+val sync : t -> unit
+val stats : t -> Disk.stats
+val reset_stats : t -> unit
+
+val of_disk : Disk.t -> t
+(** The plain in-memory backend. *)
+
+val faulty : fault:Fault.t -> t -> t
+(** [faulty ~fault b] routes every operation through [fault]: reads, writes,
+    grows and syncs raise {!Fault.Crash} once the machine is dead, and the
+    write that trips an armed plan is applied in full or torn (header only)
+    before the crash is raised.  [peek] and the statistics pass through
+    untouched. *)

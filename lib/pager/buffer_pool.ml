@@ -1,4 +1,5 @@
 exception Cycle of int * int
+exception Torn_page of int
 
 type frame = {
   pid : int;
@@ -9,7 +10,7 @@ type frame = {
 }
 
 type t = {
-  disk : Disk.t;
+  backend : Backend.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
   mutable tick : int;
@@ -23,12 +24,14 @@ type t = {
   mutable misses : int;
   mutable dep_flushes : int; (* flushes forced by careful-writing prerequisites *)
   mutable evictions : int;
+  mutable torn_detected : int;
+  mutable read_repair : bool;
   mutable tracer : Obs.Trace.t option;
 }
 
-let create ?(capacity = max_int) disk =
+let create ?(capacity = max_int) backend =
   {
-    disk;
+    backend;
     capacity;
     frames = Hashtbl.create 64;
     tick = 0;
@@ -40,6 +43,8 @@ let create ?(capacity = max_int) disk =
     misses = 0;
     dep_flushes = 0;
     evictions = 0;
+    torn_detected = 0;
+    read_repair = false;
     tracer = None;
   }
 
@@ -51,9 +56,13 @@ let register_obs t reg =
   Obs.Registry.gauge reg "pager.flushes" (fun () -> t.flushes);
   Obs.Registry.gauge reg "pager.dep_flushes" (fun () -> t.dep_flushes);
   Obs.Registry.gauge reg "pager.evictions" (fun () -> t.evictions);
+  Obs.Registry.gauge reg "pager.torn_detected" (fun () -> t.torn_detected);
   Obs.Registry.gauge reg "pager.frames" (fun () -> Hashtbl.length t.frames)
 
-let disk t = t.disk
+let backend t = t.backend
+let page_size t = Backend.page_size t.backend
+let set_read_repair t b = t.read_repair <- b
+let torn_detected t = t.torn_detected
 
 let set_before_write t f = t.before_write <- f
 
@@ -143,7 +152,8 @@ let rec flush_frame t fr =
     List.iter (fun p -> flush_page t p) ps;
     (* WAL rule. *)
     t.before_write (Page.lsn fr.data);
-    Disk.write t.disk fr.pid fr.data;
+    Page.set_checksum fr.data (Page.body_checksum fr.data);
+    Backend.write t.backend fr.pid fr.data;
     t.flushes <- t.flushes + 1;
     (match t.tracer with
     | Some tr ->
@@ -187,8 +197,35 @@ let evict_one t =
 
 let load t pid =
   if Hashtbl.length t.frames >= t.capacity then evict_one t;
-  let data = Disk.read t.disk pid in
-  let fr = { pid; data; dirty = false; pins = 0; last_use = t.tick } in
+  let data = Backend.read t.backend pid in
+  (* Checksum verification: a stored checksum of 0 means the image was never
+     stamped by a pool flush (virgin page, or written around the pool) and is
+     accepted.  A mismatch is a torn write: the prefix landed but the (LSN,
+     body) pair is the {e previous} flushed image, still mutually consistent.
+     During recovery (read-repair mode) that survivor is simply accepted —
+     its own LSN tells redo which log suffix to replay, and nothing older
+     (in particular no careful-writing move whose origin page has since been
+     recycled) is touched.  Outside recovery a torn page is a hard error. *)
+  let stored = Page.checksum data in
+  let repaired =
+    stored <> 0
+    && stored <> Page.body_checksum data
+    && begin
+         t.torn_detected <- t.torn_detected + 1;
+         (match t.tracer with
+         | Some tr ->
+           Obs.Trace.instant tr ~cat:"pager" "pager.torn-page"
+             ~args:[ ("pid", Obs.Trace.Int pid) ]
+         | None -> ());
+         if not t.read_repair then raise (Torn_page pid);
+         Page.set_checksum data 0;
+         true
+       end
+  in
+  (* A repaired frame starts dirty: even if no log record ends up replayed
+     against it, the final recovery flush must replace the torn on-disk
+     image with a consistent one. *)
+  let fr = { pid; data; dirty = repaired; pins = 0; last_use = t.tick } in
   Hashtbl.replace t.frames pid fr;
   fr
 

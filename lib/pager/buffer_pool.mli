@@ -1,9 +1,17 @@
 (** Write-back buffer pool with the WAL rule and {e careful writing}.
 
-    The pool caches page frames over a {!Disk.t}.  Dirty frames reach disk
-    through {!flush_page} / {!flush_all} / eviction, and a crash
+    The pool caches page frames over a {!Backend.t}.  Dirty frames reach the
+    backend through {!flush_page} / {!flush_all} / eviction, and a crash
     ({!crash}) discards every frame, so only flushed state survives — exactly
     the failure model the paper's recovery section assumes.
+
+    Every flush stamps the page's checksum (covering LSN and body) into its
+    header; every load verifies it.  A mismatch means a torn write that left
+    the {e previous} (LSN, body) pair on disk: outside recovery it raises
+    {!Torn_page}; in read-repair mode (enabled by recovery) the survivor is
+    accepted as-is, and its own LSN steers redo to replay exactly the log
+    suffix the tear lost (the WAL rule forced the log past the torn write
+    before it was issued).
 
     Two write-ordering mechanisms are provided:
 
@@ -27,10 +35,17 @@ exception Cycle of int * int
 (** [Cycle (blocked, prereq)] — the requested write-order dependency would be
     circular. *)
 
-val create : ?capacity:int -> Disk.t -> t
+exception Torn_page of int
+(** A load hit a page whose stored checksum does not match its body and
+    read-repair mode is off. *)
+
+val create : ?capacity:int -> Backend.t -> t
 (** [capacity] is the maximum number of frames (default: unbounded). *)
 
-val disk : t -> Disk.t
+val backend : t -> Backend.t
+
+val page_size : t -> int
+(** Shorthand for [Backend.page_size (backend t)]. *)
 
 val set_before_write : t -> (int64 -> unit) -> unit
 (** Install the WAL-rule hook ([fun lsn -> Log.force log lsn]). *)
@@ -88,6 +103,15 @@ val crash : t -> unit
 (** Discard all frames, dependencies and pending callbacks.  The disk image is
     untouched. *)
 
+val set_read_repair : t -> bool -> unit
+(** While on, a torn page is not an error: the surviving pre-tear image is
+    accepted (and the frame marked dirty, so the recovery flush restores a
+    good on-disk checksum) and redo replays from its LSN.  Only recovery
+    should turn this on. *)
+
+val torn_detected : t -> int
+(** Torn pages detected by checksum verification since creation. *)
+
 (** {2 Introspection} *)
 
 val dirty_pages : t -> int list
@@ -100,7 +124,7 @@ val flushes : t -> int
 val register_obs : t -> Obs.Registry.t -> unit
 (** Register [pager.hits], [pager.misses], [pager.flushes],
     [pager.dep_flushes] (flushes forced by careful-writing prerequisites),
-    [pager.evictions] and [pager.frames] gauges. *)
+    [pager.evictions], [pager.torn_detected] and [pager.frames] gauges. *)
 
 val set_tracer : t -> Obs.Trace.t option -> unit
 (** While set, every page flush is recorded as a [pager.flush] instant event

@@ -3,6 +3,8 @@ type stats = {
   writes : int;
   seq_reads : int;
   rand_reads : int;
+  seq_writes : int;
+  rand_writes : int;
 }
 
 type t = {
@@ -13,6 +15,8 @@ type t = {
   mutable writes : int;
   mutable seq_reads : int;
   mutable rand_reads : int;
+  mutable seq_writes : int;
+  mutable rand_writes : int;
   mutable last_pid : int;
 }
 
@@ -26,6 +30,8 @@ let create ?(initial_pages = 0) ~page_size () =
       writes = 0;
       seq_reads = 0;
       rand_reads = 0;
+      seq_writes = 0;
+      rand_writes = 0;
       last_pid = -10;
     }
   in
@@ -64,25 +70,39 @@ let write t pid page =
   check t pid;
   if Bytes.length page <> t.page_size then invalid_arg "Disk.write: bad page size";
   t.writes <- t.writes + 1;
+  if pid = t.last_pid + 1 then t.seq_writes <- t.seq_writes + 1
+  else t.rand_writes <- t.rand_writes + 1;
   t.last_pid <- pid;
   Bytes.blit page 0 t.pages.(pid) 0 t.page_size
+
+let sync _t = ()
 
 let peek t pid =
   check t pid;
   Bytes.copy t.pages.(pid)
 
 let stats t =
-  { reads = t.reads; writes = t.writes; seq_reads = t.seq_reads; rand_reads = t.rand_reads }
+  {
+    reads = t.reads;
+    writes = t.writes;
+    seq_reads = t.seq_reads;
+    rand_reads = t.rand_reads;
+    seq_writes = t.seq_writes;
+    rand_writes = t.rand_writes;
+  }
 
 let reset_stats t =
   t.reads <- 0;
   t.writes <- 0;
   t.seq_reads <- 0;
   t.rand_reads <- 0;
+  t.seq_writes <- 0;
+  t.rand_writes <- 0;
   t.last_pid <- -10
 
 let io_cost ?(seek_cost = 10.0) ?(transfer_cost = 1.0) (s : stats) =
   let f = float_of_int in
   (f s.rand_reads *. (seek_cost +. transfer_cost))
   +. (f s.seq_reads *. transfer_cost)
-  +. (f s.writes *. transfer_cost)
+  +. (f s.rand_writes *. (seek_cost +. transfer_cost))
+  +. (f s.seq_writes *. transfer_cost)

@@ -2,9 +2,10 @@
 
     The paper's evaluation concerns I/O counts and physical contiguity of leaf
     pages (range scans over a reorganized tree read sequential pages).  The
-    disk therefore tracks, besides raw read/write counts, how many reads were
-    {e sequential} (page id = previously accessed id + 1), so experiments can
-    apply a seek/transfer cost model. *)
+    disk therefore tracks, besides raw read/write counts, how many reads {e
+    and} writes were {e sequential} (page id = previously accessed id + 1), so
+    experiments can apply a seek/transfer cost model to both paths — pass 2's
+    contiguity argument applies to the bottom-up build's write stream too. *)
 
 type t
 
@@ -13,6 +14,8 @@ type stats = {
   writes : int;
   seq_reads : int; (** reads at [last accessed + 1] *)
   rand_reads : int;
+  seq_writes : int; (** writes at [last accessed + 1] *)
+  rand_writes : int;
 }
 
 val create : ?initial_pages:int -> page_size:int -> unit -> t
@@ -30,6 +33,11 @@ val write : t -> int -> Page.t -> unit
 val grow : t -> int -> unit
 (** [grow disk n] ensures at least [n] pages exist (new ones zeroed/free). *)
 
+val sync : t -> unit
+(** Durability barrier.  A no-op for the in-memory disk (every {!write} is
+    immediately "durable"), but part of the backend contract so wrappers can
+    observe it. *)
+
 val peek : t -> int -> Page.t
 (** Like {!read} but without touching the I/O counters — for assertions and
     recovery-time scans, which the cost model should not observe. *)
@@ -38,6 +46,6 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 val io_cost : ?seek_cost:float -> ?transfer_cost:float -> stats -> float
-(** Simple cost model: each random read pays [seek_cost + transfer_cost]; each
-    sequential read pays [transfer_cost]; writes pay [transfer_cost].
-    Defaults: seek 10.0, transfer 1.0. *)
+(** Simple cost model: each random read or write pays
+    [seek_cost + transfer_cost]; each sequential read or write pays
+    [transfer_cost] only.  Defaults: seek 10.0, transfer 1.0. *)

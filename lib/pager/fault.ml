@@ -1,0 +1,109 @@
+exception Crash
+
+type plan = {
+  crash_after_writes : int option;
+  torn_write : bool;
+  crash_after_forces : int option;
+  torn_tail : bool;
+  seed : int;
+}
+
+let no_faults =
+  {
+    crash_after_writes = None;
+    torn_write = false;
+    crash_after_forces = None;
+    torn_tail = false;
+    seed = 0;
+  }
+
+type t = {
+  mutable plan : plan option;
+  mutable rng : Util.Rng.t;
+  mutable writes_seen : int;
+  mutable forces_seen : int;
+  mutable dead : bool;
+  (* Cumulative across arm/disarm cycles — these feed the obs gauges. *)
+  mutable crashes : int;
+  mutable torn_writes : int;
+  mutable torn_tails : int;
+}
+
+let create () =
+  {
+    plan = None;
+    rng = Util.Rng.create 0;
+    writes_seen = 0;
+    forces_seen = 0;
+    dead = false;
+    crashes = 0;
+    torn_writes = 0;
+    torn_tails = 0;
+  }
+
+let arm t plan =
+  t.plan <- Some plan;
+  t.rng <- Util.Rng.create plan.seed;
+  t.writes_seen <- 0;
+  t.forces_seen <- 0
+
+let disarm t = t.plan <- None
+let armed t = t.plan <> None
+let crashed t = t.dead
+
+let kill t =
+  if not t.dead then begin
+    t.dead <- true;
+    t.crashes <- t.crashes + 1
+  end
+
+let revive t =
+  t.dead <- false;
+  disarm t
+
+let check t = if t.dead then raise Crash
+
+let on_write t =
+  check t;
+  match t.plan with
+  | None -> `Full
+  | Some p -> (
+      t.writes_seen <- t.writes_seen + 1;
+      match p.crash_after_writes with
+      | Some n when t.writes_seen >= n ->
+          kill t;
+          if p.torn_write then begin
+            t.torn_writes <- t.torn_writes + 1;
+            `Torn
+          end
+          else `Full
+      | _ -> `Full)
+
+let on_force t ~records =
+  check t;
+  match t.plan with
+  | None -> records
+  | Some p ->
+      if records <= 0 then records
+      else begin
+        t.forces_seen <- t.forces_seen + 1;
+        match p.crash_after_forces with
+        | Some n when t.forces_seen >= n ->
+            kill t;
+            if p.torn_tail then begin
+              let kept = Util.Rng.int t.rng records in
+              if kept < records then t.torn_tails <- t.torn_tails + 1;
+              kept
+            end
+            else records
+        | _ -> records
+      end
+
+let crashes t = t.crashes
+let torn_writes t = t.torn_writes
+let torn_tails t = t.torn_tails
+
+let register_obs t reg =
+  Obs.Registry.gauge reg "fault.crashes" (fun () -> t.crashes);
+  Obs.Registry.gauge reg "fault.torn_writes" (fun () -> t.torn_writes);
+  Obs.Registry.gauge reg "fault.torn_tails" (fun () -> t.torn_tails)

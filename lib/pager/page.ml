@@ -1,6 +1,6 @@
 type t = bytes
 
-let header_size = 9
+let header_size = 13
 let kind_free = 0
 
 let create ~size =
@@ -25,8 +25,27 @@ let set_key p off k = set_i64 p off (Int64.of_int k)
 let kind p = get_u8 p 0
 let set_kind p k = set_u8 p 0 k
 
-let lsn p = get_i64 p 1
-let set_lsn p v = set_i64 p 1 v
+let torn_prefix = 5
+
+let checksum p = get_u32 p 1
+let set_checksum p v = set_u32 p 1 v
+
+let lsn p = get_i64 p 5
+let set_lsn p v = set_i64 p 5 v
+
+(* FNV-1a over everything past the checksum field — the page LSN included.
+   Covering the LSN is what makes torn writes recoverable: a tear that lands
+   only the prefix (kind + checksum) leaves the old (LSN, body) pair intact,
+   so the survivor self-describes how far the log had been applied to it and
+   redo can resume from exactly there.  The result is folded to 32 bits and
+   0 is mapped to 1 so that a stored checksum of 0 can keep its meaning of
+   "never stamped" (virgin pages, images written outside the buffer pool). *)
+let body_checksum p =
+  let h = ref 0x811c9dc5 in
+  for i = torn_prefix to Bytes.length p - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get p i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  if !h = 0 then 1 else !h
 
 let blit ~src ~src_off ~dst ~dst_off ~len = Bytes.blit src src_off dst dst_off len
 

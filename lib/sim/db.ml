@@ -9,6 +9,8 @@ module Record = Wal.Record
 
 type t = {
   disk : Disk.t;
+  backend : Pager.Backend.t;
+  faults : Pager.Fault.t;
   pool : Buffer_pool.t;
   log : Wal.Log.t;
   journal : Journal.t;
@@ -30,14 +32,19 @@ let wire_undo mgr tree access =
            itself; it never reaches the logical-undo hook. *)
         assert false)
 
-let assemble ?(record_locking = false) ~page_size ~leaf_pages ~capacity ~mk_tree () =
+let assemble ?faults ?(record_locking = false) ~page_size ~leaf_pages ~capacity ~mk_tree () =
   let disk = Disk.create ~page_size () in
+  let faults = match faults with Some f -> f | None -> Pager.Fault.create () in
+  (* Every page write and every log force goes through the one fault
+     controller, so a simulated crash is a single authoritative event. *)
+  let backend = Pager.Backend.faulty ~fault:faults (Pager.Backend.of_disk disk) in
   let pool =
     match capacity with
-    | Some c -> Buffer_pool.create ~capacity:c disk
-    | None -> Buffer_pool.create disk
+    | Some c -> Buffer_pool.create ~capacity:c backend
+    | None -> Buffer_pool.create backend
   in
   let log = Wal.Log.create () in
+  Wal.Log.set_fault log faults;
   let journal = Journal.create pool log in
   let locks = Lockmgr.Lock_mgr.create () in
   let mgr = Txn_mgr.create journal locks in
@@ -45,11 +52,11 @@ let assemble ?(record_locking = false) ~page_size ~leaf_pages ~capacity ~mk_tree
   let tree = mk_tree ~journal ~alloc in
   let access = Access.create ~tree ~mgr ~record_locking () in
   wire_undo mgr tree access;
-  { disk; pool; log; journal; locks; mgr; alloc; tree; access }
+  { disk; backend; faults; pool; log; journal; locks; mgr; alloc; tree; access }
 
-let create ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking () =
+let create ?faults ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking () =
   let t =
-    assemble ?record_locking ~page_size ~leaf_pages ~capacity
+    assemble ?faults ?record_locking ~page_size ~leaf_pages ~capacity
       ~mk_tree:(fun ~journal ~alloc -> Tree.create ~journal ~alloc ~meta_pid:0 ~tree_name:1)
       ()
   in
@@ -58,9 +65,9 @@ let create ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking () 
   Wal.Log.force_all t.log;
   t
 
-let load ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking ~fill ?internal_fill
-    records =
-  assemble ?record_locking ~page_size ~leaf_pages ~capacity
+let load ?faults ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking ~fill
+    ?internal_fill records =
+  assemble ?faults ?record_locking ~page_size ~leaf_pages ~capacity
     ~mk_tree:(fun ~journal ~alloc ->
       Btree.Bulk.load ~journal ~alloc ~meta_pid:0 ~tree_name:1 ~fill ?internal_fill records)
     ()
@@ -68,7 +75,8 @@ let load ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking ~fill
 let register_obs t reg =
   Lockmgr.Lock_mgr.register_obs t.locks reg;
   Buffer_pool.register_obs t.pool reg;
-  Wal.Log.register_obs t.log reg
+  Wal.Log.register_obs t.log reg;
+  Pager.Fault.register_obs t.faults reg
 
 let set_tracers t tracer =
   Lockmgr.Lock_mgr.set_tracer t.locks tracer;
@@ -87,12 +95,32 @@ let checkpoint t ?(reorg_table = Record.empty_reorg_table) () =
   let lsn = Wal.Log.append t.log body in
   Wal.Log.force t.log lsn
 
-let crash t =
+let crash_now ?flush_seed t =
+  (* The plan (if any) is done: nothing must trip while we tear things
+     down. *)
+  Pager.Fault.disarm t.faults;
+  (* Legacy partial-flush mode: when the machine is still alive, let a
+     seeded random subset of dirty pages reach disk first — the arbitrary
+     disk states a buffer manager can leave behind.  flush_page honours the
+     WAL rule and careful-writing order. *)
+  if not (Pager.Fault.crashed t.faults) then begin
+    match flush_seed with
+    | Some seed ->
+      let rng = Util.Rng.create seed in
+      List.iter
+        (fun pid -> if Util.Rng.chance rng 0.5 then Buffer_pool.flush_page t.pool pid)
+        (Buffer_pool.dirty_pages t.pool)
+    | None -> ()
+  end;
+  (* The authoritative crash event... *)
+  Pager.Fault.kill t.faults;
   Wal.Log.crash t.log;
   Buffer_pool.crash t.pool;
   Lockmgr.Lock_mgr.clear t.locks;
   Txn_mgr.clear_active t.mgr;
-  Access.clear_on_base_update t.access
+  Access.clear_on_base_update t.access;
+  (* ...and the reboot: the next I/O is recovery's. *)
+  Pager.Fault.revive t.faults
 
 let flush_all t =
   Buffer_pool.flush_all t.pool;

@@ -1,11 +1,18 @@
 (** Database assembly: one object wiring every subsystem together — disk,
-    buffer pool, log, lock manager, transaction manager, allocator, B+-tree
-    and the concurrent access layer — with the cross-module hooks installed
-    (WAL rule, logical undo).  Tests, examples and experiments all start
-    here. *)
+    storage backend, fault controller, buffer pool, log, lock manager,
+    transaction manager, allocator, B+-tree and the concurrent access layer —
+    with the cross-module hooks installed (WAL rule, logical undo, fault
+    injection).  Tests, examples and experiments all start here.
+
+    The buffer pool and the log both sit on the database's single
+    {!Pager.Fault.t}: arm a plan ([Pager.Fault.arm db.faults plan]) and the
+    machine dies — {!Pager.Fault.Crash} — at the scheduled write or force
+    boundary; then {!crash_now} makes the crash official and reboots. *)
 
 type t = {
-  disk : Pager.Disk.t;
+  disk : Pager.Disk.t;  (** the raw in-memory disk (for stats / post-mortems) *)
+  backend : Pager.Backend.t;  (** the fault-injecting seam everything I/Os through *)
+  faults : Pager.Fault.t;
   pool : Pager.Buffer_pool.t;
   log : Wal.Log.t;
   journal : Transact.Journal.t;
@@ -17,11 +24,21 @@ type t = {
 }
 
 val create :
-  ?page_size:int -> ?leaf_pages:int -> ?capacity:int -> ?record_locking:bool -> unit -> t
+  ?faults:Pager.Fault.t ->
+  ?page_size:int ->
+  ?leaf_pages:int ->
+  ?capacity:int ->
+  ?record_locking:bool ->
+  unit ->
+  t
 (** Empty tree.  Defaults: 512-byte pages, 1024-page leaf zone, unbounded
-    pool, page-level user locking (see {!Btree.Access.create}). *)
+    pool, page-level user locking (see {!Btree.Access.create}).  [faults]
+    shares an existing fault controller (the torture harness reuses one
+    across crash/recover cycles so its counters accumulate); by default each
+    database gets its own. *)
 
 val load :
+  ?faults:Pager.Fault.t ->
   ?page_size:int ->
   ?leaf_pages:int ->
   ?capacity:int ->
@@ -33,7 +50,8 @@ val load :
 (** Bulk-loaded tree (sorted records), flushed to disk. *)
 
 val register_obs : t -> Obs.Registry.t -> unit
-(** Register the lock manager's, buffer pool's and log's gauges. *)
+(** Register the lock manager's, buffer pool's, log's and fault
+    controller's gauges. *)
 
 val set_tracers : t -> Obs.Trace.t option -> unit
 (** Point every subsystem's tracer hook at the same trace (or detach). *)
@@ -41,9 +59,14 @@ val set_tracers : t -> Obs.Trace.t option -> unit
 val checkpoint : t -> ?reorg_table:Wal.Record.reorg_table -> unit -> unit
 (** Write and force a checkpoint record. *)
 
-val crash : t -> unit
-(** Lose the buffer pool and the volatile log tail.  Combine with
-    {!Reorg.Recovery.restart} to come back up. *)
+val crash_now : ?flush_seed:int -> t -> unit
+(** The authoritative crash/reboot event: the volatile log tail and every
+    buffer-pool frame vanish, locks and active transactions are cleared, the
+    fault controller is marked crashed then revived (so recovery's I/O
+    works).  If the machine is still alive (no plan tripped) and
+    [flush_seed] is given, a seeded random half of the dirty pages is
+    flushed first — the arbitrary disk state a buffer manager can leave
+    behind.  Combine with {!Reorg.Recovery.restart} to come back up. *)
 
 val flush_all : t -> unit
 

@@ -19,8 +19,7 @@ let crash_ours ~crash_at =
       Engine.stop eng);
   Engine.run eng;
   let units_before = (Reorg.Metrics.units ctx.Reorg.Ctx.metrics) in
-  Sim_util.partial_flush db (crash_at * 3);
-  Db.crash db;
+  Db.crash_now ~flush_seed:(crash_at * 3) db;
   let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default () in
   let lk = Reorg.Rtable.lk ctx2.Reorg.Ctx.rtable in
   let eng2 = Engine.create () in
@@ -46,8 +45,7 @@ let crash_tandem ~crash_at =
       Engine.stop eng);
   Engine.run eng;
   let ops_before = stats.Baseline.Tandem.ops in
-  Sim_util.partial_flush db (crash_at * 3);
-  Db.crash db;
+  Db.crash_now ~flush_seed:(crash_at * 3) db;
   (* Tandem recovery: ordinary restart; the in-flight operation rolls back
      and the whole pass restarts from the front (its scan has no durable
      cursor).  The completed merges whose pages were committed survive as

@@ -5,6 +5,7 @@
     {!Db.payload_for}. *)
 
 val aged :
+  ?faults:Pager.Fault.t ->
   ?page_size:int ->
   ?leaf_pages:int ->
   ?span_factor:float ->

@@ -1,0 +1,202 @@
+module Engine = Sched.Engine
+module Txn_mgr = Transact.Txn_mgr
+module Record = Wal.Record
+
+exception Failed of string
+
+type expectation = {
+  base : (int * string) list;
+  attempted : (int, string) Hashtbl.t;
+  acked : (int, string) Hashtbl.t;
+}
+
+let expectation_of_base base =
+  { base; attempted = Hashtbl.create 7; acked = Hashtbl.create 7 }
+
+type report = {
+  write_boundaries : int;
+  force_boundaries : int;
+  points : int;
+  crashes : int;
+  torn_writes : int;
+  torn_tails : int;
+  units_finished : int;
+  torn_repaired : int;
+  survivors : int;
+}
+
+(* Units that BEGAN in the stable log but never ENDED.  After recovery this
+   must be empty: §5.1 finishes every interrupted unit forward and logs its
+   END.  (A BEGIN lost with the volatile tail never happened.) *)
+let unfinished_units db =
+  let open_ = Hashtbl.create 4 in
+  Wal.Log.iter db.Db.log (fun _ body ->
+      match body with
+      | Record.Reorg_begin { unit_id; _ } -> Hashtbl.replace open_ unit_id ()
+      | Record.Reorg_end { unit_id; _ } -> Hashtbl.remove open_ unit_id
+      | _ -> ());
+  Hashtbl.fold (fun u () acc -> u :: acc) open_ []
+
+let verify db exp =
+  (try Btree.Invariant.check ~alloc:db.Db.alloc db.Db.tree
+   with Btree.Invariant.Violation msg -> raise (Failed ("invariant: " ^ msg)));
+  let contents = Btree.Invariant.contents db.Db.tree in
+  let rec unordered = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a >= b || unordered rest
+    | _ -> false
+  in
+  if unordered contents then raise (Failed "duplicate or out-of-order keys");
+  (* Base records use even keys, concurrent users insert odd keys: the base
+     set must survive exactly; an odd record must match an attempted insert
+     (present-but-unacknowledged is fine: the commit was durable but the
+     crash ate the acknowledgement); an acknowledged insert must survive. *)
+  let evens, odds = List.partition (fun (k, _) -> k land 1 = 0) contents in
+  if evens <> exp.base then raise (Failed "base records lost, changed or duplicated");
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt exp.attempted k with
+      | Some v' when String.equal v v' -> ()
+      | Some _ -> raise (Failed (Printf.sprintf "user record %d has a wrong payload" k))
+      | None -> raise (Failed (Printf.sprintf "phantom record %d" k)))
+    odds;
+  Hashtbl.iter
+    (fun k v ->
+      match List.assoc_opt k odds with
+      | Some v' when String.equal v v' -> ()
+      | _ -> raise (Failed (Printf.sprintf "acknowledged record %d lost" k)))
+    exp.acked;
+  match unfinished_units db with
+  | [] -> ()
+  | us ->
+    raise
+      (Failed
+         (Printf.sprintf "%d reorganization unit(s) begun but never finished forward"
+            (List.length us)))
+
+let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512)
+    ?(leaf_pages = 512) ?(n = 400) ?(users = 0) ?(f1 = 0.3) ~seed ~stride () =
+  if stride < 1 then invalid_arg "Torture.run: stride must be >= 1";
+  let faults = Pager.Fault.create () in
+  (match registry with Some reg -> Pager.Fault.register_obs faults reg | None -> ());
+  let units_finished = ref 0 in
+  let torn_repaired = ref 0 in
+  let survivors = ref 0 in
+  let points = ref 0 in
+
+  let build () = Scenario.aged ~faults ~page_size ~leaf_pages ~seed ~n ~f1 () in
+
+  (* One seeded workload: the reorganization plus [users] writers doing
+     single-insert transactions on per-user disjoint odd keys, so the
+     expected set is exact.  [attempted] is recorded before the insert is
+     attempted, [acked] only once commit returned — a crash in between
+     leaves the key in the "may or may not survive" set. *)
+  let workload db attempted acked =
+    let ctx = Reorg.Ctx.make ?registry ?tracer ~access:db.Db.access ~config () in
+    let eng = Engine.create () in
+    Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
+    Db.set_tracers db ctx.Reorg.Ctx.tracer;
+    let finished = ref false in
+    Engine.spawn eng ~name:"reorganizer" (fun () ->
+        ignore (Reorg.Driver.run ctx);
+        finished := true);
+    for u = 0 to users - 1 do
+      Engine.spawn eng ~name:(Printf.sprintf "user-%d" u) (fun () ->
+          let rng = Util.Rng.create (seed + (101 * u) + 17) in
+          while not !finished do
+            let key = (2 * ((users * Util.Rng.int rng 100_000) + u)) + 1 in
+            if not (Hashtbl.mem attempted key) then begin
+              let payload = Db.payload_for key in
+              Hashtbl.replace attempted key payload;
+              let tx = Txn_mgr.begin_txn db.Db.mgr in
+              (try
+                 Btree.Access.insert db.Db.access ~txn:tx ~key ~payload;
+                 Txn_mgr.commit db.Db.mgr tx;
+                 Hashtbl.replace acked key payload
+               with Transact.Lock_client.Deadlock_victim -> Txn_mgr.abort db.Db.mgr tx)
+            end;
+            Engine.sleep 3
+          done)
+    done;
+    Engine.run eng;
+    (* Background writeback: these page writes are crash boundaries too. *)
+    Db.flush_all db
+  in
+
+  let cycle plan label =
+    incr points;
+    let db, base = build () in
+    let exp = expectation_of_base base in
+    Pager.Fault.arm faults plan;
+    let crashed =
+      try
+        workload db exp.attempted exp.acked;
+        Pager.Fault.disarm faults;
+        false
+      with Pager.Fault.Crash -> true
+    in
+    if crashed then begin
+      Db.crash_now db;
+      let ctx2, outcome =
+        Reorg.Recovery.restart ?registry ?tracer ~access:db.Db.access ~config ()
+      in
+      units_finished := !units_finished + outcome.Reorg.Recovery.units_finished;
+      torn_repaired := !torn_repaired + outcome.Reorg.Recovery.torn_pages;
+      let eng = Engine.create () in
+      Engine.set_tracer eng ctx2.Reorg.Ctx.tracer;
+      Engine.spawn eng ~name:"recovery-resume" (fun () ->
+          ignore (Reorg.Recovery.resume_reorganization ctx2 outcome));
+      Engine.run eng;
+      Db.flush_all db
+    end
+    else incr survivors;
+    try verify db exp with Failed msg -> raise (Failed (label ^ ": " ^ msg))
+  in
+
+  (* Fault-free dry run to discover the crashable boundary space: every page
+     write and every advancing log force after the initial build. *)
+  let write_boundaries, force_boundaries =
+    let db, _ = build () in
+    let w0 = (Pager.Disk.stats db.Db.disk).Pager.Disk.writes in
+    let f0 = (Wal.Log.stats db.Db.log).Wal.Log.forced in
+    workload db (Hashtbl.create 7) (Hashtbl.create 7);
+    ( (Pager.Disk.stats db.Db.disk).Pager.Disk.writes - w0,
+      (Wal.Log.stats db.Db.log).Wal.Log.forced - f0 )
+  in
+
+  let k = ref 1 in
+  while !k <= write_boundaries do
+    let prng = Util.Rng.create (seed + (7919 * !k)) in
+    cycle
+      {
+        Pager.Fault.no_faults with
+        crash_after_writes = Some !k;
+        torn_write = Util.Rng.bool prng;
+        seed = seed + !k;
+      }
+      (Printf.sprintf "write-%d" !k);
+    k := !k + stride
+  done;
+  let j = ref 1 in
+  while !j <= force_boundaries do
+    let prng = Util.Rng.create (seed + (104729 * !j)) in
+    cycle
+      {
+        Pager.Fault.no_faults with
+        crash_after_forces = Some !j;
+        torn_tail = Util.Rng.bool prng;
+        seed = seed + (2 * !j) + 1;
+      }
+      (Printf.sprintf "force-%d" !j);
+    j := !j + stride
+  done;
+  {
+    write_boundaries;
+    force_boundaries;
+    points = !points;
+    crashes = Pager.Fault.crashes faults;
+    torn_writes = Pager.Fault.torn_writes faults;
+    torn_tails = Pager.Fault.torn_tails faults;
+    units_finished = !units_finished;
+    torn_repaired = !torn_repaired;
+    survivors = !survivors;
+  }

@@ -1,0 +1,70 @@
+(** Forward-recovery torture harness.
+
+    The paper's §5.1 claim — a crashed reorganization unit is {e finished},
+    never rolled back — is only believable if it holds at {e every} write
+    boundary, not a sampled handful.  {!run} makes that systematic: a
+    fault-free dry run of a seeded workload (bulk-loaded aged tree, full
+    reorganization, optional concurrent writers) counts the page-write and
+    log-force boundaries; then, for every boundary in turn (or every
+    [stride]-th), a fresh identical database is built, a fault plan is armed
+    to kill the machine exactly there — sometimes tearing the final page
+    write or the WAL tail — and after {!Db.crash_now} + restart + resumed
+    reorganization the harness asserts:
+
+    - the structural B+-tree invariant, including the leaf side-pointer
+      chain ({!Btree.Invariant.check});
+    - no base record lost, changed or duplicated; no phantom user record;
+      every acknowledged user insert still present;
+    - every unit whose BEGIN is in the stable log also has its END — i.e.
+      recovery finished all interrupted units forward.
+
+    Any violation raises {!Failed} naming the crash point, so a deliberately
+    broken recovery is caught with a precise reproducer
+    ([--seed N] + the reported boundary). *)
+
+exception Failed of string
+
+type expectation = {
+  base : (int * string) list;  (** even-keyed records that must survive exactly *)
+  attempted : (int, string) Hashtbl.t;  (** odd-keyed inserts that {e may} survive *)
+  acked : (int, string) Hashtbl.t;  (** odd-keyed inserts that {e must} survive *)
+}
+
+val expectation_of_base : (int * string) list -> expectation
+(** No concurrent users: the tree must hold exactly [base]. *)
+
+val verify : Db.t -> expectation -> unit
+(** The post-recovery checks above; raises {!Failed} on the first
+    violation.  Public so tests can demonstrate that a corrupted database
+    {e is} caught (the harness's own mutation test). *)
+
+type report = {
+  write_boundaries : int;  (** page-write crash points discovered *)
+  force_boundaries : int;  (** log-force crash points discovered *)
+  points : int;  (** crash points actually tested *)
+  crashes : int;  (** plans that tripped *)
+  torn_writes : int;
+  torn_tails : int;
+  units_finished : int;  (** units recovery finished forward, summed *)
+  torn_repaired : int;  (** torn pages detected and rebuilt by redo *)
+  survivors : int;  (** armed plans whose boundary was never reached *)
+}
+
+val run :
+  ?registry:Obs.Registry.t ->
+  ?tracer:Obs.Trace.t ->
+  ?config:Reorg.Config.t ->
+  ?page_size:int ->
+  ?leaf_pages:int ->
+  ?n:int ->
+  ?users:int ->
+  ?f1:float ->
+  seed:int ->
+  stride:int ->
+  unit ->
+  report
+(** Sweep every crash point ([stride = 1]) or a sampled subset.  Fully
+    deterministic from the arguments.  Defaults: 512-byte pages, 512-page
+    leaf zone, [n = 400] records at fill 0.3, no concurrent users.
+    [registry] accumulates [fault.*], [recovery.*] and per-subsystem
+    counters across all cycles. *)

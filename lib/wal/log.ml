@@ -11,6 +11,7 @@ type t = {
   mutable records : int;
   mutable bytes : int;
   mutable forced : int;
+  mutable fault : Pager.Fault.t option;
   mutable tracer : Obs.Trace.t option;
 }
 
@@ -24,10 +25,12 @@ let create () =
     records = 0;
     bytes = 0;
     forced = 0;
+    fault = None;
     tracer = None;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
+let set_fault t fault = t.fault <- Some fault
 
 let register_obs t reg =
   Obs.Registry.gauge reg "wal.records" (fun () -> t.records);
@@ -59,19 +62,34 @@ let head_lsn t = t.next - 1
 let force t lsn =
   let lsn = min lsn (head_lsn t) in
   if lsn > t.flushed then begin
-    t.forced <- t.forced + 1;
-    (match t.tracer with
-    | Some tr ->
-      Obs.Trace.instant tr ~cat:"wal" "wal.force"
-        ~args:[ ("from", Obs.Trace.Int t.flushed); ("to", Obs.Trace.Int lsn) ]
-    | None -> ());
-    (* Track the most recent checkpoint as it becomes stable. *)
-    for l = t.flushed + 1 to lsn do
-      match t.entries.(slot t l) with
-      | Some { body = Record.Checkpoint _; _ } -> t.ckpt <- l
-      | _ -> ()
-    done;
-    t.flushed <- lsn
+    (* The fault controller decides how many of the pending records reach
+       stable storage — all of them normally, a prefix if this force trips a
+       torn-tail plan.  Tearing the tail here is sound: this very call never
+       returns (check below raises), so nothing covered by it was ever
+       acknowledged to a caller. *)
+    let pending = lsn - t.flushed in
+    let allowed =
+      match t.fault with
+      | None -> pending
+      | Some f -> Pager.Fault.on_force f ~records:pending
+    in
+    let lsn = t.flushed + allowed in
+    if allowed > 0 then begin
+      t.forced <- t.forced + 1;
+      (match t.tracer with
+      | Some tr ->
+        Obs.Trace.instant tr ~cat:"wal" "wal.force"
+          ~args:[ ("from", Obs.Trace.Int t.flushed); ("to", Obs.Trace.Int lsn) ]
+      | None -> ());
+      (* Track the most recent checkpoint as it becomes stable. *)
+      for l = t.flushed + 1 to lsn do
+        match t.entries.(slot t l) with
+        | Some { body = Record.Checkpoint _; _ } -> t.ckpt <- l
+        | _ -> ()
+      done;
+      t.flushed <- lsn
+    end;
+    match t.fault with None -> () | Some f -> Pager.Fault.check f
   end
 
 let force_all t = force t (head_lsn t)

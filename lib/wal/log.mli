@@ -24,7 +24,13 @@ val append : t -> Record.body -> Lsn.t
 
 val force : t -> Lsn.t -> unit
 (** Make records up to and including the LSN durable.  No-op if already
-    durable. *)
+    durable.  When a fault controller is attached ({!set_fault}), an
+    advancing force consults it: a crash-on-force plan makes this call raise
+    {!Pager.Fault.Crash} after committing either all pending records or (for
+    a torn-tail plan) only a random prefix of them. *)
+
+val set_fault : t -> Pager.Fault.t -> unit
+(** Route this log's durability boundary through a fault controller. *)
 
 val force_all : t -> unit
 

@@ -5,7 +5,7 @@ module Inode = Btree.Inode
 module Tree = Btree.Tree
 
 let whole_page tree pid f =
-  let size = Pager.Disk.page_size (Buffer_pool.disk (Tree.pool tree)) in
+  let size = Buffer_pool.page_size (Tree.pool tree) in
   Transact.Journal.physical (Tree.journal tree) ~page:pid ~off:0 ~len:size f
 
 (* Locate the entry by its key (= the leaf's low mark): matching by child

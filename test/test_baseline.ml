@@ -105,8 +105,7 @@ let test_crash_rolls_back_in_flight_op () =
           Engine.sleep crash_at;
           Engine.stop eng);
       Engine.run eng;
-      Sim.Sim_util.partial_flush db (crash_at * 7);
-      Db.crash db;
+      Db.crash_now ~flush_seed:(crash_at * 7) db;
       let _ctx, outcome =
         Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default ()
       in

@@ -138,6 +138,32 @@ let test_golden_trace_determinism () =
   Alcotest.(check string) "identical registry dump" (Registry.dump reg1) (Registry.dump reg2);
   Alcotest.(check string) "identical timeline" (Trace.to_timeline tr1) (Trace.to_timeline tr2)
 
+(* The torture harness is many runs in one — dozens of rebuild/crash/recover
+   cycles sharing a registry and tracer.  If any of them consulted hidden
+   state (wall clock, global rng, hash order), the two passes here would
+   diverge somewhere in thousands of events. *)
+let tortured_run () =
+  let registry = Obs.Registry.create () in
+  let tracer = Obs.Trace.create () in
+  let r = Sim.Torture.run ~registry ~tracer ~seed:23 ~stride:7 ~n:120 ~leaf_pages:64 () in
+  (r, registry, tracer)
+
+let test_golden_torture_determinism () =
+  let r1, reg1, tr1 = tortured_run () in
+  let r2, reg2, tr2 = tortured_run () in
+  Alcotest.(check int) "same crash count" r1.Sim.Torture.crashes r2.Sim.Torture.crashes;
+  Alcotest.(check bool) "faults actually injected" true
+    (r1.Sim.Torture.torn_writes + r1.Sim.Torture.torn_tails > 0);
+  Alcotest.(check string) "identical chrome JSON" (Trace.to_chrome_json tr1)
+    (Trace.to_chrome_json tr2);
+  Alcotest.(check string) "identical registry dump" (Registry.dump reg1) (Registry.dump reg2);
+  (* The shared registry saw the fault and recovery layers, not just the
+     usual reorganization counters. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true (Registry.value reg1 name <> None))
+    [ "fault.crashes"; "recovery.restarts"; "recovery.torn_pages" ]
+
 let test_trace_covers_subsystems () =
   let ctx, reg, tr = traced_run () in
   let json = Trace.to_chrome_json tr in
@@ -191,6 +217,7 @@ let () =
       ( "end-to-end",
         [
           Alcotest.test_case "golden determinism" `Quick test_golden_trace_determinism;
+          Alcotest.test_case "golden torture determinism" `Quick test_golden_torture_determinism;
           Alcotest.test_case "subsystem coverage" `Quick test_trace_covers_subsystems;
         ] );
     ]

@@ -2,12 +2,17 @@
 
 module Page = Pager.Page
 module Disk = Pager.Disk
+module Backend = Pager.Backend
+module Fault = Pager.Fault
 module Buffer_pool = Pager.Buffer_pool
 module Alloc = Pager.Alloc
 
 let mk ?(pages = 16) ?(page_size = 256) () =
   let disk = Disk.create ~initial_pages:pages ~page_size () in
-  (disk, Buffer_pool.create disk)
+  (disk, Buffer_pool.create (Backend.of_disk disk))
+
+(* First u16 slot past the pager header — scratch space for the tests. *)
+let uoff = Page.header_size + 3
 
 let test_page_accessors () =
   let p = Page.create ~size:256 in
@@ -74,24 +79,24 @@ let test_careful_writing_order () =
   let disk, pool = mk () in
   (* org (page 4) must not reach disk before dest (page 5). *)
   let dest = Buffer_pool.get pool 5 in
-  Page.set_u16 dest 12 1;
+  Page.set_u16 dest uoff 1;
   Buffer_pool.mark_dirty pool 5;
   let org = Buffer_pool.get pool 4 in
-  Page.set_u16 org 12 2;
+  Page.set_u16 org uoff 2;
   Buffer_pool.mark_dirty pool 4;
   Buffer_pool.add_dependency pool ~blocked:4 ~prereq:5;
   Buffer_pool.flush_page pool 4;
   (* Flushing org must have flushed dest first. *)
-  Alcotest.(check int) "dest on disk" 1 (Page.get_u16 (Disk.peek disk 5) 12);
-  Alcotest.(check int) "org on disk" 2 (Page.get_u16 (Disk.peek disk 4) 12)
+  Alcotest.(check int) "dest on disk" 1 (Page.get_u16 (Disk.peek disk 5) uoff);
+  Alcotest.(check int) "org on disk" 2 (Page.get_u16 (Disk.peek disk 4) uoff)
 
 let test_careful_writing_cycle () =
   let _, pool = mk () in
   let a = Buffer_pool.get pool 1 in
-  Page.set_u16 a 12 1;
+  Page.set_u16 a uoff 1;
   Buffer_pool.mark_dirty pool 1;
   let b = Buffer_pool.get pool 2 in
-  Page.set_u16 b 12 2;
+  Page.set_u16 b uoff 2;
   Buffer_pool.mark_dirty pool 2;
   Buffer_pool.add_dependency pool ~blocked:1 ~prereq:2;
   (* The reverse dependency closes a cycle — the swap case. *)
@@ -110,7 +115,7 @@ let test_on_durable () =
   Buffer_pool.on_durable pool 7 (fun () -> incr fired);
   Alcotest.(check int) "immediate" 1 !fired;
   let p = Buffer_pool.get pool 7 in
-  Page.set_u16 p 12 9;
+  Page.set_u16 p uoff 9;
   Buffer_pool.mark_dirty pool 7;
   Buffer_pool.on_durable pool 7 (fun () -> incr fired);
   Alcotest.(check int) "deferred" 1 !fired;
@@ -119,21 +124,21 @@ let test_on_durable () =
 
 let test_eviction () =
   let disk, _ = mk ~pages:32 () in
-  let pool = Buffer_pool.create ~capacity:4 disk in
+  let pool = Buffer_pool.create ~capacity:4 (Backend.of_disk disk) in
   for pid = 0 to 7 do
     let p = Buffer_pool.get pool pid in
-    Page.set_u16 p 12 pid;
+    Page.set_u16 p uoff pid;
     Buffer_pool.mark_dirty pool pid
   done;
   Alcotest.(check bool) "capacity respected" true (Buffer_pool.frame_count pool <= 4);
   (* Dirty evicted pages reached disk and re-read correctly. *)
   for pid = 0 to 7 do
-    Alcotest.(check int) "value" pid (Page.get_u16 (Buffer_pool.get pool pid) 12)
+    Alcotest.(check int) "value" pid (Page.get_u16 (Buffer_pool.get pool pid) uoff)
   done
 
 let test_pin_blocks_eviction () =
   let disk, _ = mk ~pages:32 () in
-  let pool = Buffer_pool.create ~capacity:2 disk in
+  let pool = Buffer_pool.create ~capacity:2 (Backend.of_disk disk) in
   let p0 = Buffer_pool.pin pool 0 in
   let p1 = Buffer_pool.pin pool 1 in
   Alcotest.check_raises "all pinned" (Failure "Buffer_pool: all frames pinned") (fun () ->
@@ -143,6 +148,110 @@ let test_pin_blocks_eviction () =
   Buffer_pool.unpin pool 0;
   ignore (Buffer_pool.get pool 2);
   Buffer_pool.unpin pool 1
+
+let test_write_stats_and_cost () =
+  let disk, _ = mk () in
+  let p = Page.create ~size:256 in
+  Disk.reset_stats disk;
+  Disk.write disk 3 p;
+  Disk.write disk 4 p;
+  Disk.write disk 5 p;
+  Disk.write disk 9 p;
+  let s = Disk.stats disk in
+  Alcotest.(check int) "writes" 4 s.Disk.writes;
+  Alcotest.(check int) "sequential" 2 s.Disk.seq_writes;
+  Alcotest.(check int) "random" 2 s.Disk.rand_writes;
+  (* Cost model: 2 random (seek+transfer) + 2 sequential (transfer). *)
+  Alcotest.(check (float 1e-9)) "io cost" 24.0 (Disk.io_cost s);
+  Alcotest.(check (float 1e-9)) "custom cost" 10.0
+    (Disk.io_cost ~seek_cost:4.0 ~transfer_cost:0.5 s)
+
+let test_dep_chain () =
+  (* 1 blocked on 2 blocked on 3 blocked on 4: flushing the most blocked
+     page must drive the whole chain, prerequisites first, and fire the
+     on_durable callbacks in that order. *)
+  let disk, pool = mk () in
+  let chain = [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun pid ->
+      let p = Buffer_pool.get pool pid in
+      Page.set_u16 p uoff (10 + pid);
+      Buffer_pool.mark_dirty pool pid)
+    chain;
+  Buffer_pool.add_dependency pool ~blocked:1 ~prereq:2;
+  Buffer_pool.add_dependency pool ~blocked:2 ~prereq:3;
+  Buffer_pool.add_dependency pool ~blocked:3 ~prereq:4;
+  (* Closing the loop anywhere along the chain is refused. *)
+  let cyclic = try Buffer_pool.add_dependency pool ~blocked:4 ~prereq:1; false
+    with Buffer_pool.Cycle _ -> true
+  in
+  Alcotest.(check bool) "transitive cycle refused" true cyclic;
+  let fired = ref [] in
+  List.iter (fun pid -> Buffer_pool.on_durable pool pid (fun () -> fired := pid :: !fired)) chain;
+  Buffer_pool.flush_page pool 1;
+  List.iter
+    (fun pid ->
+      Alcotest.(check int)
+        (Printf.sprintf "page %d on disk" pid)
+        (10 + pid)
+        (Page.get_u16 (Disk.peek disk pid) uoff))
+    chain;
+  Alcotest.(check (list int)) "durable callbacks prereq-first" [ 4; 3; 2; 1 ] (List.rev !fired)
+
+let test_fault_crash_boundary () =
+  let disk = Disk.create ~initial_pages:16 ~page_size:256 () in
+  let fault = Fault.create () in
+  let b = Backend.faulty ~fault (Backend.of_disk disk) in
+  let p = Page.create ~size:256 in
+  Page.set_u16 p uoff 7;
+  Fault.arm fault { Fault.no_faults with Fault.crash_after_writes = Some 2 };
+  Backend.write b 1 p;
+  let crashed = try Backend.write b 2 p; false with Fault.Crash -> true in
+  Alcotest.(check bool) "dies on 2nd write" true crashed;
+  (* The tripping write itself was applied in full before the crash. *)
+  Alcotest.(check int) "tripping write applied" 7 (Page.get_u16 (Disk.peek disk 2) uoff);
+  (* The dead machine refuses all I/O until revived. *)
+  let dead = try ignore (Backend.read b 1); false with Fault.Crash -> true in
+  Alcotest.(check bool) "dead after crash" true dead;
+  Fault.revive fault;
+  Alcotest.(check int) "alive after reboot" 7 (Page.get_u16 (Backend.read b 1) uoff);
+  Alcotest.(check int) "one crash counted" 1 (Fault.crashes fault)
+
+let test_torn_write_detect_and_repair () =
+  let disk = Disk.create ~initial_pages:16 ~page_size:256 () in
+  let fault = Fault.create () in
+  let b = Backend.faulty ~fault (Backend.of_disk disk) in
+  let pool = Buffer_pool.create b in
+  let p = Buffer_pool.get pool 2 in
+  Page.set_u16 p uoff 41;
+  Buffer_pool.mark_dirty pool 2;
+  Buffer_pool.flush_page pool 2;
+  (* Re-dirty and tear the next write: header (with the new checksum)
+     lands, the body keeps the old contents. *)
+  let p = Buffer_pool.get pool 2 in
+  Page.set_u16 p uoff 42;
+  Buffer_pool.mark_dirty pool 2;
+  Fault.arm fault
+    { Fault.no_faults with Fault.crash_after_writes = Some 1; torn_write = true; seed = 7 };
+  let crashed = try Buffer_pool.flush_page pool 2; false with Fault.Crash -> true in
+  Alcotest.(check bool) "crashed at boundary" true crashed;
+  Alcotest.(check int) "torn write counted" 1 (Fault.torn_writes fault);
+  Fault.revive fault;
+  (* An ordinary load sees the checksum mismatch and refuses the page. *)
+  let pool2 = Buffer_pool.create b in
+  let torn = try ignore (Buffer_pool.get pool2 2); false
+    with Buffer_pool.Torn_page 2 -> true
+  in
+  Alcotest.(check bool) "torn page detected" true torn;
+  (* Recovery's read-repair accepts it with a zeroed LSN and a dirty frame,
+     so the whole log replays against the stale body. *)
+  let pool3 = Buffer_pool.create b in
+  Buffer_pool.set_read_repair pool3 true;
+  let q = Buffer_pool.get pool3 2 in
+  Alcotest.(check int64) "lsn zeroed" 0L (Page.lsn q);
+  Alcotest.(check bool) "dirty for redo" true (Buffer_pool.is_dirty pool3 2);
+  Alcotest.(check int) "old body retained" 41 (Page.get_u16 q uoff);
+  Alcotest.(check int) "repair counted" 1 (Buffer_pool.torn_detected pool3)
 
 let test_alloc_zones () =
   let _, pool = mk ~pages:1 () in
@@ -205,6 +314,15 @@ let test_deferred_free () =
   Buffer_pool.flush_page pool dest;
   Alcotest.(check bool) "freed after dest durable" true (Alloc.is_free alloc org)
 
+let test_try_claim () =
+  let _, pool = mk ~pages:1 () in
+  let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:8 in
+  Alcotest.(check bool) "claims a free page" true (Alloc.try_claim alloc 5);
+  Alcotest.(check bool) "no longer free" false (Alloc.is_free alloc 5);
+  Alcotest.(check bool) "second claim fails" false (Alloc.try_claim alloc 5);
+  Alloc.release alloc 5;
+  Alcotest.(check bool) "claimable after release" true (Alloc.try_claim alloc 5)
+
 (* Property: random alloc/free traffic matches a set model, and rebuild
    reconstructs exactly the same free sets from the page bytes. *)
 let alloc_model_test =
@@ -212,7 +330,7 @@ let alloc_model_test =
     QCheck.(make Gen.(list_size (int_bound 120) bool))
     (fun ops ->
       let disk = Disk.create ~initial_pages:1 ~page_size:128 () in
-      let pool = Buffer_pool.create disk in
+      let pool = Buffer_pool.create (Backend.of_disk disk) in
       let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages:32 in
       let held = ref [] in
       List.iter
@@ -262,11 +380,11 @@ let careful_order_test =
             (list_size (int_bound 15) (int_bound 9))))
     (fun (deps, flushes) ->
       let disk = Disk.create ~initial_pages:10 ~page_size:128 () in
-      let pool = Buffer_pool.create disk in
+      let pool = Buffer_pool.create (Backend.of_disk disk) in
       (* Dirty all pages with a marker. *)
       for pid = 0 to 9 do
         let p = Buffer_pool.get pool pid in
-        Page.set_u16 p 12 (100 + pid);
+        Page.set_u16 p uoff (100 + pid);
         Buffer_pool.mark_dirty pool pid
       done;
       let order = ref [] in
@@ -281,7 +399,7 @@ let careful_order_test =
         deps;
       (* Observe write order through a wrapper: flushes write to disk; track
          by polling disk state after each flush call. *)
-      let on_disk pid = Page.get_u16 (Disk.peek disk pid) 12 = 100 + pid in
+      let on_disk pid = Page.get_u16 (Disk.peek disk pid) uoff = 100 + pid in
       List.iter
         (fun pid ->
           Buffer_pool.flush_page pool pid;
@@ -305,6 +423,13 @@ let () =
           Alcotest.test_case "accessors" `Quick test_page_accessors;
           Alcotest.test_case "rw + stats" `Quick test_disk_rw_and_stats;
           Alcotest.test_case "bounds" `Quick test_disk_bounds;
+          Alcotest.test_case "write stats + cost" `Quick test_write_stats_and_cost;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash boundary" `Quick test_fault_crash_boundary;
+          Alcotest.test_case "torn write detect + repair" `Quick
+            test_torn_write_detect_and_repair;
         ] );
       ( "buffer pool",
         [
@@ -313,6 +438,7 @@ let () =
           Alcotest.test_case "careful writing order" `Quick test_careful_writing_order;
           Alcotest.test_case "careful writing cycle" `Quick test_careful_writing_cycle;
           Alcotest.test_case "on_durable" `Quick test_on_durable;
+          Alcotest.test_case "dependency chain" `Quick test_dep_chain;
           Alcotest.test_case "eviction" `Quick test_eviction;
           Alcotest.test_case "pinning" `Quick test_pin_blocks_eviction;
         ] );
@@ -322,6 +448,7 @@ let () =
           Alcotest.test_case "free_in_range" `Quick test_alloc_free_in_range;
           Alcotest.test_case "rebuild" `Quick test_alloc_rebuild;
           Alcotest.test_case "deferred free" `Quick test_deferred_free;
+          Alcotest.test_case "try_claim" `Quick test_try_claim;
         ] );
       ( "properties",
         [

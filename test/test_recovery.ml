@@ -14,15 +14,6 @@ let payload = Db.payload_for
 let restart db =
   Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default ()
 
-(* Flush a seeded random subset of dirty pages — the arbitrary disk states a
-   crash can leave behind (flush_page honours the WAL rule and careful
-   writing, as the buffer manager would). *)
-let partial_flush db seed =
-  let rng = Util.Rng.create seed in
-  List.iter
-    (fun pid -> if Util.Rng.chance rng 0.5 then Buffer_pool.flush_page db.Db.pool pid)
-    (Buffer_pool.dirty_pages db.Db.pool)
-
 let test_committed_survive_losers_rollback () =
   let db = Db.create () in
   let t1 = Txn_mgr.begin_txn db.Db.mgr in
@@ -36,8 +27,7 @@ let test_committed_survive_losers_rollback () =
     Tree.insert db.Db.tree ~txn:t2 ~key:k ~payload:(payload k) ()
   done;
   ignore (Tree.delete db.Db.tree ~txn:t2 50);
-  partial_flush db 7;
-  Db.crash db;
+  Db.crash_now ~flush_seed:7 db;
   let _, outcome = restart db in
   Alcotest.(check int) "one loser" 1 outcome.Reorg.Recovery.losers_undone;
   Invariant.check ~alloc:db.Db.alloc db.Db.tree;
@@ -54,7 +44,7 @@ let test_redo_after_clean_flush () =
   done;
   Txn_mgr.commit db.Db.mgr t1;
   (* Nothing flushed at all: redo must rebuild every page from the log. *)
-  Db.crash db;
+  Db.crash_now db;
   let _, outcome = restart db in
   Alcotest.(check bool) "redo did work" true (outcome.Reorg.Recovery.redo_applied > 0);
   Invariant.check ~alloc:db.Db.alloc db.Db.tree;
@@ -67,7 +57,7 @@ let test_uncommitted_not_durable () =
     Tree.insert db.Db.tree ~txn:t1 ~key:k ~payload:(payload k) ()
   done;
   (* No commit, no force: everything vanishes. *)
-  Db.crash db;
+  Db.crash_now db;
   let _, _ = restart db in
   Invariant.check ~alloc:db.Db.alloc db.Db.tree;
   Invariant.check_consistent_with db.Db.tree ~expected:[]
@@ -96,8 +86,7 @@ let crash_reorg_at db crash_at =
       Engine.sleep crash_at;
       Engine.stop eng);
   Engine.run eng;
-  partial_flush db (crash_at * 31);
-  Db.crash db;
+  Db.crash_now ~flush_seed:(crash_at * 31) db;
   !finished
 
 let recover_and_resume db =
@@ -148,8 +137,7 @@ let test_double_crash () =
       Engine.sleep 50;
       Engine.stop eng);
   Engine.run eng;
-  partial_flush db 99;
-  Db.crash db;
+  Db.crash_now ~flush_seed:99 db;
   let _ctx, _ = recover_and_resume db in
   Invariant.check ~alloc:db.Db.alloc db.Db.tree;
   Invariant.check_consistent_with db.Db.tree ~expected:records
@@ -186,8 +174,7 @@ let test_crash_with_concurrent_updaters () =
       Engine.sleep 120;
       Engine.stop eng);
   Engine.run eng;
-  partial_flush db 3;
-  Db.crash db;
+  Db.crash_now ~flush_seed:3 db;
   let _ctx, _ = recover_and_resume db in
   Invariant.check ~alloc:db.Db.alloc db.Db.tree;
   Invariant.check_consistent_with db.Db.tree
@@ -207,8 +194,7 @@ let test_work_preserved_vs_rollback () =
       Engine.stop eng);
   Engine.run eng;
   let units_before = (Reorg.Metrics.units ctx.Reorg.Ctx.metrics) in
-  partial_flush db 13;
-  Db.crash db;
+  Db.crash_now ~flush_seed:13 db;
   let ctx2, outcome = restart db in
   let lk = Reorg.Rtable.lk ctx2.Reorg.Ctx.rtable in
   Alcotest.(check bool) "some units had finished" true (units_before > 0);
@@ -238,8 +224,7 @@ let test_crash_with_checkpointer () =
           Engine.sleep crash_at;
           Engine.stop eng);
       Engine.run eng;
-      partial_flush db crash_at;
-      Db.crash db;
+      Db.crash_now ~flush_seed:crash_at db;
       (* A checkpoint should be visible to analysis. *)
       Alcotest.(check bool)
         (Printf.sprintf "crash@%d: stable checkpoint exists" crash_at)
@@ -263,8 +248,7 @@ let test_crash_point_sweep_lambda () =
           Engine.sleep crash_at;
           Engine.stop eng);
       Engine.run eng;
-      partial_flush db (crash_at * 5);
-      Db.crash db;
+      Db.crash_now ~flush_seed:(crash_at * 5) db;
       let ctx2, outcome = Reorg.Recovery.restart ~access:db.Db.access ~config () in
       let eng2 = Engine.create () in
       Engine.spawn eng2 (fun () ->
@@ -293,11 +277,7 @@ let crash_anywhere_prop =
           Engine.sleep crash_at;
           Engine.stop eng);
       Engine.run eng;
-      let rng = Util.Rng.create flush_seed in
-      List.iter
-        (fun pid -> if Util.Rng.chance rng 0.5 then Buffer_pool.flush_page db.Db.pool pid)
-        (Buffer_pool.dirty_pages db.Db.pool);
-      Db.crash db;
+      Db.crash_now ~flush_seed db;
       let ctx2, outcome = restart db in
       let eng2 = Engine.create () in
       Engine.spawn eng2 (fun () ->

@@ -348,12 +348,7 @@ let test_parallel_crash_recovery () =
           Engine.sleep crash_at;
           Engine.stop eng);
       Engine.run eng;
-      let rng = Util.Rng.create (crash_at * 3) in
-      List.iter
-        (fun pid ->
-          if Util.Rng.chance rng 0.5 then Pager.Buffer_pool.flush_page db.Db.pool pid)
-        (Pager.Buffer_pool.dirty_pages db.Db.pool);
-      Db.crash db;
+      Db.crash_now ~flush_seed:(crash_at * 3) db;
       let ctx2, outcome =
         Reorg.Recovery.restart ~access:db.Db.access ~config:Reorg.Config.default ()
       in

@@ -17,7 +17,7 @@ module Engine = Sched.Engine
 
 let mk () =
   let disk = Disk.create ~initial_pages:16 ~page_size:256 () in
-  let pool = Buffer_pool.create disk in
+  let pool = Buffer_pool.create (Pager.Backend.of_disk disk) in
   let log = Log.create () in
   let journal = Journal.create pool log in
   let locks = Lock_mgr.create () in
