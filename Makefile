@@ -1,4 +1,4 @@
-.PHONY: all build test check bench torture clean
+.PHONY: all build test check bench bench-json torture clean
 
 all: build
 
@@ -14,6 +14,13 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable baseline: every experiment + the microbenchmarks, written
+# to BENCH_<rev>.json (schema documented in EXPERIMENTS.md).  Commit the file
+# to give the next performance PR a before/after datapoint.
+bench-json:
+	REV=$$(git rev-parse --short HEAD) && \
+	BENCH_REV=$$REV dune exec bench/main.exe -- --json BENCH_$$REV.json
 
 # Exhaustive crash-point sweep: crash at every write boundary on three seeds,
 # recover forward, verify.  Fast (in-memory disk), run it before shipping

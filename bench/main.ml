@@ -170,6 +170,7 @@ let micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   print_endline "Micro-benchmarks (monotonic clock):";
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -177,10 +178,113 @@ let micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-42s %14.1f ns/run\n%!" name est
+          | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Printf.printf "  %-42s %14.1f ns/run\n%!" name est
           | _ -> Printf.printf "  %-42s (no estimate)\n%!" name)
         ols_results)
-    tests
+    tests;
+  List.rev !estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable baseline (--json FILE)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema (version 1): one BENCH_<rev>.json per revision, committed next to
+   the code, so any two revisions can be diffed field-by-field.  Every
+   experiment entry carries wall-clock plus the deterministic counters the
+   Probe collector sums over all arms: logical clock ticks, disk I/O (with
+   the seek/transfer cost model applied), pager hit/miss/eviction counts,
+   lock-manager work (including [scan_steps], the lock-table traversal
+   metric) and WAL volume. *)
+let json_schema_version = 1
+
+let emit_experiment buf (wall, s) =
+  let module J = Obs.Json in
+  let i n = fun b -> J.int b n in
+  let d = s.Sim.Probe.disk in
+  let p = s.Sim.Probe.pool in
+  let l = s.Sim.Probe.lock in
+  let w = s.Sim.Probe.wal in
+  J.obj buf
+    [
+      ("wall_clock_s", fun b -> J.float b wall);
+      ( "engine",
+        fun b ->
+          J.obj b
+            [
+              ("engines", i s.Sim.Probe.engines);
+              ("ticks", i s.Sim.Probe.ticks);
+              ("dispatches", i s.Sim.Probe.dispatches);
+            ] );
+      ( "io",
+        fun b ->
+          J.obj b
+            [
+              ("reads", i d.Pager.Disk.reads);
+              ("writes", i d.Pager.Disk.writes);
+              ("seq_reads", i d.Pager.Disk.seq_reads);
+              ("rand_reads", i d.Pager.Disk.rand_reads);
+              ("seq_writes", i d.Pager.Disk.seq_writes);
+              ("rand_writes", i d.Pager.Disk.rand_writes);
+              ("io_cost", fun b -> J.float b s.Sim.Probe.io_cost);
+            ] );
+      ( "pager",
+        fun b ->
+          J.obj b
+            [
+              ("hits", i p.Pager.Buffer_pool.s_hits);
+              ("misses", i p.Pager.Buffer_pool.s_misses);
+              ("flushes", i p.Pager.Buffer_pool.s_flushes);
+              ("dep_flushes", i p.Pager.Buffer_pool.s_dep_flushes);
+              ("evictions", i p.Pager.Buffer_pool.s_evictions);
+              ("torn_detected", i p.Pager.Buffer_pool.s_torn_detected);
+            ] );
+      ( "lock",
+        fun b ->
+          J.obj b
+            [
+              ("acquires", i l.Lockmgr.Lock_mgr.acquires);
+              ("waits", i l.Lockmgr.Lock_mgr.waits);
+              ("grants_after_wait", i l.Lockmgr.Lock_mgr.grants_after_wait);
+              ("instant_signals", i l.Lockmgr.Lock_mgr.instant_signals);
+              ("give_ups", i l.Lockmgr.Lock_mgr.give_ups);
+              ("cancelled_waits", i l.Lockmgr.Lock_mgr.cancelled_waits);
+              ("deadlocks", i l.Lockmgr.Lock_mgr.deadlocks);
+              ("releases", i l.Lockmgr.Lock_mgr.releases);
+              ("scan_steps", i l.Lockmgr.Lock_mgr.scan_steps);
+            ] );
+      ( "wal",
+        fun b ->
+          J.obj b
+            [
+              ("records", i w.Wal.Log.records);
+              ("bytes", i w.Wal.Log.bytes);
+              ("forced", i w.Wal.Log.forced);
+            ] );
+    ]
+
+let write_json ~file ~experiments:exps ~micro:micro_est =
+  let module J = Obs.Json in
+  let rev = try Sys.getenv "BENCH_REV" with Not_found -> "unknown" in
+  let buf = Buffer.create 4096 in
+  J.obj buf
+    [
+      ("schema_version", fun b -> J.int b json_schema_version);
+      ("revision", fun b -> J.string b rev);
+      ("generated_at_unix", fun b -> J.float b (Float.round (Unix.time ())));
+      ( "experiments",
+        fun b -> J.obj b (List.map (fun (name, e) -> (name, fun b -> emit_experiment b e)) exps)
+      );
+      ( "micro_ns_per_run",
+        fun b -> J.obj b (List.map (fun (n, v) -> (n, fun b -> J.float b v)) micro_est) );
+    ];
+  Buffer.add_char buf '\n';
+  let oc = open_out file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\nbench baseline -> %s (%d experiments, %d micro estimates)\n" file
+    (List.length exps) (List.length micro_est)
 
 (* ------------------------------------------------------------------ *)
 
@@ -211,29 +315,48 @@ let run_experiment (name, title, f) =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Strip the observability flags; what remains are experiment targets. *)
-  let rec split ~trace ~metrics ~rev_targets = function
-    | [] -> (trace, metrics, List.rev rev_targets)
-    | "--metrics" :: rest -> split ~trace ~metrics:true ~rev_targets rest
-    | "--trace" :: file :: rest -> split ~trace:(Some file) ~metrics ~rev_targets rest
+  let rec split ~trace ~metrics ~json ~rev_targets = function
+    | [] -> (trace, metrics, json, List.rev rev_targets)
+    | "--metrics" :: rest -> split ~trace ~metrics:true ~json ~rev_targets rest
+    | "--trace" :: file :: rest -> split ~trace:(Some file) ~metrics ~json ~rev_targets rest
     | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
-      split ~trace:(Some (String.sub a 8 (String.length a - 8))) ~metrics ~rev_targets rest
-    | a :: rest -> split ~trace ~metrics ~rev_targets:(a :: rev_targets) rest
+      split ~trace:(Some (String.sub a 8 (String.length a - 8))) ~metrics ~json ~rev_targets rest
+    | "--json" :: file :: rest -> split ~trace ~metrics ~json:(Some file) ~rev_targets rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--json=" ->
+      split ~trace ~metrics ~json:(Some (String.sub a 7 (String.length a - 7))) ~rev_targets rest
+    | a :: rest -> split ~trace ~metrics ~json ~rev_targets:(a :: rev_targets) rest
   in
-  let trace, metrics, args = split ~trace:None ~metrics:false ~rev_targets:[] args in
+  let trace, metrics, json, args =
+    split ~trace:None ~metrics:false ~json:None ~rev_targets:[] args
+  in
   if trace <> None || metrics then instrumented ~trace ~metrics;
   let targets =
     if args = [] then
-      if trace <> None || metrics then []
+      if (trace <> None || metrics) && json = None then []
       else List.map (fun (n, _, _) -> n) experiments @ [ "micro" ]
     else args
   in
+  let exp_samples = ref [] in
+  let micro_est = ref [] in
   List.iter
     (fun target ->
-      if target = "micro" then micro ()
+      if target = "micro" then micro_est := micro ()
       else
         match List.find_opt (fun (n, _, _) -> n = target) experiments with
-        | Some e -> run_experiment e
+        | Some ((name, _, _) as e) ->
+          if json = None then run_experiment e
+          else begin
+            (* Same console output, but the run happens under the Probe
+               collector and a wall clock, feeding the JSON baseline. *)
+            let t0 = Unix.gettimeofday () in
+            let (), sample = Sim.Probe.with_collector (fun () -> run_experiment e) in
+            let wall = Unix.gettimeofday () -. t0 in
+            exp_samples := (name, (wall, sample)) :: !exp_samples
+          end
         | None ->
           Printf.eprintf "unknown target %S; known: %s micro\n" target
             (String.concat " " (List.map (fun (n, _, _) -> n) experiments)))
-    targets
+    targets;
+  match json with
+  | Some file -> write_json ~file ~experiments:(List.rev !exp_samples) ~micro:!micro_est
+  | None -> ()

@@ -21,6 +21,46 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== bench smoke (JSON schema) =="
+BENCH_OUT=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+trap 'rm -f "$BENCH_OUT"' EXIT
+BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BENCH_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, "unexpected schema_version"
+assert doc["revision"] == "ci-smoke", "BENCH_REV not propagated"
+exps = doc["experiments"]
+assert exps, "no experiments recorded"
+conc = exps["concurrency"]
+for path in [
+    ("io", "reads"),
+    ("pager", "hits"),
+    ("lock", "acquires"),
+    ("lock", "scan_steps"),
+    ("engine", "ticks"),
+]:
+    v = conc[path[0]][path[1]]
+    assert isinstance(v, int) and v > 0, "%s.%s should be a positive int, got %r" % (*path, v)
+assert conc["wall_clock_s"] >= 0.0
+print("bench JSON OK: %d experiment(s), concurrency lock.scan_steps=%d"
+      % (len(exps), conc["lock"]["scan_steps"]))
+EOF
+elif command -v jq >/dev/null 2>&1; then
+  test "$(jq -r .schema_version "$BENCH_OUT")" = 1
+  test "$(jq -r '.experiments.concurrency.lock.acquires > 0' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.concurrency.lock.scan_steps > 0' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.concurrency.io.reads > 0' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.concurrency.pager.hits > 0' "$BENCH_OUT")" = true
+  echo "bench JSON OK (jq)"
+else
+  echo "python3/jq not available; skipping JSON validation" >&2
+fi
+
 echo "== torture sweep =="
 dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 1 -n 120 >/dev/null
 dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 1 -n 120 >/dev/null

@@ -14,6 +14,7 @@ type t = {
   io_pacing : int;
   lambda_switch : bool;
   unit_pages : int;
+  catchup_batch : int;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     io_pacing = 0;
     lambda_switch = false;
     unit_pages = 1;
+    catchup_batch = 16;
   }
 
 let heuristic_name = function

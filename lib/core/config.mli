@@ -42,6 +42,12 @@ type t = {
           construct one new leaf page at a time"); larger values hold locks
           longer and block more user transactions — the trade-off the paper
           calls out. *)
+  catchup_batch : int;
+      (** pass 3: side-file entries applied per scheduler yield during
+          catch-up.  Larger batches drain the backlog with less scheduling
+          overhead but give concurrent updaters fewer chances to slip new
+          entries in mid-drain (they only matter before the switch holds X
+          on the side file). *)
 }
 
 val default : t

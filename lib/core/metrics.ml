@@ -10,6 +10,7 @@ type t = {
   units_undone : Obs.Counter.t;
   base_pages_scanned : Obs.Counter.t;
   side_entries : Obs.Counter.t;
+  catchup_batches : Obs.Counter.t;
   stable_points : Obs.Counter.t;
   forced_aborts : Obs.Counter.t;
   log_bytes : Obs.Counter.t;
@@ -29,6 +30,7 @@ let all t =
     t.units_undone;
     t.base_pages_scanned;
     t.side_entries;
+    t.catchup_batches;
     t.stable_points;
     t.forced_aborts;
     t.log_bytes;
@@ -49,6 +51,7 @@ let create ?registry () =
       units_undone = Obs.Counter.make "core.units_undone";
       base_pages_scanned = Obs.Counter.make "core.base_pages_scanned";
       side_entries = Obs.Counter.make "core.side_entries";
+      catchup_batches = Obs.Counter.make "core.catchup_batches";
       stable_points = Obs.Counter.make "core.stable_points";
       forced_aborts = Obs.Counter.make "core.forced_aborts";
       log_bytes = Obs.Counter.make "core.log_bytes";
@@ -77,6 +80,7 @@ let unit_retries t = Obs.Counter.get t.unit_retries
 let units_undone t = Obs.Counter.get t.units_undone
 let base_pages_scanned t = Obs.Counter.get t.base_pages_scanned
 let side_entries t = Obs.Counter.get t.side_entries
+let catchup_batches t = Obs.Counter.get t.catchup_batches
 let stable_points t = Obs.Counter.get t.stable_points
 let forced_aborts t = Obs.Counter.get t.forced_aborts
 let log_bytes t = Obs.Counter.get t.log_bytes
@@ -85,8 +89,8 @@ let log_records t = Obs.Counter.get t.log_records
 let pp ppf t =
   Format.fprintf ppf
     "units=%d (in-place=%d new-place=%d) swaps=%d moves=%d compacted=%d records=%d retries=%d \
-     undone=%d bases=%d side=%d stable=%d aborts=%d log=%dB/%d recs"
+     undone=%d bases=%d side=%d/%d batches stable=%d aborts=%d log=%dB/%d recs"
     (units t) (in_place_units t) (new_place_units t) (swap_units t) (move_units t)
     (pages_compacted t) (records_moved t) (unit_retries t) (units_undone t)
-    (base_pages_scanned t) (side_entries t) (stable_points t) (forced_aborts t) (log_bytes t)
-    (log_records t)
+    (base_pages_scanned t) (side_entries t) (catchup_batches t) (stable_points t)
+    (forced_aborts t) (log_bytes t) (log_records t)

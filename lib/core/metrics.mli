@@ -19,6 +19,7 @@ type t = {
   units_undone : Obs.Counter.t;  (** §5.2 undo-at-deadlock events *)
   base_pages_scanned : Obs.Counter.t;  (** pass 3 *)
   side_entries : Obs.Counter.t;  (** side-file entries applied during catch-up *)
+  catchup_batches : Obs.Counter.t;  (** batched catch-up rounds (one yield each) *)
   stable_points : Obs.Counter.t;
   forced_aborts : Obs.Counter.t;  (** old-tree transactions aborted at switch *)
   log_bytes : Obs.Counter.t;  (** log bytes attributed to reorganization *)
@@ -46,6 +47,7 @@ val unit_retries : t -> int
 val units_undone : t -> int
 val base_pages_scanned : t -> int
 val side_entries : t -> int
+val catchup_batches : t -> int
 val stable_points : t -> int
 val forced_aborts : t -> int
 val log_bytes : t -> int

@@ -179,16 +179,20 @@ let run ctx ?resume ?finish () =
         Meta.set_generation p gen);
     let nt = Tree.attach ~journal ~alloc:(Ctx.alloc ctx) ~meta_pid:scratch_meta in
     new_tree := Some nt;
-    (* ---- catch-up: apply the side file to the new tree ---- *)
-    let rec catch_up n =
-      match Side_file.take side with
-      | None -> ()
-      | Some op ->
-        apply_op ctx nt op;
-        if n mod 4 = 0 then Engine.yield ();
-        catch_up (n + 1)
+    (* ---- catch-up: apply the side file to the new tree, one batch per
+       scheduler yield (draining entry-by-entry made every entry a full
+       scheduling round trip) ---- *)
+    let batch_size = max 1 ctx.Ctx.config.Config.catchup_batch in
+    let rec catch_up () =
+      match Side_file.take_batch side ~max:batch_size with
+      | [] -> ()
+      | ops ->
+        List.iter (fun op -> apply_op ctx nt op) ops;
+        Obs.Counter.incr ctx.Ctx.metrics.Metrics.catchup_batches;
+        Engine.yield ();
+        catch_up ()
     in
-    catch_up 1;
+    catch_up ();
     (* ---- switch (§7.4) ---- *)
     let rec acquire_side_x () =
       try Ctx.acquire ctx Resource.Side_file Mode.X
@@ -201,7 +205,7 @@ let run ctx ?resume ?finish () =
       (fun () ->
         acquire_side_x ();
         (* Final catch-up: only the entries appended while we waited. *)
-        catch_up 1;
+        catch_up ();
         ignore
           (Ctx.log_reorg ctx
              (Record.Switch

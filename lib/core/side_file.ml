@@ -4,13 +4,19 @@ module Resource = Lockmgr.Resource
 module Lock_client = Transact.Lock_client
 module Journal = Transact.Journal
 
+(* The entry store is a two-list deque: [back] accumulates appends (newest
+   first), [front] holds entries ready to drain (oldest first).  Appends and
+   (amortized) takes are O(1) — the old single newest-first list reversed
+   itself on every [take], making pass-3 catch-up quadratic in the backlog. *)
 type t = {
   journal : Journal.t;
   locks : Lockmgr.Lock_mgr.t;
-  mutable items : Record.side_op list; (* newest first *)
+  mutable front : Record.side_op list; (* oldest first *)
+  mutable back : Record.side_op list; (* newest first *)
+  mutable count : int;
 }
 
-let create ~journal ~locks = { journal; locks; items = [] }
+let create ~journal ~locks = { journal; locks; front = []; back = []; count = 0 }
 
 let key_of = function
   | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
@@ -22,7 +28,8 @@ let append t ~txn op =
     ignore
       (Journal.log_for t.journal ~txn (fun ~prev ->
            Record.Side_file { txn = txn.Transact.Txn.id; op; prev }));
-    t.items <- op :: t.items;
+    t.back <- op :: t.back;
+    t.count <- t.count + 1;
     `Accepted
   | `Conflict _ ->
     (* Switching is in progress: wait it out with an instant-duration IX,
@@ -30,24 +37,58 @@ let append t ~txn op =
     Lock_client.instant t.locks ~txn Resource.Side_file Mode.IX;
     `Redirect
 
-let take t =
-  match List.rev t.items with
+let pop_oldest t =
+  (match t.front with
+  | [] ->
+    t.front <- List.rev t.back;
+    t.back <- []
+  | _ -> ());
+  match t.front with
   | [] -> None
   | oldest :: rest ->
-    t.items <- List.rev rest;
+    t.front <- rest;
+    t.count <- t.count - 1;
     ignore (Wal.Log.append (Journal.log t.journal) (Record.Side_applied { op = oldest }));
     Some oldest
 
-let remove t op =
-  let rec drop_first = function
-    | [] -> []
-    | x :: rest -> if x = op then rest else x :: drop_first rest
+let take t = pop_oldest t
+
+let take_batch t ~max =
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else match pop_oldest t with None -> List.rev acc | Some op -> go (n - 1) (op :: acc)
   in
-  t.items <- drop_first t.items
+  go (Stdlib.max 0 max) []
 
-let size t = List.length t.items
-let is_empty t = t.items = []
+let remove t op =
+  (* Logical undo removes the aborting transaction's {e latest} append:
+     search newest-to-oldest, which means the back list first. *)
+  let rec drop_first = function
+    | [] -> None
+    | x :: rest ->
+      if x = op then Some rest
+      else begin
+        match drop_first rest with None -> None | Some rest' -> Some (x :: rest')
+      end
+  in
+  match drop_first t.back with
+  | Some back' ->
+    t.back <- back';
+    t.count <- t.count - 1
+  | None -> begin
+    match drop_first (List.rev t.front) with
+    | Some rev_front' ->
+      t.front <- List.rev rev_front';
+      t.count <- t.count - 1
+    | None -> ()
+  end
 
-let restore_entries t ops = t.items <- List.rev ops
+let size t = t.count
+let is_empty t = t.count = 0
 
-let entries t = List.rev t.items
+let restore_entries t ops =
+  t.front <- ops;
+  t.back <- [];
+  t.count <- List.length ops
+
+let entries t = t.front @ List.rev t.back

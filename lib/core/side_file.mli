@@ -23,6 +23,11 @@ val take : t -> Wal.Record.side_op option
 (** Pop the oldest entry and log [Side_applied].  The caller applies it to
     the new tree before calling {!take} again. *)
 
+val take_batch : t -> max:int -> Wal.Record.side_op list
+(** Pop up to [max] oldest entries (oldest first), logging [Side_applied]
+    for each — the batched catch-up path: one scheduler yield can cover a
+    whole batch instead of interleaving after every entry. *)
+
 val remove : t -> Wal.Record.side_op -> unit
 (** Logical undo of an append (wired into the transaction manager). *)
 

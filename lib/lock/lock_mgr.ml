@@ -9,8 +9,11 @@ type stats = {
   waits : int;
   grants_after_wait : int;
   instant_signals : int;
+  give_ups : int;
+  cancelled_waits : int;
   deadlocks : int;
   releases : int;
+  scan_steps : int;
 }
 
 type waiter = {
@@ -21,9 +24,15 @@ type waiter = {
   w_wake : grant -> unit;
 }
 
+(* Holder bookkeeping is hashed so the hot paths stay O(1) in the number of
+   holders: [holders] maps owner -> distinct modes held (with multiplicity —
+   the per-owner list is bounded by [Mode.arity], so it stays an assoc list),
+   and [mode_totals] counts, per mode, how many distinct owners hold it.
+   Compatibility against "all other holders" is then a [Mode.arity]-cell array
+   check instead of a walk over the holder list. *)
 type entry = {
-  mutable holders : (owner * (Mode.t * int) list) list;
-      (* owner -> modes held with multiplicity; assoc lists stay tiny *)
+  holders : (owner, (Mode.t * int) list) Hashtbl.t;
+  mode_totals : int array; (* per Mode.index: distinct owners holding it *)
   mutable queue : waiter list; (* FIFO, head first *)
 }
 
@@ -46,7 +55,7 @@ type mode_stats = {
 
 type t = {
   entries : entry Rtbl.t;
-  owner_index : (owner, Resource.t list ref) Hashtbl.t;
+  owner_index : (owner, unit Rtbl.t) Hashtbl.t; (* owner -> resources held *)
   max_locked : (owner, int) Hashtbl.t;
   pending : (owner, Resource.t) Hashtbl.t; (* owner -> resource it waits on *)
   mutable reorganizers : owner list;
@@ -56,7 +65,9 @@ type t = {
   mutable instant_signals : int;
   mutable deadlocks : int;
   mutable releases : int;
-  mutable give_ups : int; (* waits cancelled from outside (switch time limit) *)
+  mutable give_ups : int; (* instant-duration requests signalled: the paper's give-ups *)
+  mutable cancelled_waits : int; (* waits cancelled from outside (switch time limit) *)
+  mutable scan_steps : int; (* holder/index list elements examined on lock paths *)
   by_mode : (Mode.t, mode_stats) Hashtbl.t;
   mutable tracer : Obs.Trace.t option;
 }
@@ -75,6 +86,8 @@ let create () =
     deadlocks = 0;
     releases = 0;
     give_ups = 0;
+    cancelled_waits = 0;
+    scan_steps = 0;
     by_mode = Hashtbl.create 8;
     tracer = None;
   }
@@ -100,9 +113,11 @@ let register_obs t reg =
   Obs.Registry.gauge reg "lock.releases" (fun () -> t.releases);
   Obs.Registry.gauge reg "lock.waits" (fun () -> t.waits);
   Obs.Registry.gauge reg "lock.grants_after_wait" (fun () -> t.grants_after_wait);
-  Obs.Registry.gauge reg "lock.give_ups" (fun () -> t.instant_signals);
-  Obs.Registry.gauge reg "lock.cancelled_waits" (fun () -> t.give_ups);
+  Obs.Registry.gauge reg "lock.instant_signals" (fun () -> t.instant_signals);
+  Obs.Registry.gauge reg "lock.give_ups" (fun () -> t.give_ups);
+  Obs.Registry.gauge reg "lock.cancelled_waits" (fun () -> t.cancelled_waits);
   Obs.Registry.gauge reg "lock.deadlocks" (fun () -> t.deadlocks);
+  Obs.Registry.gauge reg "lock.scan_steps" (fun () -> t.scan_steps);
   List.iter
     (fun mode ->
       let m = Mode.to_string mode in
@@ -124,31 +139,32 @@ let entry t res =
   match Rtbl.find_opt t.entries res with
   | Some e -> e
   | None ->
-    let e = { holders = []; queue = [] } in
+    let e = { holders = Hashtbl.create 4; mode_totals = Array.make Mode.arity 0; queue = [] } in
     Rtbl.replace t.entries res e;
     e
 
 let entry_opt t res = Rtbl.find_opt t.entries res
 
-let gc_entry t res e = if e.holders = [] && e.queue = [] then Rtbl.remove t.entries res
+let gc_entry t res e =
+  if Hashtbl.length e.holders = 0 && e.queue = [] then Rtbl.remove t.entries res
 
-let owner_modes e o = match List.assoc_opt o e.holders with Some ms -> ms | None -> []
-
-let other_holder_modes e o =
-  List.concat_map (fun (o', ms) -> if o' = o then [] else List.map fst ms) e.holders
+let owner_modes t e o =
+  t.scan_steps <- t.scan_steps + 1;
+  match Hashtbl.find_opt e.holders o with Some ms -> ms | None -> []
 
 let index_add t o res =
-  let l =
+  let s =
     match Hashtbl.find_opt t.owner_index o with
-    | Some l -> l
+    | Some s -> s
     | None ->
-      let l = ref [] in
-      Hashtbl.replace t.owner_index o l;
-      l
+      let s = Rtbl.create 8 in
+      Hashtbl.replace t.owner_index o s;
+      s
   in
-  if not (List.exists (Resource.equal res) !l) then begin
-    l := res :: !l;
-    let n = List.length !l in
+  t.scan_steps <- t.scan_steps + 1;
+  if not (Rtbl.mem s res) then begin
+    Rtbl.replace s res ();
+    let n = Rtbl.length s in
     match Hashtbl.find_opt t.max_locked o with
     | Some m when m >= n -> ()
     | _ -> Hashtbl.replace t.max_locked o n
@@ -157,51 +173,95 @@ let index_add t o res =
 let index_remove t o res =
   match Hashtbl.find_opt t.owner_index o with
   | None -> ()
-  | Some l ->
-    l := List.filter (fun r -> not (Resource.equal r res)) !l;
-    if !l = [] then Hashtbl.remove t.owner_index o
+  | Some s ->
+    Rtbl.remove s res;
+    if Rtbl.length s = 0 then Hashtbl.remove t.owner_index o
 
 let add_holding t e o res mode =
-  let ms = owner_modes e o in
+  let ms = owner_modes t e o in
+  if not (List.mem_assoc mode ms) then begin
+    let i = Mode.index mode in
+    e.mode_totals.(i) <- e.mode_totals.(i) + 1
+  end;
   let ms' =
     match List.assoc_opt mode ms with
     | Some n -> (mode, n + 1) :: List.remove_assoc mode ms
     | None -> (mode, 1) :: ms
   in
-  e.holders <- (o, ms') :: List.remove_assoc o e.holders;
+  Hashtbl.replace e.holders o ms';
   index_add t o res
 
 let remove_holding t e o res mode =
-  let ms = owner_modes e o in
+  let ms = owner_modes t e o in
   match List.assoc_opt mode ms with
   | None -> invalid_arg "Lock_mgr.release: mode not held"
   | Some n ->
     let ms' = if n > 1 then (mode, n - 1) :: List.remove_assoc mode ms else List.remove_assoc mode ms in
+    if n = 1 then begin
+      let i = Mode.index mode in
+      e.mode_totals.(i) <- e.mode_totals.(i) - 1
+    end;
     if ms' = [] then begin
-      e.holders <- List.remove_assoc o e.holders;
+      Hashtbl.remove e.holders o;
       index_remove t o res
     end
-    else e.holders <- (o, ms') :: List.remove_assoc o e.holders
+    else Hashtbl.replace e.holders o ms'
+
+(* Drop every mode [o] holds on [e] at once (release_all path). *)
+let drop_owner t e o res =
+  match Hashtbl.find_opt e.holders o with
+  | None -> false
+  | Some ms ->
+    List.iter
+      (fun (m, _) ->
+        let i = Mode.index m in
+        e.mode_totals.(i) <- e.mode_totals.(i) - 1)
+      ms;
+    Hashtbl.remove e.holders o;
+    index_remove t o res;
+    true
 
 (* Can [o] be granted [mode] given current holders (ignoring its own
-   holdings)? *)
-let compat_with_holders e o mode =
-  List.for_all (fun m -> Mode.compat m mode) (other_holder_modes e o)
+   holdings)?  O(Mode.arity): a held mode that conflicts with the request is
+   tolerable only when its sole holder is [o] itself. *)
+let compat_with_holders t e o mode =
+  let ok = ref true in
+  let examined = ref 0 in
+  for i = 0 to Mode.arity - 1 do
+    let n = e.mode_totals.(i) in
+    if n > 0 && !ok then begin
+      incr examined;
+      let m = Mode.of_index.(i) in
+      if not (Mode.compat m mode) then
+        if n > 1 then ok := false
+        else begin
+          incr examined;
+          match Hashtbl.find_opt e.holders o with
+          | Some ms when List.mem_assoc m ms -> ()
+          | _ -> ok := false
+        end
+    end
+  done;
+  t.scan_steps <- t.scan_steps + !examined;
+  !ok
 
-let compat_with_queue e o mode =
+let compat_with_queue t e o mode =
   (* A new (non-conversion) request must not overtake queued waiters it
      conflicts with. *)
+  t.scan_steps <- t.scan_steps + List.length e.queue;
   List.for_all (fun w -> w.w_owner = o || Mode.compat w.w_mode mode) e.queue
 
 let blockers e o mode =
   let hs =
-    List.filter_map
-      (fun (o', ms) ->
-        if o' = o then None
+    Hashtbl.fold
+      (fun o' ms acc ->
+        if o' = o then acc
         else
-          let conflicting = List.filter (fun (m, _) -> not (Mode.compat m mode)) ms in
-          match conflicting with [] -> None | (m, _) :: _ -> Some (o', m))
-      e.holders
+          match List.find_opt (fun (m, _) -> not (Mode.compat m mode)) ms with
+          | Some (m, _) -> (o', m) :: acc
+          | None -> acc)
+      e.holders []
+    |> List.sort compare
   in
   let ws =
     List.filter_map
@@ -222,11 +282,16 @@ let process_queue t e =
   List.iter
     (fun w ->
       let ok =
-        compat_with_holders e w.w_owner w.w_mode
+        compat_with_holders t e w.w_owner w.w_mode
         && List.for_all (fun m -> Mode.compat m w.w_mode) !blocked_modes
       in
       if ok then begin
-        if w.w_instant then t.instant_signals <- t.instant_signals + 1
+        if w.w_instant then begin
+          (* A signalled instant-duration request is the paper's give-up:
+             the requester abandons its current attempt and retries. *)
+          t.instant_signals <- t.instant_signals + 1;
+          t.give_ups <- t.give_ups + 1
+        end
         else begin
           (* Resource is recovered lazily below; holders list needs it only
              for the index, which add_holding handles. *)
@@ -253,7 +318,7 @@ let fire t res e woken =
 
 let try_acquire t ~owner res mode =
   let e = entry t res in
-  let held = owner_modes e owner in
+  let held = owner_modes t e owner in
   if List.exists (fun (m, _) -> Mode.covers ~held:m ~need:mode) held then begin
     add_holding t e owner res mode;
     t.acquires <- t.acquires + 1;
@@ -263,8 +328,8 @@ let try_acquire t ~owner res mode =
   else begin
     let conversion = held <> [] in
     let ok =
-      compat_with_holders e owner mode
-      && (conversion || compat_with_queue e owner mode)
+      compat_with_holders t e owner mode
+      && (conversion || compat_with_queue t e owner mode)
     in
     if ok then begin
       add_holding t e owner res mode;
@@ -293,12 +358,13 @@ let wait_edges t o =
       | None -> []
       | Some w ->
         let holder_edges =
-          List.filter_map
-            (fun (o', ms) ->
+          Hashtbl.fold
+            (fun o' ms acc ->
               if o' <> o && List.exists (fun (m, _) -> not (Mode.compat m w.w_mode)) ms then
-                Some o'
-              else None)
-            e.holders
+                o' :: acc
+              else acc)
+            e.holders []
+          |> List.sort compare
         in
         let rec earlier acc = function
           | [] -> acc
@@ -376,7 +442,7 @@ let enqueue t ~owner res mode ~instant ~wake =
   if Hashtbl.mem t.pending owner then
     invalid_arg "Lock_mgr.enqueue: owner already waiting";
   let e = entry t res in
-  let conversion = owner_modes e owner <> [] in
+  let conversion = owner_modes t e owner <> [] in
   let w = { w_owner = owner; w_mode = mode; w_instant = instant; w_conversion = conversion; w_wake = wake } in
   (* Conversions park ahead of ordinary waiters. *)
   if conversion then begin
@@ -396,7 +462,7 @@ let cancel_wait t ~owner =
   | None -> false
   | Some (res, e, w) ->
     t.deadlocks <- t.deadlocks + 1;
-    t.give_ups <- t.give_ups + 1;
+    t.cancelled_waits <- t.cancelled_waits + 1;
     (mode_stats t w.w_mode).m_deadlocks <- (mode_stats t w.w_mode).m_deadlocks + 1;
     (match t.tracer with
     | Some tr ->
@@ -439,32 +505,34 @@ let release_all t ~owner =
   | None -> ());
   match Hashtbl.find_opt t.owner_index owner with
   | None -> ()
-  | Some l ->
-    let resources = !l in
+  | Some s ->
+    let resources = Rtbl.fold (fun r () acc -> r :: acc) s [] |> List.sort compare in
     Hashtbl.remove t.owner_index owner;
     List.iter
       (fun res ->
         match entry_opt t res with
         | None -> ()
         | Some e ->
-          e.holders <- List.remove_assoc owner e.holders;
+          ignore (drop_owner t e owner res);
           t.releases <- t.releases + 1;
           let woken = process_queue t e in
           fire t res e woken)
       resources
 
 let holds t ~owner res =
-  match entry_opt t res with None -> [] | Some e -> List.map fst (owner_modes e owner)
+  match entry_opt t res with None -> [] | Some e -> List.map fst (owner_modes t e owner)
 
 let held_resources t ~owner =
   match Hashtbl.find_opt t.owner_index owner with
   | None -> []
-  | Some l -> List.map (fun res -> (res, holds t ~owner res)) !l
+  | Some s ->
+    Rtbl.fold (fun res () acc -> (res, holds t ~owner res) :: acc) s [] |> List.sort compare
 
 let holders t res =
   match entry_opt t res with
   | None -> []
-  | Some e -> List.map (fun (o, ms) -> (o, List.map fst ms)) e.holders
+  | Some e ->
+    Hashtbl.fold (fun o ms acc -> (o, List.map fst ms) :: acc) e.holders [] |> List.sort compare
 
 let waiters t res =
   match entry_opt t res with
@@ -474,7 +542,7 @@ let waiters t res =
 let is_waiting t ~owner = Hashtbl.mem t.pending owner
 
 let locked_count t ~owner =
-  match Hashtbl.find_opt t.owner_index owner with None -> 0 | Some l -> List.length !l
+  match Hashtbl.find_opt t.owner_index owner with None -> 0 | Some s -> Rtbl.length s
 
 let max_locked_count t ~owner =
   match Hashtbl.find_opt t.max_locked owner with Some m -> m | None -> 0
@@ -493,8 +561,11 @@ let stats t =
     waits = t.waits;
     grants_after_wait = t.grants_after_wait;
     instant_signals = t.instant_signals;
+    give_ups = t.give_ups;
+    cancelled_waits = t.cancelled_waits;
     deadlocks = t.deadlocks;
     releases = t.releases;
+    scan_steps = t.scan_steps;
   }
 
 let reset_stats t =
@@ -505,4 +576,6 @@ let reset_stats t =
   t.deadlocks <- 0;
   t.releases <- 0;
   t.give_ups <- 0;
+  t.cancelled_waits <- 0;
+  t.scan_steps <- 0;
   Hashtbl.reset t.by_mode

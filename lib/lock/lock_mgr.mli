@@ -39,9 +39,19 @@ type stats = {
   acquires : int;  (** successful immediate grants *)
   waits : int;  (** requests that had to queue *)
   grants_after_wait : int;
-  instant_signals : int;
+  instant_signals : int;  (** instant-duration requests signalled *)
+  give_ups : int;
+      (** the paper's give-ups: signalled instant requests where the
+          requester abandons its attempt and retries (equal to
+          [instant_signals] today — kept distinct so the semantics can
+          diverge, e.g. if instant requests gain other uses) *)
+  cancelled_waits : int;  (** waits cancelled from outside (switch time limit) *)
   deadlocks : int;  (** victims woken with [Deadlock] *)
   releases : int;
+  scan_steps : int;
+      (** lock-table work metric: holder/queue/index elements examined on the
+          acquire/release paths — the unit of the lock-manager hot-path
+          before/after comparisons *)
 }
 
 val create : unit -> t
@@ -109,10 +119,12 @@ val reset_stats : t -> unit
 
 val register_obs : t -> Obs.Registry.t -> unit
 (** Register [lock.acquires], [lock.releases], [lock.waits],
-    [lock.grants_after_wait], [lock.give_ups] (instant-duration RS signals —
-    the paper's give-up count), [lock.cancelled_waits] (switch-time forced
-    aborts), [lock.deadlocks], and per-mode
-    [lock.{acquires,waits,deadlock_victims}.<MODE>] gauges. *)
+    [lock.grants_after_wait], [lock.instant_signals], [lock.give_ups]
+    (instant-duration RS signals — the paper's give-up count),
+    [lock.cancelled_waits] (switch-time forced aborts), [lock.deadlocks],
+    [lock.scan_steps], and per-mode
+    [lock.{acquires,waits,deadlock_victims}.<MODE>] gauges.  Each gauge reads
+    the like-named {!stats} counter. *)
 
 val mode_tally : t -> Mode.t -> int * int * int
 (** [(acquires, waits, deadlock_victims)] for one mode. *)

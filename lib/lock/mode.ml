@@ -2,6 +2,12 @@ type t = IS | IX | S | X | R | RX | RS
 
 let all = [ IS; IX; S; X; R; RX; RS ]
 
+(* Dense index for per-mode count arrays (the lock manager's O(1) holder
+   tallies). *)
+let index = function IS -> 0 | IX -> 1 | S -> 2 | X -> 3 | R -> 4 | RX -> 5 | RS -> 6
+let arity = 7
+let of_index = [| IS; IX; S; X; R; RX; RS |]
+
 (* Symmetric compatibility.  RX conflicts with everything; X conflicts with
    everything; RS conflicts with R (and X), which is what makes the
    instant-duration RS request block until the reorganizer is done with the

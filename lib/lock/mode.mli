@@ -24,6 +24,16 @@ type t = IS | IX | S | X | R | RX | RS
 
 val all : t list
 
+val index : t -> int
+(** Dense index in [0, arity): position of the mode in {!all} — used for
+    per-mode count arrays. *)
+
+val arity : int
+(** Number of modes. *)
+
+val of_index : t array
+(** Inverse of {!index}: [of_index.(index m) = m]. *)
+
 val compat : t -> t -> bool
 (** [compat granted requested] — symmetric. *)
 

@@ -6,14 +6,30 @@ type frame = {
   data : Page.t;
   mutable dirty : bool;
   mutable pins : int;
-  mutable last_use : int;
+  mutable referenced : bool; (* clock second-chance bit *)
+  mutable slot : int; (* index of this frame's entry in the clock ring *)
+}
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_flushes : int;
+  s_dep_flushes : int;
+  s_evictions : int;
+  s_torn_detected : int;
 }
 
 type t = {
   backend : Backend.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
-  mutable tick : int;
+  (* Clock ring over resident frames, in arrival order.  Entries are pids;
+     eviction leaves a [-1] tombstone (O(1) removal) which the next
+     growth-time compaction squeezes out. *)
+  mutable ring : int array;
+  mutable ring_len : int; (* used prefix of [ring], tombstones included *)
+  mutable ring_live : int; (* non-tombstone entries *)
+  mutable hand : int;
   mutable before_write : int64 -> unit;
   (* blocked pid -> prerequisite pids that must be durable before it may be
      written.  Entries are removed as they are satisfied. *)
@@ -29,12 +45,21 @@ type t = {
   mutable tracer : Obs.Trace.t option;
 }
 
-let create ?(capacity = max_int) backend =
+(* Default bound: enough that the repo's own workloads rarely thrash, small
+   enough that eviction is actually exercised — an unbounded pool hides every
+   write-ordering bug the careful-writing machinery exists to catch. *)
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) backend =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
   {
     backend;
     capacity;
     frames = Hashtbl.create 64;
-    tick = 0;
+    ring = Array.make 16 (-1);
+    ring_len = 0;
+    ring_live = 0;
+    hand = 0;
     before_write = (fun _ -> ());
     deps = Hashtbl.create 16;
     waiters = Hashtbl.create 16;
@@ -46,6 +71,18 @@ let create ?(capacity = max_int) backend =
     torn_detected = 0;
     read_repair = false;
     tracer = None;
+  }
+
+let capacity t = t.capacity
+
+let stats t =
+  {
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_flushes = t.flushes;
+    s_dep_flushes = t.dep_flushes;
+    s_evictions = t.evictions;
+    s_torn_detected = t.torn_detected;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
@@ -172,27 +209,77 @@ and flush_page t pid =
     fire_waiters t pid
   | Some fr -> flush_frame t fr
 
+(* --- clock ring maintenance --- *)
+
+let ring_compact t =
+  let live = Array.make (max 16 (2 * t.ring_live)) (-1) in
+  let j = ref 0 in
+  let new_hand = ref 0 in
+  for i = 0 to t.ring_len - 1 do
+    if i = t.hand then new_hand := !j;
+    let pid = t.ring.(i) in
+    if pid >= 0 then begin
+      (match Hashtbl.find_opt t.frames pid with Some fr -> fr.slot <- !j | None -> ());
+      live.(!j) <- pid;
+      incr j
+    end
+  done;
+  t.ring <- live;
+  t.ring_len <- !j;
+  t.hand <- (if !j = 0 then 0 else !new_hand mod !j)
+
+let ring_push t fr =
+  if t.ring_len = Array.length t.ring then
+    if t.ring_live * 2 <= t.ring_len then ring_compact t
+    else begin
+      let bigger = Array.make (2 * Array.length t.ring) (-1) in
+      Array.blit t.ring 0 bigger 0 t.ring_len;
+      t.ring <- bigger
+    end;
+  fr.slot <- t.ring_len;
+  t.ring.(t.ring_len) <- fr.pid;
+  t.ring_len <- t.ring_len + 1;
+  t.ring_live <- t.ring_live + 1
+
+let ring_remove t fr =
+  if fr.slot >= 0 && fr.slot < t.ring_len && t.ring.(fr.slot) = fr.pid then begin
+    t.ring.(fr.slot) <- -1;
+    t.ring_live <- t.ring_live - 1
+  end;
+  fr.slot <- -1
+
 let evict_one t =
-  (* LRU among unpinned frames; prefer clean victims to avoid write-order
-     work on the eviction path. *)
-  let best = ref None in
-  let consider fr =
-    if fr.pins = 0 then
-      match !best with
-      | None -> best := Some fr
-      | Some b ->
-        let better =
-          if fr.dirty <> b.dirty then b.dirty (* clean wins *)
-          else fr.last_use < b.last_use
-        in
-        if better then best := Some fr
-  in
-  Hashtbl.iter (fun _ fr -> consider fr) t.frames;
-  match !best with
+  (* Clock / second-chance: sweep the ring from the hand; a referenced frame
+     surrenders its bit and gets one more revolution, a pinned frame is
+     skipped.  Two full revolutions are enough to find a victim (the first
+     clears every bit), so a dry sweep means every frame is pinned. *)
+  let victim = ref None in
+  let budget = ref ((2 * t.ring_len) + 2) in
+  while !victim = None && !budget > 0 do
+    decr budget;
+    if t.ring_len = 0 then budget := 0
+    else begin
+      if t.hand >= t.ring_len then t.hand <- 0;
+      let pid = t.ring.(t.hand) in
+      if pid < 0 then t.hand <- t.hand + 1
+      else begin
+        let fr = Hashtbl.find t.frames pid in
+        if fr.pins > 0 then t.hand <- t.hand + 1
+        else if fr.referenced then begin
+          fr.referenced <- false;
+          t.hand <- t.hand + 1
+        end
+        else victim := Some fr
+      end
+    end
+  done;
+  match !victim with
   | None -> failwith "Buffer_pool: all frames pinned"
   | Some fr ->
     flush_frame t fr;
     t.evictions <- t.evictions + 1;
+    ring_remove t fr;
+    t.hand <- t.hand + 1;
     Hashtbl.remove t.frames fr.pid
 
 let load t pid =
@@ -225,16 +312,16 @@ let load t pid =
   (* A repaired frame starts dirty: even if no log record ends up replayed
      against it, the final recovery flush must replace the torn on-disk
      image with a consistent one. *)
-  let fr = { pid; data; dirty = repaired; pins = 0; last_use = t.tick } in
+  let fr = { pid; data; dirty = repaired; pins = 0; referenced = true; slot = -1 } in
   Hashtbl.replace t.frames pid fr;
+  ring_push t fr;
   fr
 
 let frame t pid =
-  t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.frames pid with
   | Some fr ->
     t.hits <- t.hits + 1;
-    fr.last_use <- t.tick;
+    fr.referenced <- true;
     fr
   | None ->
     t.misses <- t.misses + 1;
@@ -268,7 +355,11 @@ let flush_all t =
 let crash t =
   Hashtbl.reset t.frames;
   Hashtbl.reset t.deps;
-  Hashtbl.reset t.waiters
+  Hashtbl.reset t.waiters;
+  t.ring <- Array.make 16 (-1);
+  t.ring_len <- 0;
+  t.ring_live <- 0;
+  t.hand <- 0
 
 let dirty_pages t =
   Hashtbl.fold (fun pid fr acc -> if fr.dirty then pid :: acc else acc) t.frames []

@@ -40,7 +40,19 @@ exception Torn_page of int
     read-repair mode is off. *)
 
 val create : ?capacity:int -> Backend.t -> t
-(** [capacity] is the maximum number of frames (default: unbounded). *)
+(** [capacity] is the maximum number of frames, default
+    {!default_capacity}.  When the pool is full, a victim is chosen by a
+    clock (second-chance) sweep: each frame carries a referenced bit, set on
+    every access; the clock hand clears the bit on its first visit and evicts
+    on its second, skipping pinned frames.  A dirty victim is flushed (WAL
+    rule and careful-writing prerequisites included) before being dropped.
+    Raises [Invalid_argument] if [capacity < 1], [Failure] on eviction when
+    every frame is pinned. *)
+
+val default_capacity : int
+(** 256 frames. *)
+
+val capacity : t -> int
 
 val backend : t -> Backend.t
 
@@ -118,6 +130,18 @@ val dirty_pages : t -> int list
 val frame_count : t -> int
 val flushes : t -> int
 (** Number of page writes issued by this pool since creation. *)
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_flushes : int;
+  s_dep_flushes : int;
+  s_evictions : int;
+  s_torn_detected : int;
+}
+
+val stats : t -> stats
+(** Counter snapshot since creation — what the benchmark harness records. *)
 
 (** {2 Observability} *)
 

@@ -33,22 +33,32 @@ type t = {
 
 let root_fiber = { fid = 0; fname = "main" }
 
+(* Benchmark harnesses install a hook to observe every engine a scenario
+   creates (experiments build engines internally); unset it when done. *)
+let create_hook : (t -> unit) option ref = ref None
+
+let set_create_hook f = create_hook := f
+
 let create ?(seed = 0) ?(random = false) () =
-  {
-    runq = [];
-    runq_front = [];
-    timers = [];
-    time = 0;
-    stop = false;
-    live = 0;
-    rng = (if random then Some (Util.Rng.create seed) else None);
-    cur = root_fiber;
-    next_fid = 1;
-    dispatches = Obs.Counter.make "sched.dispatches";
-    spawned = Obs.Counter.make "sched.spawned";
-    blocked = Obs.Histogram.make "sched.blocked_ticks";
-    tracer = None;
-  }
+  let t =
+    {
+      runq = [];
+      runq_front = [];
+      timers = [];
+      time = 0;
+      stop = false;
+      live = 0;
+      rng = (if random then Some (Util.Rng.create seed) else None);
+      cur = root_fiber;
+      next_fid = 1;
+      dispatches = Obs.Counter.make "sched.dispatches";
+      spawned = Obs.Counter.make "sched.spawned";
+      blocked = Obs.Histogram.make "sched.blocked_ticks";
+      tracer = None;
+    }
+  in
+  (match !create_hook with Some f -> f t | None -> ());
+  t
 
 let set_tracer t tracer =
   t.tracer <- tracer;

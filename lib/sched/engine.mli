@@ -50,6 +50,12 @@ val register_obs : t -> Obs.Registry.t -> unit
     (histogram of per-wait blocked durations), [sched.time] and
     [sched.live]. *)
 
+val set_create_hook : (t -> unit) option -> unit
+(** Install a global hook called with every engine subsequently created —
+    benchmark harnesses use it to find the engines an experiment builds
+    internally (and to sum their logical clocks).  Pass [None] to remove;
+    hooks do not nest. *)
+
 val dispatches : t -> int
 val blocked_ticks : t -> Obs.Histogram.t
 

@@ -52,6 +52,7 @@ let assemble ?faults ?(record_locking = false) ~page_size ~leaf_pages ~capacity 
   let tree = mk_tree ~journal ~alloc in
   let access = Access.create ~tree ~mgr ~record_locking () in
   wire_undo mgr tree access;
+  Probe.note_parts ~disk ~pool ~locks ~log;
   { disk; backend; faults; pool; log; journal; locks; mgr; alloc; tree; access }
 
 let create ?faults ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking () =

@@ -5,11 +5,11 @@ module Txn_mgr = Transact.Txn_mgr
 let records_for n = List.init n (fun i -> (2 * i, Db.payload_for (2 * i)))
 
 let aged ?faults ?(page_size = 512) ?(leaf_pages = 4096) ?(span_factor = 1.4) ?record_locking
-    ~seed ~n ~f1 () =
+    ?capacity ~seed ~n ~f1 () =
   let records = records_for n in
   (* Upper levels degrade less than leaves: load them moderately sparse. *)
   let db =
-    Db.load ?faults ~page_size ~leaf_pages ?record_locking ~fill:f1
+    Db.load ?faults ~page_size ~leaf_pages ?capacity ?record_locking ~fill:f1
       ~internal_fill:(max f1 0.5) records
   in
   let rng = Util.Rng.create seed in

@@ -10,6 +10,7 @@ val aged :
   ?leaf_pages:int ->
   ?span_factor:float ->
   ?record_locking:bool ->
+  ?capacity:int ->
   seed:int ->
   n:int ->
   f1:float ->

@@ -83,7 +83,10 @@ let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512)
   let survivors = ref 0 in
   let points = ref 0 in
 
-  let build () = Scenario.aged ~faults ~page_size ~leaf_pages ~seed ~n ~f1 () in
+  (* A deliberately tight pool: crash/recovery sweeps must survive eviction
+     traffic (dirty victims, careful-writing prerequisite flushes) firing
+     mid-workload, not just at the explicit flush points. *)
+  let build () = Scenario.aged ~faults ~page_size ~leaf_pages ~capacity:48 ~seed ~n ~f1 () in
 
   (* One seeded workload: the reorganization plus [users] writers doing
      single-insert transactions on per-user disjoint odd keys, so the

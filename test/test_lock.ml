@@ -191,6 +191,71 @@ let test_tree_lock_drain_pattern () =
   Lock_mgr.release m ~owner:2 tree Mode.IX;
   Alcotest.(check bool) "drained" true !drained
 
+let test_gauges_map_to_like_named_counters () =
+  (* Pin the gauge wiring: each registered gauge must read the stats field of
+     the same name.  Historically give_ups and cancelled_waits were swapped. *)
+  let m = Lock_mgr.create () in
+  let reg = Obs.Registry.create () in
+  Lock_mgr.register_obs m reg;
+  (* Instant-duration give-up: owner 1 holds R, owner 2's instant RS is
+     signalled when R goes away. *)
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.R));
+  Lock_mgr.enqueue m ~owner:2 (page 1) Mode.RS ~instant:true ~wake:(fun _ -> ());
+  Lock_mgr.release m ~owner:1 (page 1) Mode.R;
+  (* Cancelled wait: owner 3 holds X, owner 4 queues, the switch time limit
+     cancels it from outside. *)
+  assert (granted (Lock_mgr.try_acquire m ~owner:3 (page 2) Mode.X));
+  Lock_mgr.enqueue m ~owner:4 (page 2) Mode.X ~instant:false ~wake:(fun _ -> ());
+  Alcotest.(check bool) "wait cancelled" true (Lock_mgr.cancel_wait m ~owner:4);
+  let s = Lock_mgr.stats m in
+  Alcotest.(check int) "instant_signals" 1 s.Lock_mgr.instant_signals;
+  Alcotest.(check int) "give_ups" 1 s.Lock_mgr.give_ups;
+  Alcotest.(check int) "cancelled_waits" 1 s.Lock_mgr.cancelled_waits;
+  let gauge name =
+    match Obs.Registry.value reg name with
+    | Some v -> v
+    | None -> Alcotest.failf "gauge %s not registered" name
+  in
+  List.iter
+    (fun (name, field) ->
+      Alcotest.(check int) (name ^ " reads its stats field") field (gauge name))
+    [
+      ("lock.acquires", s.Lock_mgr.acquires);
+      ("lock.releases", s.Lock_mgr.releases);
+      ("lock.waits", s.Lock_mgr.waits);
+      ("lock.grants_after_wait", s.Lock_mgr.grants_after_wait);
+      ("lock.instant_signals", s.Lock_mgr.instant_signals);
+      ("lock.give_ups", s.Lock_mgr.give_ups);
+      ("lock.cancelled_waits", s.Lock_mgr.cancelled_waits);
+      ("lock.deadlocks", s.Lock_mgr.deadlocks);
+      ("lock.scan_steps", s.Lock_mgr.scan_steps);
+    ]
+
+let test_locked_counts () =
+  let m = Lock_mgr.create () in
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.S));
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 2) Mode.S));
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 3) Mode.X));
+  (* Re-acquiring / adding a mode on a held resource is not a new resource. *)
+  assert (granted (Lock_mgr.try_acquire m ~owner:1 (page 3) Mode.S));
+  Alcotest.(check int) "three distinct" 3 (Lock_mgr.locked_count m ~owner:1);
+  Alcotest.(check int) "high-water" 3 (Lock_mgr.max_locked_count m ~owner:1);
+  Lock_mgr.release m ~owner:1 (page 1) Mode.S;
+  Alcotest.(check int) "down to two" 2 (Lock_mgr.locked_count m ~owner:1);
+  Alcotest.(check int) "high-water sticks" 3 (Lock_mgr.max_locked_count m ~owner:1);
+  Lock_mgr.release_all m ~owner:1;
+  Alcotest.(check int) "empty" 0 (Lock_mgr.locked_count m ~owner:1)
+
+let test_scan_steps_counts_work () =
+  let m = Lock_mgr.create () in
+  for i = 1 to 5 do
+    assert (granted (Lock_mgr.try_acquire m ~owner:i (page 1) Mode.S))
+  done;
+  let s = Lock_mgr.stats m in
+  Alcotest.(check bool) "work was charged" true (s.Lock_mgr.scan_steps > 0);
+  Lock_mgr.reset_stats m;
+  Alcotest.(check int) "reset zeroes it" 0 (Lock_mgr.stats m).Lock_mgr.scan_steps
+
 (* Property: under random acquire/release/enqueue traffic, no two
    incompatible modes are ever held on one resource, and every grant the
    manager reports corresponds to a compatible state. *)
@@ -260,6 +325,9 @@ let () =
           Alcotest.test_case "release_all wakes" `Quick test_release_all_wakes;
           Alcotest.test_case "downgrade" `Quick test_downgrade;
           Alcotest.test_case "tree lock drain" `Quick test_tree_lock_drain_pattern;
+          Alcotest.test_case "gauge wiring" `Quick test_gauges_map_to_like_named_counters;
+          Alcotest.test_case "locked counts" `Quick test_locked_counts;
+          Alcotest.test_case "scan steps" `Quick test_scan_steps_counts_work;
         ] );
       ( "deadlock",
         [

@@ -415,6 +415,81 @@ let careful_order_test =
         flushes;
       true)
 
+let test_bounded_default_capacity () =
+  let _, pool = mk () in
+  Alcotest.(check int) "default is bounded" Buffer_pool.default_capacity
+    (Buffer_pool.capacity pool);
+  Alcotest.(check bool) "and reasonable" true (Buffer_pool.default_capacity < 100_000);
+  let disk = Disk.create ~initial_pages:4 ~page_size:256 () in
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Buffer_pool.create: capacity must be >= 1") (fun () ->
+      ignore (Buffer_pool.create ~capacity:0 (Backend.of_disk disk)))
+
+let test_clock_second_chance () =
+  let disk, _ = mk ~pages:32 () in
+  let pool = Buffer_pool.create ~capacity:3 (Backend.of_disk disk) in
+  ignore (Buffer_pool.get pool 0);
+  ignore (Buffer_pool.get pool 1);
+  ignore (Buffer_pool.get pool 2);
+  (* All referenced: the first eviction sweep clears every bit and the hand
+     lands back on the oldest frame — page 0 goes. *)
+  ignore (Buffer_pool.get pool 3);
+  Alcotest.(check bool) "oldest evicted" false (Buffer_pool.in_pool pool 0);
+  (* Re-reference page 1; pages 2's bit is still clear from the sweep, so the
+     next eviction passes over 1 (second chance) and takes 2. *)
+  ignore (Buffer_pool.get pool 1);
+  ignore (Buffer_pool.get pool 4);
+  Alcotest.(check bool) "referenced survives" true (Buffer_pool.in_pool pool 1);
+  Alcotest.(check bool) "unreferenced evicted" false (Buffer_pool.in_pool pool 2);
+  Alcotest.(check bool) "newcomers resident" true
+    (Buffer_pool.in_pool pool 3 && Buffer_pool.in_pool pool 4)
+
+let test_dirty_eviction_flushes_prereqs_in_order () =
+  let disk, _ = mk ~pages:32 () in
+  let pool = Buffer_pool.create ~capacity:2 (Backend.of_disk disk) in
+  (* Ring order [4; 5]: page 4 (blocked) is the eviction victim, and evicting
+     it must push its careful-writing prerequisite (page 5) to disk first. *)
+  let blocked = Buffer_pool.get pool 4 in
+  Page.set_u16 blocked uoff 104;
+  Page.set_lsn blocked 44L;
+  Buffer_pool.mark_dirty pool 4;
+  let prereq = Buffer_pool.get pool 5 in
+  Page.set_u16 prereq uoff 105;
+  Page.set_lsn prereq 55L;
+  Buffer_pool.mark_dirty pool 5;
+  Buffer_pool.add_dependency pool ~blocked:4 ~prereq:5;
+  let write_lsns = ref [] in
+  Buffer_pool.set_before_write pool (fun lsn -> write_lsns := lsn :: !write_lsns);
+  ignore (Buffer_pool.get pool 6);
+  Alcotest.(check bool) "victim gone" false (Buffer_pool.in_pool pool 4);
+  Alcotest.(check (list int64)) "prereq written first" [ 55L; 44L ] (List.rev !write_lsns);
+  Alcotest.(check int) "prereq data on disk" 105 (Page.get_u16 (Disk.peek disk 5) uoff);
+  Alcotest.(check int) "victim data on disk" 104 (Page.get_u16 (Disk.peek disk 4) uoff);
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "one dep flush" 1 s.Buffer_pool.s_dep_flushes;
+  Alcotest.(check int) "one eviction" 1 s.Buffer_pool.s_evictions
+
+let test_stats_counter_trace () =
+  (* Hand-computed trace against the clock policy, capacity 2:
+     get 0 (miss), get 0 (hit), get 1 (miss), get 0 (hit),
+     get 2 (miss; sweep clears 0 and 1, wraps, evicts 0),
+     get 0 (miss; 1's bit is still clear, evicts 1). *)
+  let disk, _ = mk ~pages:8 () in
+  let pool = Buffer_pool.create ~capacity:2 (Backend.of_disk disk) in
+  ignore (Buffer_pool.get pool 0);
+  ignore (Buffer_pool.get pool 0);
+  ignore (Buffer_pool.get pool 1);
+  ignore (Buffer_pool.get pool 0);
+  ignore (Buffer_pool.get pool 2);
+  ignore (Buffer_pool.get pool 0);
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "hits" 2 s.Buffer_pool.s_hits;
+  Alcotest.(check int) "misses" 4 s.Buffer_pool.s_misses;
+  Alcotest.(check int) "evictions" 2 s.Buffer_pool.s_evictions;
+  Alcotest.(check int) "no flushes (all clean)" 0 s.Buffer_pool.s_flushes;
+  Alcotest.(check bool) "residents" true
+    (Buffer_pool.in_pool pool 0 && Buffer_pool.in_pool pool 2 && not (Buffer_pool.in_pool pool 1))
+
 let () =
   Alcotest.run "pager"
     [
@@ -441,6 +516,11 @@ let () =
           Alcotest.test_case "dependency chain" `Quick test_dep_chain;
           Alcotest.test_case "eviction" `Quick test_eviction;
           Alcotest.test_case "pinning" `Quick test_pin_blocks_eviction;
+          Alcotest.test_case "bounded default capacity" `Quick test_bounded_default_capacity;
+          Alcotest.test_case "clock second chance" `Quick test_clock_second_chance;
+          Alcotest.test_case "dirty eviction prereq order" `Quick
+            test_dirty_eviction_flushes_prereqs_in_order;
+          Alcotest.test_case "counter trace" `Quick test_stats_counter_trace;
         ] );
       ( "allocator",
         [

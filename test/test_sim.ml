@@ -82,6 +82,41 @@ let test_soak_large_tree () =
     after.Tree.record_count;
   Alcotest.(check bool) "users made progress" true (stats.Workload.Mix.committed > 100)
 
+let test_probe_collects_totals () =
+  (* The benchmark harness wraps each experiment in Probe.with_collector;
+     a small reorg must surface non-zero work through every subsystem. *)
+  let (), s =
+    Sim.Probe.with_collector (fun () ->
+        let db, _ = Scenario.aged ~seed:11 ~n:300 ~f1:0.3 () in
+        let _ctx, report, _ = Scenario.run_reorg ~users:2 db in
+        Alcotest.(check bool) "switched" true report.Reorg.Driver.switched)
+  in
+  Alcotest.(check bool) "engines tracked" true (s.Sim.Probe.engines >= 1);
+  Alcotest.(check bool) "ticks advanced" true (s.Sim.Probe.ticks > 0);
+  Alcotest.(check bool) "disk reads seen" true (s.Sim.Probe.disk.Pager.Disk.reads > 0);
+  Alcotest.(check bool) "io cost positive" true (s.Sim.Probe.io_cost > 0.0);
+  Alcotest.(check bool) "pool hits seen" true (s.Sim.Probe.pool.Pager.Buffer_pool.s_hits > 0);
+  Alcotest.(check bool) "locks acquired" true (s.Sim.Probe.lock.Lockmgr.Lock_mgr.acquires > 0);
+  Alcotest.(check bool) "lock scans charged" true
+    (s.Sim.Probe.lock.Lockmgr.Lock_mgr.scan_steps > 0);
+  (* Outside the window the collector must be gone: a fresh assemble works
+     and a second collector can open. *)
+  let (), s2 = Sim.Probe.with_collector (fun () -> ignore (Db.create ())) in
+  Alcotest.(check int) "fresh window starts clean" 0 s2.Sim.Probe.lock.Lockmgr.Lock_mgr.acquires
+
+let test_catchup_batches_metric () =
+  (* Pass 3 applies side-file entries in batches of [catchup_batch]; with
+     concurrent users the side file is non-empty, so at least one batch must
+     be recorded, and entries-per-batch never exceeds the configured size. *)
+  let db, _ = Scenario.aged ~seed:21 ~n:800 ~f1:0.3 () in
+  let config = { Reorg.Config.default with Reorg.Config.catchup_batch = 4 } in
+  let ctx, report, _ = Scenario.run_reorg ~config ~users:4 db in
+  Alcotest.(check bool) "switched" true report.Reorg.Driver.switched;
+  let m = ctx.Reorg.Ctx.metrics in
+  let entries = Reorg.Metrics.side_entries m in
+  let batches = Reorg.Metrics.catchup_batches m in
+  if entries > 0 then Alcotest.(check bool) "batches recorded" true (batches > 0)
+
 let () =
   Alcotest.run "sim"
     [
@@ -96,6 +131,8 @@ let () =
         [
           Alcotest.test_case "lock table" `Quick test_lock_table_experiment;
           Alcotest.test_case "figure-1 renderer" `Quick test_layout_string_render;
+          Alcotest.test_case "probe collector" `Quick test_probe_collects_totals;
+          Alcotest.test_case "catch-up batches" `Quick test_catchup_batches_metric;
         ] );
       ("soak", [ Alcotest.test_case "10k records + users" `Slow test_soak_large_tree ]);
     ]
