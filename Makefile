@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json torture clean
+.PHONY: all build test check bench bench-json health torture clean
 
 all: build
 
@@ -21,6 +21,11 @@ bench:
 bench-json:
 	REV=$$(git rev-parse --short HEAD) && \
 	BENCH_REV=$$REV dune exec bench/main.exe -- --json BENCH_$$REV.json
+
+# Online tree-health telemetry demo: sparsify a tree, reorganize it, and
+# print the sampled utilization/fragmentation series with watch fires.
+health:
+	dune exec bench/main.exe -- health
 
 # Exhaustive crash-point sweep: crash at every write boundary on three seeds,
 # recover forward, verify.  Fast (in-memory disk), run it before shipping

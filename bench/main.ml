@@ -59,6 +59,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "parallel",
       "Future work: range-partitioned parallel pass 1",
       fun () -> Util.Table.print (Sim.Exp_parallel.run ()) );
+    ( "health",
+      "H1: online tree-health telemetry (sparsify, reorg, sampled series)",
+      fun () -> Util.Table.print (Sim.Exp_health.run ()) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -190,14 +193,20 @@ let micro () =
 (* Machine-readable baseline (--json FILE)                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Schema (version 1): one BENCH_<rev>.json per revision, committed next to
-   the code, so any two revisions can be diffed field-by-field.  Every
-   experiment entry carries wall-clock plus the deterministic counters the
-   Probe collector sums over all arms: logical clock ticks, disk I/O (with
-   the seek/transfer cost model applied), pager hit/miss/eviction counts,
+(* Schema: one BENCH_<rev>.json per revision, committed next to the code,
+   so any two revisions can be diffed field-by-field.  Every experiment
+   entry carries wall-clock plus the deterministic counters the Probe
+   collector sums over all arms: logical clock ticks, disk I/O (with the
+   seek/transfer cost model applied), pager hit/miss/eviction counts,
    lock-manager work (including [scan_steps], the lock-table traversal
-   metric) and WAL volume. *)
-let json_schema_version = 1
+   metric) and WAL volume.
+
+   Version 2 adds a per-experiment [timeseries] array (empty for most):
+   deterministic health-sampler snapshots — logical tick, leaf count,
+   utilization, fragmentation index, side-file backlog, free pages, the
+   fill-factor decile histogram, probe values with per-interval deltas, and
+   the names of any threshold watches that fired at that tick. *)
+let json_schema_version = 2
 
 let emit_experiment buf (wall, s) =
   let module J = Obs.Json in
@@ -262,6 +271,12 @@ let emit_experiment buf (wall, s) =
               ("bytes", i w.Wal.Log.bytes);
               ("forced", i w.Wal.Log.forced);
             ] );
+      ( "timeseries",
+        fun b ->
+          J.arr b
+            (List.map
+               (fun snap b -> Obs.Health.Sampler.emit_snapshot b snap)
+               s.Sim.Probe.timeseries) );
     ]
 
 let write_json ~file ~experiments:exps ~micro:micro_est =

@@ -75,6 +75,14 @@ let metrics_t =
     value & flag
     & info [ "metrics" ] ~doc:"Dump the metrics registry (all subsystems) after the run.")
 
+let health_t =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Print the tree-health table after the run: fill-factor histogram buckets, \
+           fragmentation index, side-file backlog, allocator churn.")
+
 (* Build the run's observability objects from the flags: a registry whenever
    either flag wants one (the trace is more useful with the counters
    alongside), a tracer only when a file was requested. *)
@@ -95,6 +103,35 @@ let obs_report ~trace registry tracer =
     print_endline "--- metrics ---";
     print_string (Obs.Registry.dump reg)
   | None -> ()
+
+(* --health: the incremental tracker's view, rendered through the same
+   registry table dump the --metrics flag uses (a registry holding just the
+   health.* gauges), plus a readable fill histogram. *)
+let health_report ~health db =
+  if health then begin
+    let h = db.Sim.Db.health in
+    let st = Obs.Health.stats h in
+    print_endline "--- tree health ---";
+    let reg = Obs.Registry.create () in
+    Obs.Health.register_obs h reg;
+    print_string (Obs.Registry.dump reg);
+    let total = max 1 st.Obs.Health.leaves in
+    print_endline "fill-factor histogram (leaves per decile):";
+    Array.iteri
+      (fun i n ->
+        Printf.printf "  %3d-%3d%% %6d %s\n" (i * 10)
+          ((i + 1) * 10)
+          n
+          (String.make (50 * n / total) '#'))
+      st.Obs.Health.fill_buckets;
+    Printf.printf
+      "utilization %.1f%%, fragmentation %.1f%% (%d chain breaks / %d leaves), side-file \
+       backlog %d (peak %d), free leaf pages %d\n"
+      (100.0 *. st.Obs.Health.utilization)
+      (100.0 *. st.Obs.Health.fragmentation)
+      st.Obs.Health.chain_breaks st.Obs.Health.leaves st.Obs.Health.backlog
+      st.Obs.Health.backlog_peak st.Obs.Health.free_pages
+  end
 
 (* The CLI's contract: a run that leaves the tree in a bad state must not
    exit 0, even though the report above printed fine. *)
@@ -125,7 +162,7 @@ let print_tree_stats label tree =
 
 (* ------------- subcommands ------------- *)
 
-let demo trace metrics =
+let demo trace metrics health =
   setup_logs ();
   let db, _ = Sim.Scenario.aged ~seed:42 ~n:2000 ~f1:0.25 () in
   print_tree_stats "before" db.Sim.Db.tree;
@@ -135,10 +172,11 @@ let demo trace metrics =
   Format.printf "report: %a@." Reorg.Driver.pp_report report;
   Format.printf "metrics: %a@." Reorg.Metrics.pp ctx.Reorg.Ctx.metrics;
   obs_report ~trace registry tracer;
+  health_report ~health db;
   check_invariants db
 
 let reorganize records fill f2 seed page_size no_swap no_shrink heuristic lambda workers trace
-    metrics =
+    metrics health =
   setup_logs ();
   let db, _ = Sim.Scenario.aged ~page_size ~seed ~n:records ~f1:fill () in
   print_tree_stats "before" db.Sim.Db.tree;
@@ -165,6 +203,7 @@ let reorganize records fill f2 seed page_size no_swap no_shrink heuristic lambda
   Printf.printf "log: %d records, %s total\n" log_stats.Wal.Log.records
     (Util.Table.fmt_bytes log_stats.Wal.Log.bytes);
   obs_report ~trace registry tracer;
+  health_report ~health db;
   check_invariants db
 
 let inspect records fill seed page_size verbose =
@@ -243,7 +282,7 @@ let torture seed stride records users trace metrics =
     Printf.eprintf "torture FAILED: %s\n" msg;
     exit 2
 
-let workload users mix_name records seed trace metrics =
+let workload users mix_name records seed trace metrics health =
   setup_logs ();
   let db, _ = Sim.Scenario.aged ~seed ~n:records ~f1:0.3 () in
   let mix =
@@ -263,20 +302,21 @@ let workload users mix_name records seed trace metrics =
     stats.Workload.Mix.deletes stats.Workload.Mix.give_ups stats.Workload.Mix.aborted
     stats.Workload.Mix.blocked_ticks;
   obs_report ~trace registry tracer;
+  health_report ~health db;
   check_invariants db
 
 (* ------------- command wiring ------------- *)
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Build, degrade and reorganize a database end to end.")
-    Term.(const demo $ trace_t $ metrics_t)
+    Term.(const demo $ trace_t $ metrics_t $ health_t)
 
 let reorganize_cmd =
   Cmd.v
     (Cmd.info "reorganize" ~doc:"Reorganize an aged tree and report everything.")
     Term.(
       const reorganize $ records_t $ fill_t $ f2_t $ seed_t $ page_size_t $ no_swap_t
-      $ no_shrink_t $ heuristic_t $ lambda_t $ workers_t $ trace_t $ metrics_t)
+      $ no_shrink_t $ heuristic_t $ lambda_t $ workers_t $ trace_t $ metrics_t $ health_t)
 
 let inspect_cmd =
   let verbose_t =
@@ -328,7 +368,7 @@ let workload_cmd =
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run user transactions concurrently with the reorganizer.")
-    Term.(const workload $ users_t $ mix_t $ records_t $ seed_t $ trace_t $ metrics_t)
+    Term.(const workload $ users_t $ mix_t $ records_t $ seed_t $ trace_t $ metrics_t $ health_t)
 
 let () =
   let info =

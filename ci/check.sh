@@ -24,7 +24,7 @@ dune runtest
 echo "== bench smoke (JSON schema) =="
 BENCH_OUT=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 trap 'rm -f "$BENCH_OUT"' EXIT
-BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency >/dev/null
+BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency health >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$BENCH_OUT" <<'EOF'
 import json, sys
@@ -32,7 +32,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
-assert doc["schema_version"] == 1, "unexpected schema_version"
+assert doc["schema_version"] == 2, "unexpected schema_version"
 assert doc["revision"] == "ci-smoke", "BENCH_REV not propagated"
 exps = doc["experiments"]
 assert exps, "no experiments recorded"
@@ -47,15 +47,31 @@ for path in [
     v = conc[path[0]][path[1]]
     assert isinstance(v, int) and v > 0, "%s.%s should be a positive int, got %r" % (*path, v)
 assert conc["wall_clock_s"] >= 0.0
-print("bench JSON OK: %d experiment(s), concurrency lock.scan_steps=%d"
-      % (len(exps), conc["lock"]["scan_steps"]))
+
+# Schema v2: the health experiment carries a sampled time series.
+series = exps["health"]["timeseries"]
+assert series, "health experiment recorded no timeseries"
+prev = -1
+for snap in series:
+    assert snap["at"] >= prev, "timeseries logical clock went backwards"
+    prev = snap["at"]
+    assert 0.0 <= snap["utilization"] <= 1.0, "utilization outside [0,1]"
+    assert 0.0 <= snap["fragmentation"] <= 1.0, "fragmentation outside [0,1]"
+    assert snap["leaves"] >= 0 and snap["backlog"] >= 0
+fired = [name for snap in series for name in snap["fired"]]
+assert fired, "no watch fired across the sparsification run"
+print("bench JSON OK: %d experiment(s), %d health sample(s), watch fires: %s"
+      % (len(exps), len(series), ",".join(sorted(set(fired)))))
 EOF
 elif command -v jq >/dev/null 2>&1; then
-  test "$(jq -r .schema_version "$BENCH_OUT")" = 1
+  test "$(jq -r .schema_version "$BENCH_OUT")" = 2
   test "$(jq -r '.experiments.concurrency.lock.acquires > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.lock.scan_steps > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.io.reads > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.pager.hits > 0' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.health.timeseries | length > 0' "$BENCH_OUT")" = true
+  test "$(jq -r '[.experiments.health.timeseries[].utilization] | min >= 0 and max <= 1' "$BENCH_OUT")" = true
+  test "$(jq -r '[.experiments.health.timeseries[].fired[]] | length > 0' "$BENCH_OUT")" = true
   echo "bench JSON OK (jq)"
 else
   echo "python3/jq not available; skipping JSON validation" >&2

@@ -12,10 +12,14 @@ type t = {
   record_locking : bool;
   mutable on_base_update : (Txn.t -> Wal.Record.side_op -> unit) option;
   mutable side_undo : (Wal.Record.side_op -> unit) option;
+  mutable health : Obs.Health.t option;
 }
 
 let create ~tree ~mgr ?(record_locking = false) () =
-  { tree; mgr; record_locking; on_base_update = None; side_undo = None }
+  { tree; mgr; record_locking; on_base_update = None; side_undo = None; health = None }
+
+let set_health t h = t.health <- h
+let health t = t.health
 
 let set_side_undo t f = t.side_undo <- Some f
 

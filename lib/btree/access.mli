@@ -52,6 +52,14 @@ val set_side_undo : t -> (Wal.Record.side_op -> unit) -> unit
 val run_side_undo : t -> Wal.Record.side_op -> unit
 (** Dispatch a side-file CLR action to the installed hook (no-op if none). *)
 
+val set_health : t -> Obs.Health.t option -> unit
+(** Attach the database's tree-health tracker.  [Access] itself never reads
+    it; it is the handle through which the reorganizer's passes and the
+    side file report progress events ({!Obs.Health.note_unit},
+    {!Obs.Health.side_event}, ...). *)
+
+val health : t -> Obs.Health.t option
+
 val read : t -> txn:Transact.Txn.t -> int -> string option
 
 val range_read : t -> txn:Transact.Txn.t -> lo:int -> hi:int -> Leaf.record list

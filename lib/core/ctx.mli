@@ -35,6 +35,11 @@ val span : t -> ?args:(string * Obs.Trace.arg) list -> string -> (unit -> 'a) ->
     be called from inside an engine process. *)
 
 val tree : t -> Btree.Tree.t
+
+val health : t -> Obs.Health.t option
+(** The database's tree-health tracker, when one is attached to the access
+    layer — how unit completions and switches are reported. *)
+
 val locks : t -> Lockmgr.Lock_mgr.t
 val journal : t -> Transact.Journal.t
 val pool : t -> Pager.Buffer_pool.t

@@ -88,6 +88,7 @@ let run ctx ?resume ?finish () =
     let old_root = Tree.root tree in
     let gen = Tree.generation tree + 1 in
     let side = Side_file.create ~journal ~locks in
+    Side_file.set_health side (Access.health access);
     (match (resume, finish) with
     | Some r, _ -> Side_file.restore_entries side r.r_side
     | _, Some f -> Side_file.restore_entries side f.f_side
@@ -216,6 +217,7 @@ let run ctx ?resume ?finish () =
             Meta.set_tree_name p (old_name + 1);
             Meta.set_generation p gen);
         Wal.Log.force_all (Ctx.log ctx));
+    (match Access.health access with Some h -> Obs.Health.note_switch h | None -> ());
     let cleanup () =
       discard_old_internals ctx ~old_root;
       Journal.physical journal ~page:scratch_meta ~off:0 ~len:1 (fun p ->

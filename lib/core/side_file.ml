@@ -14,9 +14,18 @@ type t = {
   mutable front : Record.side_op list; (* oldest first *)
   mutable back : Record.side_op list; (* newest first *)
   mutable count : int;
+  mutable health : Obs.Health.t option;
 }
 
-let create ~journal ~locks = { journal; locks; front = []; back = []; count = 0 }
+let create ~journal ~locks =
+  { journal; locks; front = []; back = []; count = 0; health = None }
+
+let set_health t h = t.health <- h
+
+let note t ev =
+  match t.health with
+  | Some h -> Obs.Health.side_event h ~size:t.count ev
+  | None -> ()
 
 let key_of = function
   | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
@@ -30,6 +39,7 @@ let append t ~txn op =
            Record.Side_file { txn = txn.Transact.Txn.id; op; prev }));
     t.back <- op :: t.back;
     t.count <- t.count + 1;
+    note t Obs.Health.Append;
     `Accepted
   | `Conflict _ ->
     (* Switching is in progress: wait it out with an instant-duration IX,
@@ -48,6 +58,7 @@ let pop_oldest t =
   | oldest :: rest ->
     t.front <- rest;
     t.count <- t.count - 1;
+    note t Obs.Health.Take;
     ignore (Wal.Log.append (Journal.log t.journal) (Record.Side_applied { op = oldest }));
     Some oldest
 
@@ -71,7 +82,7 @@ let remove t op =
         match drop_first rest with None -> None | Some rest' -> Some (x :: rest')
       end
   in
-  match drop_first t.back with
+  (match drop_first t.back with
   | Some back' ->
     t.back <- back';
     t.count <- t.count - 1
@@ -81,7 +92,8 @@ let remove t op =
       t.front <- List.rev rev_front';
       t.count <- t.count - 1
     | None -> ()
-  end
+  end);
+  note t Obs.Health.Removed
 
 let size t = t.count
 let is_empty t = t.count = 0
@@ -89,6 +101,7 @@ let is_empty t = t.count = 0
 let restore_entries t ops =
   t.front <- ops;
   t.back <- [];
-  t.count <- List.length ops
+  t.count <- List.length ops;
+  note t Obs.Health.Restored
 
 let entries t = t.front @ List.rev t.back

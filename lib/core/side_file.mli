@@ -16,6 +16,10 @@ type t
 
 val create : journal:Transact.Journal.t -> locks:Lockmgr.Lock_mgr.t -> t
 
+val set_health : t -> Obs.Health.t option -> unit
+(** Report the backlog size to the tree-health tracker after every append,
+    take, undo-remove, and recovery-restore. *)
+
 val append : t -> txn:Transact.Txn.t -> Wal.Record.side_op -> [ `Accepted | `Redirect ]
 (** May raise {!Transact.Lock_client.Deadlock_victim}. *)
 

@@ -653,6 +653,7 @@ let execute ctx plan =
       Sched.Engine.sleep (1 + attempt);
       go (attempt + 1)
     | Done _ as outcome ->
+      (match Ctx.health ctx with Some h -> Obs.Health.note_unit h | None -> ());
       (* Model the unit's page I/O; overlapping these sleeps is where
          parallel workers win. *)
       if ctx.Ctx.config.Config.io_pacing > 0 then

@@ -24,11 +24,24 @@ let string buf s =
 
 let int buf n = Buffer.add_string buf (string_of_int n)
 
+(* JSON has no NaN/Infinity literals; consumers get [null] for anything
+   non-finite.  Finite values must round-trip: try the shortest of %.15g /
+   %.16g and fall back to %.17g (always exact for IEEE doubles).  OCaml's
+   Printf is locale-independent — the decimal point is always '.'. *)
 let float buf x =
-  if Float.is_nan x then Buffer.add_string buf "null"
-  else if Float.is_integer x && Float.abs x < 1e15 then
-    Buffer.add_string buf (Printf.sprintf "%.0f" x)
-  else Buffer.add_string buf (Printf.sprintf "%.6g" x)
+  match Float.classify_float x with
+  | FP_nan | FP_infinite -> Buffer.add_string buf "null"
+  | FP_zero | FP_subnormal | FP_normal ->
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" x)
+    else
+      let rec shortest p =
+        if p > 17 then Printf.sprintf "%.17g" x
+        else
+          let s = Printf.sprintf "%.*g" p x in
+          if float_of_string s = x then s else shortest (p + 1)
+      in
+      Buffer.add_string buf (shortest 15)
 
 (* [obj buf [ ("k", fun buf -> ...) ]] — fields emitted in list order. *)
 let obj buf fields =

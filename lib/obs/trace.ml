@@ -27,6 +27,7 @@ type event =
       args : (string * arg) list;
     }
   | Instant of { name : string; cat : string; tid : int; ts : int; args : (string * arg) list }
+  | Counter of { name : string; cat : string; tid : int; ts : int; args : (string * arg) list }
 
 type pending = { p_name : string; p_cat : string; p_ts : int; p_args : (string * arg) list }
 
@@ -75,6 +76,11 @@ let record t ev =
 
 let instant t ?(tid = 0) ?(args = []) ~cat name =
   record t (Instant { name; cat; tid; ts = t.clock (); args })
+
+(* Chrome "ph":"C" counter sample: each numeric arg becomes one series in
+   the counter track.  Used by the health sampler's time-series ticks. *)
+let counter t ?(tid = 0) ~cat name args =
+  record t (Counter { name; cat; tid; ts = t.clock (); args })
 
 let complete t ?(tid = 0) ?(args = []) ~cat ~ts ~dur name =
   record t (Span { name; cat; tid; ts; dur; args })
@@ -145,6 +151,7 @@ let emit_event buf ev =
     common ~name ~cat ~ph:"X" ~tid ~ts ~args [ ("dur", fun b -> Json.int b dur) ]
   | Instant { name; cat; tid; ts; args } ->
     common ~name ~cat ~ph:"i" ~tid ~ts ~args [ ("s", fun b -> Json.string b "t") ]
+  | Counter { name; cat; tid; ts; args } -> common ~name ~cat ~ph:"C" ~tid ~ts ~args []
 
 let emit_thread_meta buf (tid, name) =
   Json.obj buf
@@ -207,6 +214,10 @@ let to_timeline t =
       | Instant { name; cat; tid; ts; args } ->
         Buffer.add_string buf
           (Printf.sprintf "%8d %-14s instant %s:%s%s" ts (thread_label t tid) cat name
+             (if args = [] then "" else " " ^ args_to_string args))
+      | Counter { name; cat; tid; ts; args } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%8d %-14s counter %s:%s%s" ts (thread_label t tid) cat name
              (if args = [] then "" else " " ^ args_to_string args)));
       Buffer.add_char buf '\n')
     (List.rev t.events)
@@ -219,5 +230,6 @@ let count_named t name =
   List.fold_left
     (fun acc ev ->
       match ev with
-      | Span { name = n; _ } | Instant { name = n; _ } -> if n = name then acc + 1 else acc)
+      | Span { name = n; _ } | Instant { name = n; _ } | Counter { name = n; _ } ->
+        if n = name then acc + 1 else acc)
     0 t.events

@@ -22,6 +22,7 @@ type event =
       args : (string * arg) list;
     }
   | Instant of { name : string; cat : string; tid : int; ts : int; args : (string * arg) list }
+  | Counter of { name : string; cat : string; tid : int; ts : int; args : (string * arg) list }
 
 type t
 
@@ -40,6 +41,11 @@ val name_thread : t -> tid:int -> string -> unit
 (** Label a timeline row (first registration wins). *)
 
 val instant : t -> ?tid:int -> ?args:(string * arg) list -> cat:string -> string -> unit
+
+val counter : t -> ?tid:int -> cat:string -> string -> (string * arg) list -> unit
+(** Record a Chrome ["ph":"C"] counter sample: each numeric arg is one
+    series of the counter track named [name].  The health sampler emits its
+    time series this way. *)
 
 val complete :
   t -> ?tid:int -> ?args:(string * arg) list -> cat:string -> ts:int -> dur:int -> string -> unit

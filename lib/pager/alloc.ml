@@ -12,6 +12,7 @@ type t = {
   mutable internal_hi : int; (* exclusive high-water mark of the disk *)
   mutable leaf_overflows : int;
   pending : (int, int) Hashtbl.t; (* page awaiting release -> durability dep *)
+  mutable note : ([ `Alloc | `Free ] -> int -> unit) option; (* health observer *)
 }
 
 let create ~pool ~meta_pages ~leaf_pages =
@@ -30,7 +31,10 @@ let create ~pool ~meta_pages ~leaf_pages =
     internal_hi = leaf_hi;
     leaf_overflows = 0;
     pending = Hashtbl.create 8;
+    note = None;
   }
+
+let set_note t note = t.note <- note
 
 let leaf_zone t = (t.leaf_lo, t.leaf_hi)
 
@@ -46,8 +50,12 @@ let grow_internal t =
   done;
   t.internal_hi <- lo + n
 
+(* Every successful allocation (zone alloc, alloc_specific, try_claim)
+   funnels through here; every return to a free set goes through [release].
+   The two notes give the health tracker the allocator's full churn. *)
 let recycle t pid =
   Buffer_pool.forget_dependencies t.pool pid;
+  (match t.note with Some f -> f `Alloc pid | None -> ());
   pid
 
 let rec alloc t zone =
@@ -95,9 +103,10 @@ let release t pid =
   if pid < t.meta_pages then invalid_arg "Alloc.release: cannot free a meta page";
   if is_free t pid then
     invalid_arg (Printf.sprintf "Alloc.release: page %d already free" pid);
-  match zone_of t pid with
+  (match zone_of t pid with
   | Leaf -> t.free_leaf <- Iset.add pid t.free_leaf
-  | Internal -> t.free_internal <- Iset.add pid t.free_internal
+  | Internal -> t.free_internal <- Iset.add pid t.free_internal);
+  match t.note with Some f -> f `Free pid | None -> ()
 
 let free t pid =
   if pid < t.meta_pages then invalid_arg "Alloc.free: cannot free a meta page";

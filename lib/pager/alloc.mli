@@ -28,6 +28,11 @@ val create : pool:Buffer_pool.t -> meta_pages:int -> leaf_pages:int -> t
 val leaf_zone : t -> int * int
 (** [lo, hi) bounds of the leaf zone. *)
 
+val set_note : t -> ([ `Alloc | `Free ] -> int -> unit) option -> unit
+(** Observe allocator churn: called once per successful allocation (any
+    path) and once per return to a free set.  The tree-health tracker uses
+    it to count churn and re-examine the affected pages. *)
+
 val alloc : t -> zone -> int
 (** Smallest free page id in the zone.  The internal zone grows on demand; an
     exhausted leaf zone falls back to the internal zone (counted in

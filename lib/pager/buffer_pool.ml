@@ -43,6 +43,9 @@ type t = {
   mutable torn_detected : int;
   mutable read_repair : bool;
   mutable tracer : Obs.Trace.t option;
+  (* Every page mutation in the system funnels through [mark_dirty]; the
+     health tracker hooks it to learn which pages to re-examine. *)
+  mutable dirty_hook : (int -> unit) option;
 }
 
 (* Default bound: enough that the repo's own workloads rarely thrash, small
@@ -71,7 +74,10 @@ let create ?(capacity = default_capacity) backend =
     torn_detected = 0;
     read_repair = false;
     tracer = None;
+    dirty_hook = None;
   }
+
+let set_dirty_hook t hook = t.dirty_hook <- hook
 
 let capacity t = t.capacity
 
@@ -345,7 +351,9 @@ let with_page t pid f =
 
 let mark_dirty t pid =
   match Hashtbl.find_opt t.frames pid with
-  | Some fr -> fr.dirty <- true
+  | Some fr ->
+    fr.dirty <- true;
+    (match t.dirty_hook with Some hook -> hook pid | None -> ())
   | None -> invalid_arg "Buffer_pool.mark_dirty: page not cached"
 
 let flush_all t =

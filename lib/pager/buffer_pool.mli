@@ -77,6 +77,12 @@ val with_page : t -> int -> (Page.t -> 'a) -> 'a
 
 val mark_dirty : t -> int -> unit
 
+val set_dirty_hook : t -> (int -> unit) option -> unit
+(** Observe every {!mark_dirty} (called with the pid, after the flag is
+    set).  Every page mutation in the system funnels through the pool, so
+    this is the one choke point the tree-health tracker needs; the hook must
+    be O(1) and must not touch the pool. *)
+
 val is_dirty : t -> int -> bool
 val in_pool : t -> int -> bool
 

@@ -33,11 +33,34 @@ type t = {
 
 let root_fiber = { fid = 0; fname = "main" }
 
-(* Benchmark harnesses install a hook to observe every engine a scenario
-   creates (experiments build engines internally); unset it when done. *)
-let create_hook : (t -> unit) option ref = ref None
+(* Benchmark harnesses install hooks to observe every engine a scenario
+   creates (experiments build engines internally).  Hooks compose: each
+   registration gets an id and removes only itself, so two concurrently
+   active observers (e.g. a stat collector wrapping a demo that installs
+   its own) no longer clobber each other. *)
+let create_hooks : (int * (t -> unit)) list ref = ref [] (* newest first *)
+let next_hook_id = ref 0
 
-let set_create_hook f = create_hook := f
+let add_create_hook f =
+  incr next_hook_id;
+  let id = !next_hook_id in
+  create_hooks := (id, f) :: !create_hooks;
+  id
+
+let remove_create_hook id = create_hooks := List.filter (fun (i, _) -> i <> id) !create_hooks
+
+(* Legacy single-slot interface, kept for callers that predate composable
+   hooks: [Some f] replaces only the hook this function installed before,
+   never hooks added with [add_create_hook]. *)
+let legacy_hook : int option ref = ref None
+
+let set_create_hook f =
+  (match !legacy_hook with
+  | Some id ->
+    remove_create_hook id;
+    legacy_hook := None
+  | None -> ());
+  match f with None -> () | Some f -> legacy_hook := Some (add_create_hook f)
 
 let create ?(seed = 0) ?(random = false) () =
   let t =
@@ -57,7 +80,7 @@ let create ?(seed = 0) ?(random = false) () =
       tracer = None;
     }
   in
-  (match !create_hook with Some f -> f t | None -> ());
+  List.iter (fun (_, f) -> f t) (List.rev !create_hooks);
   t
 
 let set_tracer t tracer =

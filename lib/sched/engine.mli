@@ -50,11 +50,21 @@ val register_obs : t -> Obs.Registry.t -> unit
     (histogram of per-wait blocked durations), [sched.time] and
     [sched.live]. *)
 
-val set_create_hook : (t -> unit) option -> unit
-(** Install a global hook called with every engine subsequently created —
+val add_create_hook : (t -> unit) -> int
+(** Register a global hook called with every engine subsequently created —
     benchmark harnesses use it to find the engines an experiment builds
-    internally (and to sum their logical clocks).  Pass [None] to remove;
-    hooks do not nest. *)
+    internally (and to sum their logical clocks).  Hooks compose: each
+    registration is independent and runs in registration order.  Returns an
+    id for {!remove_create_hook}. *)
+
+val remove_create_hook : int -> unit
+(** Remove one hook by id; unknown ids are ignored. *)
+
+val set_create_hook : (t -> unit) option -> unit
+(** Legacy single-slot wrapper over {!add_create_hook}: [Some f] replaces
+    the hook previously installed through this function (only), [None]
+    removes it.  Hooks registered with {!add_create_hook} are never
+    affected. *)
 
 val dispatches : t -> int
 val blocked_ticks : t -> Obs.Histogram.t

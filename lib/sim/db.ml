@@ -19,6 +19,7 @@ type t = {
   alloc : Alloc.t;
   tree : Tree.t;
   access : Access.t;
+  health : Obs.Health.t;
 }
 
 let wire_undo mgr tree access =
@@ -48,12 +49,38 @@ let assemble ?faults ?(record_locking = false) ~page_size ~leaf_pages ~capacity 
   let journal = Journal.create pool log in
   let locks = Lockmgr.Lock_mgr.create () in
   let mgr = Txn_mgr.create journal locks in
+  (* Tree-health tracking: the pool's dirty hook enqueues every mutated
+     page; the refresher re-reads one page on demand and classifies it.
+     Installed before [mk_tree] so a bulk load's page writes are captured —
+     no initial full-tree scan is ever needed. *)
+  let health = Obs.Health.create () in
+  Buffer_pool.set_dirty_hook pool (Some (fun pid -> Obs.Health.note_dirty health pid));
+  let usable = Btree.Layout.usable_bytes ~page_size:(Buffer_pool.page_size pool) in
+  Obs.Health.set_refresher health (fun pid ->
+      match Buffer_pool.get pool pid with
+      | p ->
+        if Btree.Leaf.is_leaf p then
+          Some
+            {
+              Obs.Health.live = Btree.Leaf.live_bytes p;
+              usable;
+              next_pid = Btree.Leaf.next p;
+              low_key = Btree.Leaf.low_mark p;
+            }
+        else None
+      | exception _ ->
+        (* Unreadable right now (e.g. a torn page awaiting recovery):
+           treat as not-a-leaf; the next mutation re-enqueues it. *)
+        None);
   let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages in
+  Alloc.set_note alloc (Some (fun ev pid -> Obs.Health.note_alloc_event health ev pid));
+  Obs.Health.set_free_probe health (fun () -> Alloc.free_count alloc Alloc.Leaf);
   let tree = mk_tree ~journal ~alloc in
   let access = Access.create ~tree ~mgr ~record_locking () in
+  Access.set_health access (Some health);
   wire_undo mgr tree access;
   Probe.note_parts ~disk ~pool ~locks ~log;
-  { disk; backend; faults; pool; log; journal; locks; mgr; alloc; tree; access }
+  { disk; backend; faults; pool; log; journal; locks; mgr; alloc; tree; access; health }
 
 let create ?faults ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_locking () =
   let t =
@@ -77,7 +104,8 @@ let register_obs t reg =
   Lockmgr.Lock_mgr.register_obs t.locks reg;
   Buffer_pool.register_obs t.pool reg;
   Wal.Log.register_obs t.log reg;
-  Pager.Fault.register_obs t.faults reg
+  Pager.Fault.register_obs t.faults reg;
+  Obs.Health.register_obs t.health reg
 
 let set_tracers t tracer =
   Lockmgr.Lock_mgr.set_tracer t.locks tracer;
@@ -120,6 +148,9 @@ let crash_now ?flush_seed t =
   Lockmgr.Lock_mgr.clear t.locks;
   Txn_mgr.clear_active t.mgr;
   Access.clear_on_base_update t.access;
+  (* In-memory health knowledge may be ahead of the surviving disk image:
+     re-examine everything lazily after recovery. *)
+  Obs.Health.invalidate_all t.health;
   (* ...and the reboot: the next I/O is recovery's. *)
   Pager.Fault.revive t.faults
 

@@ -21,6 +21,10 @@ type t = {
   alloc : Pager.Alloc.t;
   tree : Btree.Tree.t;
   access : Btree.Access.t;
+  health : Obs.Health.t;
+      (** incrementally-maintained tree health: fed by the pool's dirty
+          hook, the allocator's churn notes, the side file's backlog and
+          the reorganizer's unit/switch events — see {!Obs.Health} *)
 }
 
 val create :
@@ -50,8 +54,8 @@ val load :
 (** Bulk-loaded tree (sorted records), flushed to disk. *)
 
 val register_obs : t -> Obs.Registry.t -> unit
-(** Register the lock manager's, buffer pool's, log's and fault
-    controller's gauges. *)
+(** Register the lock manager's, buffer pool's, log's, fault controller's
+    and tree-health gauges. *)
 
 val set_tracers : t -> Obs.Trace.t option -> unit
 (** Point every subsystem's tracer hook at the same trace (or detach). *)

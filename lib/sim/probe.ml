@@ -18,6 +18,7 @@ type sample = {
   engines : int;
   ticks : int;  (* summed logical clocks *)
   dispatches : int;
+  timeseries : Obs.Health.Sampler.snapshot list;
 }
 
 type parts = {
@@ -26,6 +27,7 @@ type parts = {
   mutable lockms : Lockmgr.Lock_mgr.t list;
   mutable logs : Wal.Log.t list;
   mutable engs : Sched.Engine.t list;
+  mutable tseries : Obs.Health.Sampler.snapshot list; (* reversed batches *)
 }
 
 let current : parts option ref = ref None
@@ -38,6 +40,11 @@ let note_parts ~disk ~pool ~locks ~log =
     c.pools <- pool :: c.pools;
     c.lockms <- locks :: c.lockms;
     c.logs <- log :: c.logs
+
+let note_timeseries snaps =
+  match !current with
+  | None -> ()
+  | Some c -> c.tseries <- List.rev_append snaps c.tseries
 
 let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
 
@@ -131,19 +138,21 @@ let total c =
     engines = List.length c.engs;
     ticks = sum Sched.Engine.now c.engs;
     dispatches = sum Sched.Engine.dispatches c.engs;
+    timeseries = List.rev c.tseries;
   }
 
 let with_collector f =
   (match !current with
   | Some _ -> invalid_arg "Probe.with_collector: collector already active"
   | None -> ());
-  let c = { disks = []; pools = []; lockms = []; logs = []; engs = [] } in
+  let c = { disks = []; pools = []; lockms = []; logs = []; engs = []; tseries = [] } in
   current := Some c;
-  Sched.Engine.set_create_hook (Some (fun e -> c.engs <- e :: c.engs));
+  (* Register by id so hooks installed by anyone else stay in place. *)
+  let hook = Sched.Engine.add_create_hook (fun e -> c.engs <- e :: c.engs) in
   Fun.protect
     ~finally:(fun () ->
       current := None;
-      Sched.Engine.set_create_hook None)
+      Sched.Engine.remove_create_hook hook)
     (fun () ->
       let r = f () in
       (r, total c))

@@ -3,12 +3,16 @@
     Experiments assemble their databases and engines internally, so their
     counters are unreachable from the outside.  {!with_collector} makes a
     collector ambient: every {!Db.assemble} reports its component set and
-    (via {!Sched.Engine.set_create_hook}) every engine created inside the
+    (via {!Sched.Engine.add_create_hook}) every engine created inside the
     callback is tracked.  When the callback returns, all counters are
     snapshotted and summed — the totals cover every arm an experiment runs,
     which is the unit the machine-readable benchmark baseline records.
 
-    Collectors do not nest; only the benchmark harness should use this. *)
+    The collector's engine hook is registered and removed by id, so any
+    create hook installed by other parties (or by nested tooling) keeps
+    firing — collectors no longer clobber foreign hooks.  Collectors
+    themselves still do not nest; only the benchmark harness should use
+    this. *)
 
 type sample = {
   disk : Pager.Disk.stats;  (** summed over every disk assembled *)
@@ -19,6 +23,7 @@ type sample = {
   engines : int;  (** engines created inside the window *)
   ticks : int;  (** summed final logical clocks *)
   dispatches : int;
+  timeseries : Obs.Health.Sampler.snapshot list;  (** health samples reported via {!note_timeseries} *)
 }
 
 val with_collector : (unit -> 'a) -> 'a * sample
@@ -28,3 +33,8 @@ val with_collector : (unit -> 'a) -> 'a * sample
 val note_parts :
   disk:Pager.Disk.t -> pool:Pager.Buffer_pool.t -> locks:Lockmgr.Lock_mgr.t -> log:Wal.Log.t -> unit
 (** Called by {!Db.assemble}; a no-op when no collector is active. *)
+
+val note_timeseries : Obs.Health.Sampler.snapshot list -> unit
+(** Report health time-series snapshots for the current experiment (appended
+    in call order); a no-op when no collector is active.  They surface as
+    the [timeseries] array of the schema-v2 benchmark baseline. *)

@@ -52,7 +52,8 @@ let purged ?(page_size = 512) ~seed ~n ~ranges ~width () =
   (db, expected)
 
 let run_reorg ?registry ?tracer ?(config = Reorg.Config.default) ?(users = 0)
-    ?(user_mix = Workload.Mix.read_mostly) ?(user_ops = 10_000) ?(seed = 1) db =
+    ?(user_mix = Workload.Mix.read_mostly) ?(user_ops = 10_000) ?(seed = 1) ?sampler
+    ?(sample_every = 25) db =
   let ctx = Reorg.Ctx.make ?registry ?tracer ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
@@ -63,6 +64,23 @@ let run_reorg ?registry ?tracer ?(config = Reorg.Config.default) ?(users = 0)
     Db.register_obs db reg
   | None -> ());
   let report = ref None in
+  (* The sampler is its own scheduler process on the engine's logical
+     clock: it snapshots immediately, then every [sample_every] ticks, and
+     takes one final sample after the reorganizer reports — so the series
+     always shows the recovered end state. *)
+  (match sampler with
+  | Some s ->
+    Obs.Health.Sampler.set_clock s (fun () -> Engine.now eng);
+    Engine.spawn eng ~name:"sampler" (fun () ->
+        let rec loop () =
+          ignore (Obs.Health.Sampler.sample s : Obs.Health.Sampler.snapshot);
+          if !report = None then begin
+            Engine.sleep (max 1 sample_every);
+            loop ()
+          end
+        in
+        loop ())
+  | None -> ());
   Engine.spawn eng ~name:"reorganizer" (fun () -> report := Some (Reorg.Driver.run ctx));
   let ustats =
     if users > 0 then

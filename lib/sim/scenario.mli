@@ -45,6 +45,8 @@ val run_reorg :
   ?user_mix:Workload.Mix.mix ->
   ?user_ops:int ->
   ?seed:int ->
+  ?sampler:Obs.Health.Sampler.t ->
+  ?sample_every:int ->
   Db.t ->
   Reorg.Ctx.t * Reorg.Driver.report * Workload.Mix.stats
 (** Run the full reorganization inside a fresh scheduler, optionally with
@@ -52,4 +54,9 @@ val run_reorg :
     [user_ops], default 10_000 each).  [registry] collects every subsystem's
     counters (scheduler, locks, pager, WAL, reorganizer); [tracer] records
     the run as spans/instants on per-process timeline rows, with its clock
-    driven by the scheduler's logical time. *)
+    driven by the scheduler's logical time.
+
+    [sampler] spawns a sampling process on the same engine: its clock is
+    pointed at the engine, it snapshots at tick 0 and then every
+    [sample_every] ticks (default 25), plus one final snapshot after the
+    reorganizer reports — deterministic health time series for free. *)

@@ -199,6 +199,80 @@ let test_trace_covers_subsystems () =
   Alcotest.(check int) "balanced brackets" 0 !depth;
   Alcotest.(check int) "never negative" 0 !min_depth
 
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let emit_float x =
+  let buf = Buffer.create 32 in
+  Obs.Json.float buf x;
+  Buffer.contents buf
+
+(* Adversarial floats: nothing non-finite may leak into the output (JSON has
+   no nan/inf literals), and every finite value must round-trip exactly
+   through its printed form. *)
+let test_json_float_adversarial () =
+  List.iter
+    (fun x ->
+      Alcotest.(check string)
+        (Printf.sprintf "%h is null" x)
+        "null" (emit_float x))
+    [ Float.nan; Float.infinity; Float.neg_infinity; 0.0 /. 0.0; 1.0 /. 0.0 ];
+  let finite =
+    [ 0.0; -0.0; 1.0; -1.0; 0.1; -0.1; 1.0 /. 3.0; 2.0 /. 3.0; 0.55; 0.30;
+      1e-10; 1.5e-45; 4e-324 (* smallest subnormal *); Float.min_float;
+      Float.max_float; 1e15; 1e15 -. 1.0; 1e15 +. 2.0; 123456789.0;
+      9007199254740993.0 (* 2^53 + 1: not representable as itself *);
+      3.141592653589793; 1e300; -2.2250738585072011e-308 ]
+  in
+  List.iter
+    (fun x ->
+      let s = emit_float x in
+      Alcotest.(check bool)
+        (Printf.sprintf "%h has no nan/inf text (%s)" x s)
+        false
+        (contains ~needle:"nan" s || contains ~needle:"inf" s);
+      Alcotest.(check bool)
+        (Printf.sprintf "%h round-trips via %s" x s)
+        true
+        (float_of_string s = x))
+    finite;
+  (* Integer-valued doubles print without an exponent or decimal point. *)
+  Alcotest.(check string) "integral compact" "123456789" (emit_float 123456789.0);
+  Alcotest.(check string) "zero" "0" (emit_float 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler golden determinism                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Same seed, same sampled health series — byte-for-byte, including the
+   counter events the sampler mirrors into the Chrome trace. *)
+let sampled_health_run () =
+  let db, _ = Sim.Scenario.thinned ~seed:9 ~n:900 ~survive:0.35 () in
+  let tracer = Obs.Trace.create () in
+  let sampler = Obs.Health.Sampler.create ~tracer db.Sim.Db.health in
+  Obs.Health.Sampler.add_probe sampler "pool.flushes" (fun () ->
+      (Pager.Buffer_pool.stats db.Sim.Db.pool).Pager.Buffer_pool.s_flushes);
+  Obs.Health.watch db.Sim.Db.health ~name:"util<0.55" ~signal:Obs.Health.Utilization
+    ~op:`Lt ~threshold:0.55 (fun _ -> ());
+  ignore (Sim.Scenario.run_reorg ~tracer ~sampler ~sample_every:20 db);
+  (Obs.Health.Sampler.to_json (Obs.Health.Sampler.snapshots sampler), tracer)
+
+let test_sampler_golden_determinism () =
+  let series1, tr1 = sampled_health_run () in
+  let series2, tr2 = sampled_health_run () in
+  Alcotest.(check bool) "series non-trivial" true (String.length series1 > 2);
+  Alcotest.(check string) "identical sampled series" series1 series2;
+  Alcotest.(check string) "identical chrome JSON (incl. counter events)"
+    (Trace.to_chrome_json tr1) (Trace.to_chrome_json tr2);
+  (* The trace carries the sampler's counter rows and the watch fire. *)
+  let json = Trace.to_chrome_json tr1 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "trace mentions %S" needle) true
+        (contains ~needle json))
+    [ "\"ph\":\"C\""; "tree-health"; "health.watch-fire" ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -214,10 +288,14 @@ let () =
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "with_span on exception" `Quick test_with_span_on_exception;
         ] );
+      ( "json",
+        [ Alcotest.test_case "adversarial floats" `Quick test_json_float_adversarial ] );
       ( "end-to-end",
         [
           Alcotest.test_case "golden determinism" `Quick test_golden_trace_determinism;
           Alcotest.test_case "golden torture determinism" `Quick test_golden_torture_determinism;
           Alcotest.test_case "subsystem coverage" `Quick test_trace_covers_subsystems;
+          Alcotest.test_case "sampler golden determinism" `Quick
+            test_sampler_golden_determinism;
         ] );
     ]
