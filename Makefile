@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json health torture clean
+.PHONY: all build test check bench bench-json health shard torture clean
 
 all: build
 
@@ -26,6 +26,12 @@ bench-json:
 # print the sampled utilization/fragmentation series with watch fires.
 health:
 	dune exec bench/main.exe -- health
+
+# Keyspace-sharded engine: the 1/2/4/8-shard makespan sweep (S1), then a
+# sharded workload through the router and cross-shard 2PL coordinator.
+shard:
+	dune exec bench/main.exe -- shard
+	dune exec bin/reorg_cli.exe -- workload --shards 4 --users 6 -n 1200
 
 # Exhaustive crash-point sweep: crash at every write boundary on three seeds,
 # recover forward, verify.  Fast (in-memory disk), run it before shipping

@@ -62,6 +62,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "health",
       "H1: online tree-health telemetry (sparsify, reorg, sampled series)",
       fun () -> Util.Table.print (Sim.Exp_health.run ()) );
+    ( "shard",
+      "S1: keyspace-sharded engine — per-shard reorganizers, makespan scaling",
+      fun () -> Util.Table.print (Sim.Exp_shard.run ()) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -205,8 +208,15 @@ let micro () =
    deterministic health-sampler snapshots — logical tick, leaf count,
    utilization, fragmentation index, side-file backlog, free pages, the
    fill-factor decile histogram, probe values with per-interval deltas, and
-   the names of any threshold watches that fired at that tick. *)
-let json_schema_version = 2
+   the names of any threshold watches that fired at that tick.
+
+   Version 3 adds a per-experiment [shard_sweep] array (empty for all but
+   the "shard" experiment): one point per shard count with the parallel
+   makespan, the mixed-workload user commit/abort counts, a [per_shard]
+   block of counters for every shard (ticks, I/O, lock, WAL), and a
+   [totals] block that must equal the field-wise sum of the per-shard
+   blocks — ci/check.sh validates that equality. *)
+let json_schema_version = 3
 
 let emit_experiment buf (wall, s) =
   let module J = Obs.Json in
@@ -277,6 +287,48 @@ let emit_experiment buf (wall, s) =
             (List.map
                (fun snap b -> Obs.Health.Sampler.emit_snapshot b snap)
                s.Sim.Probe.timeseries) );
+      ( "shard_sweep",
+        fun b ->
+          J.arr b
+            (List.map
+               (fun (pt : Sim.Probe.shard_point) b ->
+                 let arm (a : Sim.Probe.shard_arm) b =
+                   J.obj b
+                     [
+                       ("shard", i a.Sim.Probe.a_shard);
+                       ("ticks", i a.Sim.Probe.a_ticks);
+                       ("io_reads", i a.Sim.Probe.a_io_reads);
+                       ("io_writes", i a.Sim.Probe.a_io_writes);
+                       ("io_cost", fun b -> J.float b a.Sim.Probe.a_io_cost);
+                       ("lock_acquires", i a.Sim.Probe.a_lock_acquires);
+                       ("wal_records", i a.Sim.Probe.a_wal_records);
+                     ]
+                 in
+                 let sum f = List.fold_left (fun acc a -> acc + f a) 0 pt.Sim.Probe.p_arms in
+                 let sumf f = List.fold_left (fun acc a -> acc +. f a) 0. pt.Sim.Probe.p_arms in
+                 J.obj b
+                   [
+                     ("shards", i pt.Sim.Probe.p_shards);
+                     ("parallel_makespan", i pt.Sim.Probe.p_parallel_makespan);
+                     ("mixed_ticks", i pt.Sim.Probe.p_mixed_ticks);
+                     ("user_committed", i pt.Sim.Probe.p_user_committed);
+                     ("user_aborted", i pt.Sim.Probe.p_user_aborted);
+                     ("per_shard", fun b -> J.arr b (List.map arm pt.Sim.Probe.p_arms));
+                     ( "totals",
+                       fun b ->
+                         J.obj b
+                           [
+                             ("ticks", i (sum (fun a -> a.Sim.Probe.a_ticks)));
+                             ("io_reads", i (sum (fun a -> a.Sim.Probe.a_io_reads)));
+                             ("io_writes", i (sum (fun a -> a.Sim.Probe.a_io_writes)));
+                             ( "io_cost",
+                               fun b -> J.float b (sumf (fun a -> a.Sim.Probe.a_io_cost)) );
+                             ( "lock_acquires",
+                               i (sum (fun a -> a.Sim.Probe.a_lock_acquires)) );
+                             ("wal_records", i (sum (fun a -> a.Sim.Probe.a_wal_records)));
+                           ] );
+                   ])
+               s.Sim.Probe.shard_sweep) );
     ]
 
 let write_json ~file ~experiments:exps ~micro:micro_est =

@@ -282,15 +282,52 @@ let torture seed stride records users trace metrics =
     Printf.eprintf "torture FAILED: %s\n" msg;
     exit 2
 
-let workload users mix_name records seed trace metrics health =
+(* --shards N >= 2: the keyspace-sharded engine.  One store, reorganizer
+   and WAL per shard; user transactions go through the router and the
+   cross-shard 2PL coordinator instead of a single tree. *)
+let sharded_workload ~users ~mix ~records ~seed ~shards ~trace ~metrics =
+  let registry, tracer = obs_setup ~trace ~metrics in
+  let t, _ = Sim.Sharded.thinned ~seed ~n:records ~survive:0.35 ~shards () in
+  let outcome, stats =
+    Sim.Sharded.reorg_with_users ?registry ?tracer ~user_mix:mix ~users ~seed:(seed + 1)
+      ~key_space:(2 * records) t
+  in
+  Array.iteri
+    (fun i (r : Reorg.Driver.report) ->
+      Format.printf "shard %d reorg: %a@." i Reorg.Driver.pp_report r)
+    outcome.Sim.Sharded.reports;
+  Printf.printf "mixed-phase ticks: %d (reorganizers + %d cross-shard users on one engine)\n"
+    outcome.Sim.Sharded.makespan users;
+  let cs = Shard.Coordinator.stats t.Sim.Sharded.coord in
+  Printf.printf
+    "coordinator: %d begun, %d committed (%d cross-shard), %d aborted, %d commit records\n"
+    cs.Shard.Coordinator.begun cs.Shard.Coordinator.committed
+    cs.Shard.Coordinator.cross_shard_commits cs.Shard.Coordinator.aborted
+    cs.Shard.Coordinator.commit_records;
+  Printf.printf
+    "users: %d committed (%d reads, %d inserts, %d deletes), %d give-ups, %d aborts, %d \
+     blocked ticks\n"
+    stats.Workload.Mix.committed stats.Workload.Mix.reads stats.Workload.Mix.inserts
+    stats.Workload.Mix.deletes stats.Workload.Mix.give_ups stats.Workload.Mix.aborted
+    stats.Workload.Mix.blocked_ticks;
+  obs_report ~trace registry tracer;
+  match Sim.Sharded.check_invariants t with
+  | () -> Printf.printf "invariants OK (all %d shards)\n" shards
+  | exception e ->
+    Printf.eprintf "invariant check FAILED: %s\n" (Printexc.to_string e);
+    exit 2
+
+let workload users mix_name records seed shards trace metrics health =
   setup_logs ();
-  let db, _ = Sim.Scenario.aged ~seed ~n:records ~f1:0.3 () in
   let mix =
     match mix_name with
     | "read-only" -> Workload.Mix.read_only
     | "update-heavy" -> Workload.Mix.update_heavy
     | _ -> Workload.Mix.read_mostly
   in
+  if shards > 1 then sharded_workload ~users ~mix ~records ~seed ~shards ~trace ~metrics
+  else begin
+  let db, _ = Sim.Scenario.aged ~seed ~n:records ~f1:0.3 () in
   let registry, tracer = obs_setup ~trace ~metrics in
   let ctx, report, stats = Sim.Scenario.run_reorg ?registry ?tracer ~users ~user_mix:mix db in
   Format.printf "reorg: %a@." Reorg.Driver.pp_report report;
@@ -304,6 +341,7 @@ let workload users mix_name records seed trace metrics health =
   obs_report ~trace registry tracer;
   health_report ~health db;
   check_invariants db
+  end
 
 (* ------------- command wiring ------------- *)
 
@@ -366,9 +404,20 @@ let workload_cmd =
       & opt string "read-mostly"
       & info [ "mix" ] ~docv:"MIX" ~doc:"read-only | read-mostly | update-heavy.")
   in
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the keyspace over $(docv) shards: one store, WAL and reorganizer \
+             per shard, cross-shard user transactions through the router and 2PL \
+             coordinator.")
+  in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run user transactions concurrently with the reorganizer.")
-    Term.(const workload $ users_t $ mix_t $ records_t $ seed_t $ trace_t $ metrics_t $ health_t)
+    Term.(
+      const workload $ users_t $ mix_t $ records_t $ seed_t $ shards_t $ trace_t $ metrics_t
+      $ health_t)
 
 let () =
   let info =

@@ -24,7 +24,7 @@ dune runtest
 echo "== bench smoke (JSON schema) =="
 BENCH_OUT=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 trap 'rm -f "$BENCH_OUT"' EXIT
-BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency health >/dev/null
+BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency health shard >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$BENCH_OUT" <<'EOF'
 import json, sys
@@ -32,7 +32,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
-assert doc["schema_version"] == 2, "unexpected schema_version"
+assert doc["schema_version"] == 3, "unexpected schema_version"
 assert doc["revision"] == "ci-smoke", "BENCH_REV not propagated"
 exps = doc["experiments"]
 assert exps, "no experiments recorded"
@@ -60,11 +60,38 @@ for snap in series:
     assert snap["leaves"] >= 0 and snap["backlog"] >= 0
 fired = [name for snap in series for name in snap["fired"]]
 assert fired, "no watch fired across the sparsification run"
-print("bench JSON OK: %d experiment(s), %d health sample(s), watch fires: %s"
-      % (len(exps), len(series), ",".join(sorted(set(fired)))))
+
+# Schema v3: the shard experiment carries the makespan sweep with a
+# per-shard counter block per point, and totals that are exact sums.
+sweep = exps["shard"]["shard_sweep"]
+assert sweep, "shard experiment recorded no shard_sweep"
+makespans = {}
+for pt in sweep:
+    n = pt["shards"]
+    assert n >= 1, "shard count must be >= 1"
+    arms = pt["per_shard"]
+    assert len(arms) == n, "expected %d per-shard blocks, got %d" % (n, len(arms))
+    assert [a["shard"] for a in arms] == list(range(n)), "per-shard blocks out of order"
+    for field in ("ticks", "io_reads", "io_writes", "lock_acquires", "wal_records"):
+        total = sum(a[field] for a in arms)
+        assert pt["totals"][field] == total, (
+            "totals.%s (%r) != sum of per-shard values (%r) at %d shards"
+            % (field, pt["totals"][field], total, n))
+    assert abs(pt["totals"]["io_cost"] - sum(a["io_cost"] for a in arms)) < 1e-6
+    assert pt["parallel_makespan"] > 0 and pt["mixed_ticks"] > 0
+    assert pt["user_committed"] > 0, "mixed phase committed no user transactions"
+    makespans[n] = pt["parallel_makespan"]
+assert 1 in makespans and 4 in makespans, "sweep must include 1 and 4 shards"
+ratio = makespans[4] / makespans[1]
+assert ratio <= 0.6, "4-shard makespan ratio %.2f exceeds 0.6" % ratio
+
+print("bench JSON OK: %d experiment(s), %d health sample(s), watch fires: %s, "
+      "shard sweep %s (4/1 makespan %.2f)"
+      % (len(exps), len(series), ",".join(sorted(set(fired))),
+         sorted(makespans), ratio))
 EOF
 elif command -v jq >/dev/null 2>&1; then
-  test "$(jq -r .schema_version "$BENCH_OUT")" = 2
+  test "$(jq -r .schema_version "$BENCH_OUT")" = 3
   test "$(jq -r '.experiments.concurrency.lock.acquires > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.lock.scan_steps > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.io.reads > 0' "$BENCH_OUT")" = true
@@ -72,6 +99,10 @@ elif command -v jq >/dev/null 2>&1; then
   test "$(jq -r '.experiments.health.timeseries | length > 0' "$BENCH_OUT")" = true
   test "$(jq -r '[.experiments.health.timeseries[].utilization] | min >= 0 and max <= 1' "$BENCH_OUT")" = true
   test "$(jq -r '[.experiments.health.timeseries[].fired[]] | length > 0' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.shard.shard_sweep | length > 0' "$BENCH_OUT")" = true
+  test "$(jq -r '[.experiments.shard.shard_sweep[] | (.per_shard | length) == .shards] | all' "$BENCH_OUT")" = true
+  test "$(jq -r '[.experiments.shard.shard_sweep[] | .totals.ticks == ([.per_shard[].ticks] | add)] | all' "$BENCH_OUT")" = true
+  test "$(jq -r '(.experiments.shard.shard_sweep | (map(select(.shards == 4))[0].parallel_makespan) / (map(select(.shards == 1))[0].parallel_makespan)) <= 0.6' "$BENCH_OUT")" = true
   echo "bench JSON OK (jq)"
 else
   echo "python3/jq not available; skipping JSON validation" >&2

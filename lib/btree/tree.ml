@@ -263,7 +263,14 @@ let rec insert_gen t ?txn ?on_base_edit ~logged ~key ~payload () =
     assert (Leaf.insert p r)
   end
   else begin
-    split_leaf t ?txn ?on_base_edit path leaf_pid;
+    (* Seal the split as a nested top action: it must survive this
+       transaction's rollback, because other transactions may commit
+       records into the new halves before this one finishes (it may still
+       be blocked on locks — or off writing other shards — for a long
+       time).  An unsealed (torn) sequence is still undone physically, which
+       stays sound: the log is sequential, so a lost seal means everything
+       after it is lost too. *)
+    Journal.with_nta t.journal ?txn (fun () -> split_leaf t ?txn ?on_base_edit path leaf_pid);
     insert_gen t ?txn ?on_base_edit ~logged ~key ~payload ()
   end
 

@@ -11,30 +11,47 @@ type t = {
   metrics : Metrics.t;
   actor : Transact.Txn.t;
   tracer : Obs.Trace.t option;
+  shard : int * int;
 }
 
-let make ?registry ?tracer ~access ~config () =
+let make ?registry ?tracer ?(shard = (0, 1)) ~access ~config () =
+  let shard_i, shard_n = shard in
+  if shard_n < 1 || shard_i < 0 || shard_i >= shard_n then
+    invalid_arg "Ctx.make: shard index out of range";
+  (* The actor id comes from the store's transaction manager, whose lattice
+     is already per-shard; the unit-id lattice mirrors it so unit ids of
+     different shards' reorganizers never collide either. *)
   let actor = Txn_mgr.fresh_owner (Access.mgr access) in
   Lockmgr.Lock_mgr.register_reorganizer (Access.locks access) actor.Transact.Txn.id;
   {
     access;
     config;
-    rtable = Rtable.create ();
+    rtable = Rtable.create ~first_id:(shard_i + 1) ~id_stride:shard_n ();
     metrics = Metrics.create ?registry ();
     actor;
     tracer;
+    shard;
   }
 
 let worker t ~index ~count =
+  let shard_i, shard_n = t.shard in
   let actor = Txn_mgr.fresh_owner (Access.mgr t.access) in
   Lockmgr.Lock_mgr.register_reorganizer (Access.locks t.access) actor.Transact.Txn.id;
+  (* Worker [index] of shard [shard_i]: interleave the per-shard worker
+     lattices so unit ids are disjoint across BOTH workers and shards.
+     Reduces to the historical [1_000_000 + index + 1] / [count] lattice in
+     the unsharded case. *)
   {
     access = t.access;
     config = t.config;
-    rtable = Rtable.create ~first_id:(1_000_000 + index + 1) ~id_stride:count ();
+    rtable =
+      Rtable.create
+        ~first_id:(1_000_000 + (index * shard_n) + shard_i + 1)
+        ~id_stride:(count * shard_n) ();
     metrics = t.metrics;
     actor;
     tracer = t.tracer;
+    shard = t.shard;
   }
 
 let span t ?args name f =

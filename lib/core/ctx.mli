@@ -11,23 +11,30 @@ type t = {
   metrics : Metrics.t;
   actor : Transact.Txn.t;  (** the reorganization process's lock owner *)
   tracer : Obs.Trace.t option;
+  shard : int * int;  (** [(index, count)] of the shard this run works on *)
 }
 
 val make :
   ?registry:Obs.Registry.t ->
   ?tracer:Obs.Trace.t ->
+  ?shard:int * int ->
   access:Btree.Access.t ->
   config:Config.t ->
   unit ->
   t
 (** [registry] attaches the run's {!Metrics} counters; [tracer] records each
-    pass, unit and switch attempt as spans on the calling process's row. *)
+    pass, unit and switch attempt as spans on the calling process's row.
+    [shard:(i, n)] (default [(0, 1)]) puts unit ids on the lattice
+    [i+1 + k*n] so the system tables of concurrently reorganizing shards
+    never share a unit id; the actor's lock-owner id is globally unique
+    already because it is minted by the shard's strided transaction
+    manager. *)
 
 val worker : t -> index:int -> count:int -> t
 (** A derived context for one of [count] parallel reorganizer workers: its
-    own lock-owner identity and system table (with a disjoint unit-id
-    lattice), sharing the parent's access layer, configuration, metrics and
-    tracer. *)
+    own lock-owner identity and system table (with a unit-id lattice
+    disjoint across both workers and shards), sharing the parent's access
+    layer, configuration, metrics and tracer. *)
 
 val span : t -> ?args:(string * Obs.Trace.arg) list -> string -> (unit -> 'a) -> 'a
 (** [span t name f] runs [f] inside a ["reorg"]-category span on the current

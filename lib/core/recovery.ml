@@ -436,6 +436,75 @@ let complete_compact ctx ~unit_id ~base ~leaves ~dest =
   ignore (Ctx.log_reorg ctx (Record.Reorg_end { unit_id; largest_key = largest; prev }));
   Rtable.end_unit ctx.Ctx.rtable ~largest_key:largest
 
+(* Complete the §5.2 give-up UNDO of a compact/move unit.  A reverse MOVE
+   (org = the unit's destination) in the stable tail means the unit was
+   rolling itself back — it lost the base-lock upgrade to a deadlock — when
+   the machine died.  Finishing such a unit forward would re-move records
+   into a destination the undo may already have freed (leaving it reachable
+   but marked free), so instead the remaining reverse moves are performed
+   and the unit ends as a no-op, exactly as the live give-up path would
+   have ended it.  Org headers need no repair: record moves preserve leaf
+   headers, and the chain rewires only ever happen after the base lock was
+   won (which it was not). *)
+let complete_undo ctx ~unit_id ~leaves ~dest ~moves =
+  let journal = Ctx.journal ctx in
+  let forwards = List.filter (fun (_, d, _) -> d = dest) moves in
+  let reversed =
+    List.filter_map (fun (o, d, _) -> if o = dest then Some d else None) moves
+  in
+  List.iter
+    (fun (org, _, payload) ->
+      if org <> dest && not (List.mem org reversed) then begin
+        let keys =
+          match payload with
+          | Record.Keys_only ks -> ks
+          | Record.Full_records rs -> List.map fst rs
+        in
+        let dp = Ctx.page ctx dest in
+        let records =
+          List.filter_map
+            (fun key ->
+              match Leaf.find dp key with
+              | Some payload -> Some { Leaf.key; payload }
+              | None -> None)
+            keys
+        in
+        let prev = Rtable.last_lsn ctx.Ctx.rtable in
+        let lsn =
+          Ctx.log_reorg ctx
+            (Record.Reorg_move
+               {
+                 unit_id;
+                 org = dest;
+                 dest = org;
+                 payload =
+                   Record.Full_records
+                     (List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) records);
+                 dest_init = None;
+                 prev;
+               })
+        in
+        let op = Ctx.page ctx org in
+        List.iter (fun r -> ignore (Leaf.replace op r)) records;
+        List.iter (fun r -> ignore (Leaf.delete dp r.Leaf.key)) records;
+        Ctx.stamp ctx ~page:org lsn;
+        Ctx.stamp ctx ~page:dest lsn
+      end)
+    forwards;
+  (* A freshly-claimed destination goes back to the free pool; an in-place
+     destination (the unit's own first leaf) stays live. *)
+  if not (List.mem dest leaves) then begin
+    if Page.kind (Buffer_pool.get (Ctx.pool ctx) dest) <> Page.kind_free then
+      Journal.physical journal ~page:dest ~off:0 ~len:1 (fun p ->
+          Page.set_kind p Page.kind_free);
+    if not (Alloc.is_free (Ctx.alloc ctx) dest) then Alloc.release (Ctx.alloc ctx) dest
+  end;
+  let prev = Rtable.last_lsn ctx.Ctx.rtable in
+  ignore
+    (Ctx.log_reorg ctx
+       (Record.Reorg_end { unit_id; largest_key = Rtable.lk ctx.Ctx.rtable; prev }));
+  Rtable.end_unit ctx.Ctx.rtable ~largest_key:(Rtable.lk ctx.Ctx.rtable)
+
 (* Complete a swap unit whose two MOVE records are stable (so redo has
    already exchanged the contents).  Everything after the moves — headers,
    neighbour pointers, parent entries, END — is re-derived from observable
@@ -575,6 +644,12 @@ let finish_one ctx log ~unit_id =
           (Ctx.log_reorg ctx
              (Record.Reorg_end { unit_id; largest_key = Rtable.lk ctx.Ctx.rtable; prev }));
         Rtable.end_unit ctx.Ctx.rtable ~largest_key:(Rtable.lk ctx.Ctx.rtable)
+      | (Record.Compact | Record.Move), (_, dest, _) :: _
+        when List.exists (fun (o, _, _) -> o = dest) moves ->
+        (* A reverse move (out of the unit's own destination) is in the
+           stable tail: the unit was undoing itself when the machine died.
+           Finish the undo, not the unit. *)
+        complete_undo ctx ~unit_id ~leaves ~dest ~moves
       | (Record.Compact | Record.Move), (_, dest, _) :: _ ->
         if modifies > 0 then begin
           (* Everything but END was done. *)
@@ -668,7 +743,7 @@ let rebuild_builder_state ctx ~stable_key =
 (* Restart                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let restart ?registry ?tracer ~access ~config () =
+let restart ?registry ?tracer ?shard ~access ~config () =
   let tree = Access.tree access in
   let mgr = Access.mgr access in
   let journal = Tree.journal tree in
@@ -702,7 +777,7 @@ let restart ?registry ?tracer ~access ~config () =
      of a torn block operation): recompute the free sets. *)
   if a.losers <> [] then Alloc.rebuild (Tree.alloc tree);
   (* Forward recovery of the reorganizer's state. *)
-  let ctx = Ctx.make ?registry ?tracer ~access ~config () in
+  let ctx = Ctx.make ?registry ?tracer ?shard ~access ~config () in
   Rtable.restore ctx.Ctx.rtable a.rt;
   let finished_unit = finish_units ctx log ~open_units:a.open_units in
   let resume =

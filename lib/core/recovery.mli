@@ -43,11 +43,16 @@ type outcome = {
 val restart :
   ?registry:Obs.Registry.t ->
   ?tracer:Obs.Trace.t ->
+  ?shard:int * int ->
   access:Btree.Access.t ->
   config:Config.t ->
   unit ->
   Ctx.t * outcome
-(** Run full restart over the (crashed) components behind [access]; returns
+(** Run full restart over the (crashed) components behind [access]; each
+    shard of a sharded assembly restarts independently with its own
+    [shard:(i, n)] (threaded to {!Ctx.make} for the unit-id lattice; the
+    txn-id bound derived from the log is rounded onto the shard's lattice
+    by {!Transact.Txn_mgr.ensure_next_id}).  Returns
     a fresh reorganizer context whose system table reflects the recovered
     state (LK, CK), plus the outcome.  Runs with the buffer pool in
     read-repair mode, so checksum-detected torn pages are rebuilt by redo

@@ -70,6 +70,11 @@ type t = {
   mutable scan_steps : int; (* holder/index list elements examined on lock paths *)
   by_mode : (Mode.t, mode_stats) Hashtbl.t;
   mutable tracer : Obs.Trace.t option;
+  (* Extra waits-for edges from outside this lock domain.  A cross-shard
+     coordinator installs a closure that returns the union of the OTHER
+     shards' local edges for an owner, so cycles spanning shard lock
+     managers are still found by the local DFS at enqueue time. *)
+  mutable extra_edges : (owner -> owner list) option;
 }
 
 let create () =
@@ -79,6 +84,7 @@ let create () =
     max_locked = Hashtbl.create 8;
     pending = Hashtbl.create 8;
     reorganizers = [];
+    extra_edges = None;
     acquires = 0;
     waits = 0;
     grants_after_wait = 0;
@@ -380,10 +386,22 @@ let wait_edges t o =
     end
   end
 
+let set_extra_edges t f = t.extra_edges <- f
+
+(* Local edges plus any coordinator-installed cross-shard edges.  The
+   installed closure must only consult OTHER managers' [wait_edges] (the raw
+   local view), never their [all_edges], or two managers would recurse into
+   each other forever. *)
+let all_edges t o =
+  let local = wait_edges t o in
+  match t.extra_edges with
+  | None -> local
+  | Some f -> local @ List.filter (fun o' -> not (List.mem o' local)) (f o)
+
 let find_cycle t start =
   (* DFS from [start]; return the cycle through [start] if one exists. *)
   let rec dfs path o =
-    let next = wait_edges t o in
+    let next = all_edges t o in
     List.fold_left
       (fun acc o' ->
         match acc with
@@ -413,12 +431,22 @@ let remove_waiter t o =
   end
 
 let resolve_deadlock t cycle =
-  let victim =
-    match List.find_opt (fun o -> List.mem o t.reorganizers) cycle with
-    | Some r -> r
-    | None -> List.hd (List.rev cycle) (* the requester that closed the cycle *)
+  (* Preferred victims first (registered reorganizers give way to user
+     transactions, per the paper), then the requester that closed the cycle.
+     In a cross-shard cycle some candidates wait in ANOTHER shard's manager
+     — [remove_waiter] returns [None] for those — so fall through until a
+     locally-waiting candidate is found.  The requester always waits here,
+     so the fallback always succeeds. *)
+  let candidates =
+    List.filter (fun o -> List.mem o t.reorganizers) cycle
+    @ [ List.hd (List.rev cycle) ]
   in
-  match remove_waiter t victim with
+  let rec pick = function
+    | [] -> None
+    | o :: rest -> (
+      match remove_waiter t o with Some r -> Some r | None -> pick rest)
+  in
+  match pick candidates with
   | None -> ()
   | Some (res, e, w) ->
     t.deadlocks <- t.deadlocks + 1;

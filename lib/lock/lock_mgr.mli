@@ -98,6 +98,19 @@ val waiters : t -> Resource.t -> (owner * Mode.t) list
 
 val is_waiting : t -> owner:owner -> bool
 
+val wait_edges : t -> owner -> owner list
+(** Local waits-for edges of [owner]: the holders and earlier queued waiters
+    whose modes conflict with its pending request here.  Empty if the owner
+    is not waiting in this manager. *)
+
+val set_extra_edges : t -> (owner -> owner list) option -> unit
+(** Install (or clear) a source of waits-for edges from outside this lock
+    domain.  Deadlock detection unions these with the local edges, so a
+    coordinator that points each shard's manager at the other shards'
+    {!wait_edges} makes cross-shard cycles visible to every local detector.
+    The closure must return {e raw local} edges of other managers only —
+    never their own combined view — or detection would recurse forever. *)
+
 val locked_count : t -> owner:owner -> int
 (** Number of distinct resources on which [owner] holds at least one mode —
     the "how much of the tree does the reorganizer lock" metric. *)

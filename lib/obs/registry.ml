@@ -9,18 +9,27 @@ type metric =
   | Gauge of (unit -> int)
   | Histogram of Histogram.t
 
-type t = { tbl : (string, metric) Hashtbl.t }
+type t = { tbl : (string, metric) Hashtbl.t; prefix : string }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; prefix = "" }
+
+(* A prefixed view shares the underlying table: registrations through the
+   view land in the parent under [prefix ^ name].  Sharded assemblies wire
+   shard [i]'s subsystems through [prefixed reg "shard<i>."] so one registry
+   holds every shard's metrics side by side without name collisions. *)
+let prefixed t prefix = { tbl = t.tbl; prefix = t.prefix ^ prefix }
+
+let prefix t = t.prefix
 
 (* Registration is idempotent by name: re-registering replaces, so wiring a
    database into the same registry twice (e.g. across a crash/restart pair)
    is harmless. *)
-let attach_counter t c = Hashtbl.replace t.tbl (Counter.name c) (Counter c)
-let attach_histogram t h = Hashtbl.replace t.tbl (Histogram.name h) (Histogram h)
-let gauge t name fn = Hashtbl.replace t.tbl name (Gauge fn)
+let attach_counter t c = Hashtbl.replace t.tbl (t.prefix ^ Counter.name c) (Counter c)
+let attach_histogram t h = Hashtbl.replace t.tbl (t.prefix ^ Histogram.name h) (Histogram h)
+let gauge t name fn = Hashtbl.replace t.tbl (t.prefix ^ name) (Gauge fn)
 
 let counter t name =
+  let name = t.prefix ^ name in
   match Hashtbl.find_opt t.tbl name with
   | Some (Counter c) -> c
   | Some _ -> invalid_arg (Printf.sprintf "Registry.counter: %s is not a counter" name)
@@ -30,6 +39,7 @@ let counter t name =
     c
 
 let histogram t name =
+  let name = t.prefix ^ name in
   match Hashtbl.find_opt t.tbl name with
   | Some (Histogram h) -> h
   | Some _ -> invalid_arg (Printf.sprintf "Registry.histogram: %s is not a histogram" name)
@@ -38,10 +48,10 @@ let histogram t name =
     Hashtbl.replace t.tbl name (Histogram h);
     h
 
-let find t name = Hashtbl.find_opt t.tbl name
+let find t name = Hashtbl.find_opt t.tbl (t.prefix ^ name)
 
 let value t name =
-  match Hashtbl.find_opt t.tbl name with
+  match Hashtbl.find_opt t.tbl (t.prefix ^ name) with
   | Some (Counter c) -> Some (Counter.get c)
   | Some (Gauge fn) -> Some (fn ())
   | Some (Histogram h) -> Some (Histogram.count h)

@@ -22,6 +22,17 @@ type t
 
 val create : unit -> t
 
+val prefixed : t -> string -> t
+(** A view of the same registry that prepends [prefix] to every name it
+    registers or looks up.  The underlying table is shared: metrics
+    registered through [prefixed reg "shard0."] appear in [reg]'s dumps as
+    ["shard0.<name>"].  Views compose ([prefixed (prefixed r "a.") "b."]
+    prefixes ["a.b."]); {!sorted}, {!dump}, {!to_json} and {!reset} always
+    operate on the whole shared table. *)
+
+val prefix : t -> string
+(** The accumulated prefix of this view (empty for a root registry). *)
+
 val counter : t -> string -> Counter.t
 (** Find or create.  Raises [Invalid_argument] if the name is registered as
     a different kind. *)

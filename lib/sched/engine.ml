@@ -49,19 +49,6 @@ let add_create_hook f =
 
 let remove_create_hook id = create_hooks := List.filter (fun (i, _) -> i <> id) !create_hooks
 
-(* Legacy single-slot interface, kept for callers that predate composable
-   hooks: [Some f] replaces only the hook this function installed before,
-   never hooks added with [add_create_hook]. *)
-let legacy_hook : int option ref = ref None
-
-let set_create_hook f =
-  (match !legacy_hook with
-  | Some id ->
-    remove_create_hook id;
-    legacy_hook := None
-  | None -> ());
-  match f with None -> () | Some f -> legacy_hook := Some (add_create_hook f)
-
 let create ?(seed = 0) ?(random = false) () =
   let t =
     {

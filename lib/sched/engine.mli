@@ -60,12 +60,6 @@ val add_create_hook : (t -> unit) -> int
 val remove_create_hook : int -> unit
 (** Remove one hook by id; unknown ids are ignored. *)
 
-val set_create_hook : (t -> unit) option -> unit
-(** Legacy single-slot wrapper over {!add_create_hook}: [Some f] replaces
-    the hook previously installed through this function (only), [None]
-    removes it.  Hooks registered with {!add_create_hook} are never
-    affected. *)
-
 val dispatches : t -> int
 val blocked_ticks : t -> Obs.Histogram.t
 

@@ -1,0 +1,58 @@
+module Access = Btree.Access
+
+type t = { coord : Coordinator.t }
+
+let create coord = { coord }
+
+let coordinator t = t.coord
+let map t = Coordinator.map t.coord
+
+let access t i = (Coordinator.store t.coord i).Store.access
+
+let read t x key =
+  let i = Shard_map.owner (map t) key in
+  Access.read (access t i) ~txn:(Coordinator.txn_in x i) key
+
+let insert t x ~key ~payload =
+  let i = Shard_map.owner (map t) key in
+  Access.insert (access t i) ~txn:(Coordinator.write_txn_in x i) ~key ~payload
+
+let delete t x key =
+  let i = Shard_map.owner (map t) key in
+  Access.delete (access t i) ~txn:(Coordinator.write_txn_in x i) key
+
+let update t x ~key ~payload =
+  let i = Shard_map.owner (map t) key in
+  Access.update (access t i) ~txn:(Coordinator.write_txn_in x i) ~key ~payload
+
+(* Shard ranges are disjoint and ascending, so per-segment results (each
+   sorted by the leaf chain walk) concatenate into one sorted sequence. *)
+type cursor = {
+  router : t;
+  x : Coordinator.xtxn;
+  mutable segments : (int * int * int) list;  (* (shard, lo, hi) not yet fetched *)
+  mutable front : Btree.Leaf.record list;  (* fetched, not yet consumed *)
+}
+
+let scan t x ~lo ~hi = { router = t; x; segments = Shard_map.split (map t) ~lo ~hi; front = [] }
+
+let rec next c =
+  match c.front with
+  | r :: rest ->
+    c.front <- rest;
+    Some r
+  | [] -> begin
+    match c.segments with
+    | [] -> None
+    | (i, seg_lo, seg_hi) :: rest ->
+      c.segments <- rest;
+      c.front <-
+        Access.range_read (access c.router i) ~txn:(Coordinator.txn_in c.x i) ~lo:seg_lo
+          ~hi:seg_hi;
+      next c
+  end
+
+let range_read t x ~lo ~hi =
+  let c = scan t x ~lo ~hi in
+  let rec drain acc = match next c with Some r -> drain (r :: acc) | None -> List.rev acc in
+  drain []

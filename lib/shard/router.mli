@@ -1,0 +1,41 @@
+(** The routing layer: the {!Btree.Access}-shaped API over a sharded
+    assembly.
+
+    Point operations (lookup / insert / delete / update) binary-search the
+    shard map and run the ordinary access protocol against the owning
+    shard's store, under the cross-shard transaction's identity in that
+    shard.  Range scans are fanned out: the requested range is cut at shard
+    boundaries ({!Shard_map.split}) and the per-shard segments are read in
+    ascending shard order and stitched back together — shard ranges are
+    disjoint and ordered, so simple concatenation preserves key order.
+
+    Every operation may raise {!Transact.Lock_client.Deadlock_victim}; the
+    caller handles it by {!Coordinator.abort}ing the transaction. *)
+
+type t
+
+val create : Coordinator.t -> t
+
+val coordinator : t -> Coordinator.t
+val map : t -> Shard_map.t
+
+val read : t -> Coordinator.xtxn -> int -> string option
+val insert : t -> Coordinator.xtxn -> key:int -> payload:string -> unit
+val delete : t -> Coordinator.xtxn -> int -> string option
+val update : t -> Coordinator.xtxn -> key:int -> payload:string -> string option
+
+val range_read : t -> Coordinator.xtxn -> lo:int -> hi:int -> Btree.Leaf.record list
+(** The whole stitched range, materialized. *)
+
+(** {2 Stitched cursors}
+
+    A cursor pulls the scan shard by shard: each shard's segment is fetched
+    (S-locking its leaves) only when the scan first reaches that shard, so
+    an early-terminated scan never touches — or locks — the shards beyond
+    its stopping point. *)
+
+type cursor
+
+val scan : t -> Coordinator.xtxn -> lo:int -> hi:int -> cursor
+val next : cursor -> Btree.Leaf.record option
+(** The next record in ascending key order, [None] at end of range. *)

@@ -1,0 +1,61 @@
+type t = { bounds : int array }
+
+let create ~boundaries =
+  let bounds = Array.of_list boundaries in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Shard_map.create: boundaries must be strictly increasing")
+    bounds;
+  { bounds }
+
+let uniform ~shards ~key_space =
+  if shards < 1 then invalid_arg "Shard_map.uniform: shards must be >= 1";
+  if shards > 1 && key_space < shards then
+    invalid_arg "Shard_map.uniform: key_space smaller than shard count";
+  create ~boundaries:(List.init (shards - 1) (fun i -> (i + 1) * key_space / shards))
+
+let shards t = Array.length t.bounds + 1
+
+let boundaries t = Array.to_list t.bounds
+
+(* Number of boundaries <= key, i.e. the index of the owning shard. *)
+let owner t key =
+  let lo = ref 0 and hi = ref (Array.length t.bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.bounds.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let range_of t i =
+  let n = shards t in
+  if i < 0 || i >= n then invalid_arg "Shard_map.range_of: shard index out of range";
+  let lo = if i = 0 then None else Some t.bounds.(i - 1) in
+  let hi = if i = n - 1 then None else Some t.bounds.(i) in
+  (lo, hi)
+
+let split t ~lo ~hi =
+  if lo > hi then []
+  else begin
+    let first = owner t lo and last = owner t hi in
+    List.init
+      (last - first + 1)
+      (fun k ->
+        let i = first + k in
+        let seg_lo = if i = first then lo else t.bounds.(i - 1) in
+        let seg_hi = if i = last then hi else t.bounds.(i) - 1 in
+        (i, seg_lo, seg_hi))
+  end
+
+let pp fmt t =
+  let n = shards t in
+  Format.fprintf fmt "@[<h>%d shard%s" n (if n = 1 then "" else "s");
+  if n > 1 then begin
+    Format.fprintf fmt " @@ [";
+    Array.iteri
+      (fun i b -> Format.fprintf fmt "%s%d" (if i > 0 then "; " else "") b)
+      t.bounds;
+    Format.fprintf fmt "]"
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,41 @@
+(** Range partitioning of the integer keyspace into [n] shards.
+
+    The map is an explicit boundary table [b_1 < b_2 < ... < b_{n-1}]:
+    shard [0] owns [(-inf, b_1)], shard [i] owns [[b_i, b_{i+1})] and shard
+    [n-1] owns [[b_{n-1}, +inf)].  Every key therefore routes to exactly one
+    shard; routing is a binary search over the boundary table. *)
+
+type t
+
+val create : boundaries:int list -> t
+(** [create ~boundaries] builds a map with [List.length boundaries + 1]
+    shards.  Boundaries must be strictly increasing; raises
+    [Invalid_argument] otherwise.  An empty list is the trivial one-shard
+    map. *)
+
+val uniform : shards:int -> key_space:int -> t
+(** Evenly split [[0, key_space)] into [shards] ranges (boundaries at
+    [i * key_space / shards]); keys outside [[0, key_space)] still route (to
+    the first / last shard).  Raises [Invalid_argument] if [shards < 1] or
+    ([shards > 1] and) [key_space < shards]. *)
+
+val shards : t -> int
+(** Number of shards ([>= 1]). *)
+
+val boundaries : t -> int list
+(** The boundary table, ascending ([shards t - 1] entries). *)
+
+val owner : t -> int -> int
+(** [owner t key] is the index of the unique shard whose range contains
+    [key] — a binary search, O(log shards). *)
+
+val range_of : t -> int -> int option * int option
+(** [range_of t i] is shard [i]'s range as inclusive-exclusive optional
+    bounds [(lo, hi)]: [None] means unbounded on that side. *)
+
+val split : t -> lo:int -> hi:int -> (int * int * int) list
+(** [split t ~lo ~hi] cuts the inclusive key range [[lo, hi]] at shard
+    boundaries: [(shard, lo_i, hi_i)] segments in ascending shard (hence
+    key) order, covering [[lo, hi]] exactly.  Empty if [lo > hi]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,15 +1,17 @@
-(** Database assembly: one object wiring every subsystem together — disk,
-    storage backend, fault controller, buffer pool, log, lock manager,
-    transaction manager, allocator, B+-tree and the concurrent access layer —
-    with the cross-module hooks installed (WAL rule, logical undo, fault
-    injection).  Tests, examples and experiments all start here.
+(** The one-store database: a thin veneer over {!Shard.Store}, which wires
+    every subsystem together — disk, storage backend, fault controller,
+    buffer pool, log, lock manager, transaction manager, allocator, B+-tree
+    and the concurrent access layer — with the cross-module hooks installed
+    (WAL rule, logical undo, fault injection).  Tests, examples and
+    single-tree experiments all start here; sharded assemblies build several
+    {!Shard.Store.t} values directly.
 
     The buffer pool and the log both sit on the database's single
     {!Pager.Fault.t}: arm a plan ([Pager.Fault.arm db.faults plan]) and the
     machine dies — {!Pager.Fault.Crash} — at the scheduled write or force
     boundary; then {!crash_now} makes the crash official and reboots. *)
 
-type t = {
+type t = Shard.Store.t = {
   disk : Pager.Disk.t;  (** the raw in-memory disk (for stats / post-mortems) *)
   backend : Pager.Backend.t;  (** the fault-injecting seam everything I/Os through *)
   faults : Pager.Fault.t;
@@ -25,7 +27,20 @@ type t = {
       (** incrementally-maintained tree health: fed by the pool's dirty
           hook, the allocator's churn notes, the side file's backlog and
           the reorganizer's unit/switch events — see {!Obs.Health} *)
+  shard : int * int;  (** [(0, 1)] here — see {!Shard.Store.t} *)
 }
+
+val assemble :
+  ?faults:Pager.Fault.t ->
+  ?record_locking:bool ->
+  ?shard:int * int ->
+  page_size:int ->
+  leaf_pages:int ->
+  capacity:int option ->
+  mk_tree:(journal:Transact.Journal.t -> alloc:Pager.Alloc.t -> Btree.Tree.t) ->
+  unit ->
+  t
+(** {!Shard.Store.assemble}. *)
 
 val create :
   ?faults:Pager.Fault.t ->

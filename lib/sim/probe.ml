@@ -9,6 +9,25 @@
    counters — totals over all arms, which is the right unit for regression
    tracking (the arms are part of the experiment's work). *)
 
+type shard_arm = {
+  a_shard : int;
+  a_ticks : int;
+  a_io_reads : int;
+  a_io_writes : int;
+  a_io_cost : float;
+  a_lock_acquires : int;
+  a_wal_records : int;
+}
+
+type shard_point = {
+  p_shards : int;
+  p_parallel_makespan : int;
+  p_mixed_ticks : int;
+  p_user_committed : int;
+  p_user_aborted : int;
+  p_arms : shard_arm list;
+}
+
 type sample = {
   disk : Pager.Disk.stats;
   io_cost : float;
@@ -19,6 +38,7 @@ type sample = {
   ticks : int;  (* summed logical clocks *)
   dispatches : int;
   timeseries : Obs.Health.Sampler.snapshot list;
+  shard_sweep : shard_point list;
 }
 
 type parts = {
@@ -28,6 +48,7 @@ type parts = {
   mutable logs : Wal.Log.t list;
   mutable engs : Sched.Engine.t list;
   mutable tseries : Obs.Health.Sampler.snapshot list; (* reversed batches *)
+  mutable sweep : shard_point list; (* reversed *)
 }
 
 let current : parts option ref = ref None
@@ -41,10 +62,19 @@ let note_parts ~disk ~pool ~locks ~log =
     c.lockms <- locks :: c.lockms;
     c.logs <- log :: c.logs
 
+let note_store (st : Shard.Store.t) =
+  note_parts ~disk:st.Shard.Store.disk ~pool:st.Shard.Store.pool ~locks:st.Shard.Store.locks
+    ~log:st.Shard.Store.log
+
 let note_timeseries snaps =
   match !current with
   | None -> ()
   | Some c -> c.tseries <- List.rev_append snaps c.tseries
+
+let note_shard_sweep points =
+  match !current with
+  | None -> ()
+  | Some c -> c.sweep <- List.rev_append points c.sweep
 
 let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
 
@@ -139,20 +169,25 @@ let total c =
     ticks = sum Sched.Engine.now c.engs;
     dispatches = sum Sched.Engine.dispatches c.engs;
     timeseries = List.rev c.tseries;
+    shard_sweep = List.rev c.sweep;
   }
 
 let with_collector f =
   (match !current with
   | Some _ -> invalid_arg "Probe.with_collector: collector already active"
   | None -> ());
-  let c = { disks = []; pools = []; lockms = []; logs = []; engs = []; tseries = [] } in
+  let c =
+    { disks = []; pools = []; lockms = []; logs = []; engs = []; tseries = []; sweep = [] }
+  in
   current := Some c;
   (* Register by id so hooks installed by anyone else stay in place. *)
   let hook = Sched.Engine.add_create_hook (fun e -> c.engs <- e :: c.engs) in
+  let store_hook = Shard.Store.add_assemble_hook note_store in
   Fun.protect
     ~finally:(fun () ->
       current := None;
-      Sched.Engine.remove_create_hook hook)
+      Sched.Engine.remove_create_hook hook;
+      Shard.Store.remove_assemble_hook store_hook)
     (fun () ->
       let r = f () in
       (r, total c))

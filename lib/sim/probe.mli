@@ -14,6 +14,28 @@
     themselves still do not nest; only the benchmark harness should use
     this. *)
 
+type shard_arm = {
+  a_shard : int;  (** shard index within its sweep point *)
+  a_ticks : int;  (** that shard's final engine clock (parallel phase) *)
+  a_io_reads : int;
+  a_io_writes : int;
+  a_io_cost : float;
+  a_lock_acquires : int;
+  a_wal_records : int;
+}
+(** Per-shard counter block of one shard-sweep configuration. *)
+
+type shard_point = {
+  p_shards : int;  (** shard count of this sweep point; [List.length p_arms] *)
+  p_parallel_makespan : int;  (** max per-shard clock — the scaling figure *)
+  p_mixed_ticks : int;  (** single-engine clock of the contended phase *)
+  p_user_committed : int;
+  p_user_aborted : int;
+  p_arms : shard_arm list;
+}
+(** One configuration of the shard-count sweep; totals in the benchmark
+    JSON are computed as sums over [p_arms]. *)
+
 type sample = {
   disk : Pager.Disk.stats;  (** summed over every disk assembled *)
   io_cost : float;  (** {!Pager.Disk.io_cost} of the summed stats, default cost model *)
@@ -24,6 +46,7 @@ type sample = {
   ticks : int;  (** summed final logical clocks *)
   dispatches : int;
   timeseries : Obs.Health.Sampler.snapshot list;  (** health samples reported via {!note_timeseries} *)
+  shard_sweep : shard_point list;  (** sweep points reported via {!note_shard_sweep} *)
 }
 
 val with_collector : (unit -> 'a) -> 'a * sample
@@ -32,9 +55,18 @@ val with_collector : (unit -> 'a) -> 'a * sample
 
 val note_parts :
   disk:Pager.Disk.t -> pool:Pager.Buffer_pool.t -> locks:Lockmgr.Lock_mgr.t -> log:Wal.Log.t -> unit
-(** Called by {!Db.assemble}; a no-op when no collector is active. *)
+(** Report one component set; a no-op when no collector is active.  While a
+    collector is active, a {!Shard.Store.add_assemble_hook} registration
+    feeds every assembled store here automatically — experiments never call
+    this themselves. *)
 
 val note_timeseries : Obs.Health.Sampler.snapshot list -> unit
 (** Report health time-series snapshots for the current experiment (appended
     in call order); a no-op when no collector is active.  They surface as
     the [timeseries] array of the schema-v2 benchmark baseline. *)
+
+val note_shard_sweep : shard_point list -> unit
+(** Report shard-count sweep points for the current experiment (appended in
+    call order); a no-op when no collector is active.  They surface as the
+    [shard_sweep] array — with per-shard counter blocks — of the schema-v3
+    benchmark baseline. *)

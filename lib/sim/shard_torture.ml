@@ -1,0 +1,278 @@
+(* Cross-shard crash/recovery torture: the sharded analogue of {!Torture}.
+
+   One seeded workload — every shard's reorganizer plus [users] clients
+   issuing cross-shard multi-insert transactions through the router — is
+   replayed once per crashable I/O boundary (every page write and every
+   advancing log force across the whole machine, the shards share one fault
+   controller).  Each replay crashes the machine at its boundary, recovers
+   every shard independently, resumes the interrupted reorganizations, and
+   verifies:
+
+   - per-shard B+tree invariants and merged key order;
+   - the base (even-key) records survive exactly;
+   - every odd record matches an attempted insert (no phantoms);
+   - {e acked transactions are all-or-nothing}: a transaction acknowledged
+     before the crash has every one of its keys present — across all the
+     shards it wrote.  Crashing between the first and last shard's commit
+     record must therefore never strand an acked transaction half-applied
+     (unacked transactions may legitimately commit a prefix of shards);
+   - no reorganization unit in any shard's stable log is begun but
+     unfinished. *)
+
+module Engine = Sched.Engine
+module Store = Shard.Store
+module Shard_map = Shard.Shard_map
+module Coordinator = Shard.Coordinator
+module Router = Shard.Router
+module Record = Wal.Record
+
+exception Failed of string
+
+type report = {
+  write_boundaries : int;
+  force_boundaries : int;
+  points : int;
+  crashes : int;
+  torn_writes : int;
+  torn_tails : int;
+  units_finished : int;
+  torn_repaired : int;
+  survivors : int;
+  acked_txns : int;  (** acked cross-shard transactions verified all-or-nothing *)
+}
+
+let unfinished_units (st : Store.t) =
+  let open_ = Hashtbl.create 4 in
+  Wal.Log.iter st.Store.log (fun _ body ->
+      match body with
+      | Record.Reorg_begin { unit_id; _ } -> Hashtbl.replace open_ unit_id ()
+      | Record.Reorg_end { unit_id; _ } -> Hashtbl.remove open_ unit_id
+      | _ -> ());
+  Hashtbl.fold (fun u () acc -> u :: acc) open_ []
+
+(* An odd key inside shard [i]'s range, chosen by [draw].  The uniform maps
+   built by {!Sharded.thinned} bound every shard inside [0, key_space). *)
+let odd_key_in map ~key_space i draw =
+  let lo, hi = Shard_map.range_of map i in
+  let lo = max 0 (Option.value lo ~default:0) in
+  let hi = min key_space (Option.value hi ~default:key_space) in
+  let first = if lo land 1 = 1 then lo else lo + 1 in
+  let count = (hi - first + 1) / 2 in
+  if count <= 0 then None else Some (first + (2 * (draw mod count)))
+
+let verify t ~base ~attempted ~acked =
+  (try Sharded.check_invariants t
+   with Btree.Invariant.Violation msg -> raise (Failed ("invariant: " ^ msg)));
+  let contents = Sharded.contents t in
+  let rec unordered = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a >= b || unordered rest
+    | _ -> false
+  in
+  if unordered contents then raise (Failed "duplicate or out-of-order merged keys");
+  let evens, odds = List.partition (fun (k, _) -> k land 1 = 0) contents in
+  if evens <> base then raise (Failed "base records lost, changed or duplicated");
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt attempted k with
+      | Some v' when String.equal v v' -> ()
+      | Some _ -> raise (Failed (Printf.sprintf "user record %d has a wrong payload" k))
+      | None -> raise (Failed (Printf.sprintf "phantom record %d" k)))
+    odds;
+  (* The all-or-nothing clause: every key of every acked transaction. *)
+  List.iter
+    (fun group ->
+      List.iter
+        (fun (k, v) ->
+          match List.assoc_opt k odds with
+          | Some v' when String.equal v v' -> ()
+          | _ ->
+            raise
+              (Failed
+                 (Printf.sprintf
+                    "acked cross-shard txn lost key %d (group of %d): not all-or-nothing" k
+                    (List.length group))))
+        group)
+    acked;
+  Array.iter
+    (fun (st : Store.t) ->
+      match unfinished_units st with
+      | [] -> ()
+      | us ->
+        let i, _ = st.Store.shard in
+        raise
+          (Failed
+             (Printf.sprintf "shard %d: %d reorganization unit(s) begun but never finished"
+                i (List.length us))))
+    t.Sharded.stores
+
+let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512) ?(n = 300)
+    ?(shards = 3) ?(users = 3) ?(xspan = 2) ?(survive = 0.45) ~seed ~stride () =
+  if stride < 1 then invalid_arg "Shard_torture.run: stride must be >= 1";
+  if xspan < 1 then invalid_arg "Shard_torture.run: xspan must be >= 1";
+  let faults = Pager.Fault.create () in
+  (match registry with Some reg -> Pager.Fault.register_obs faults reg | None -> ());
+  let key_space = 2 * n in
+  let units_finished = ref 0 in
+  let torn_repaired = ref 0 in
+  let survivors = ref 0 in
+  let points = ref 0 in
+  let acked_total = ref 0 in
+
+  let build () =
+    Sharded.thinned ~faults ~page_size ~capacity:48 ~seed ~n ~survive ~shards ()
+  in
+
+  (* The seeded workload: [shards] reorganizers and [users] clients on one
+     engine.  Each client operation is one cross-shard transaction inserting
+     [xspan] odd keys in [xspan] distinct shards (when available), committed
+     through the shard-ordered protocol.  [attempted] is filled before the
+     first insert, [acked] only once commit returned. *)
+  let workload (t : Sharded.t) attempted acked =
+    let nshards = Sharded.shards t in
+    let eng = Engine.create () in
+    let done_ = ref 0 in
+    for i = 0 to nshards - 1 do
+      let st = t.Sharded.stores.(i) in
+      let ctx =
+        Reorg.Ctx.make ?registry ?tracer ~shard:(i, nshards) ~access:st.Store.access
+          ~config ()
+      in
+      if i = 0 then begin
+        Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
+        Array.iter (fun s -> Store.set_tracers s ctx.Reorg.Ctx.tracer) t.Sharded.stores
+      end;
+      Engine.spawn eng ~name:(Printf.sprintf "reorganizer-%d" i) (fun () ->
+          ignore (Reorg.Driver.run ctx);
+          incr done_)
+    done;
+    for u = 0 to users - 1 do
+      Engine.spawn eng ~name:(Printf.sprintf "xuser-%d" u) (fun () ->
+          let rng = Util.Rng.create (seed + (101 * u) + 17) in
+          while !done_ < nshards do
+            let span = min xspan nshards in
+            (* [span] distinct shards, then one fresh odd key in each. *)
+            let picked = ref [] in
+            while List.length !picked < span do
+              let s = Util.Rng.int rng nshards in
+              if not (List.mem s !picked) then picked := s :: !picked
+            done;
+            let group =
+              List.filter_map
+                (fun s ->
+                  match odd_key_in t.Sharded.map ~key_space s (Util.Rng.int rng 100_000) with
+                  | Some k when not (Hashtbl.mem attempted k) ->
+                    Some (k, Store.payload_for k)
+                  | _ -> None)
+                (List.sort compare !picked)
+            in
+            if group <> [] then begin
+              (* No yield between these marks and the first insert below, so
+                 no other user can pick the same keys in between. *)
+              List.iter (fun (k, v) -> Hashtbl.replace attempted k v) group;
+              let x = Coordinator.begin_x t.Sharded.coord in
+              (try
+                 List.iter
+                   (fun (k, v) -> Router.insert t.Sharded.router x ~key:k ~payload:v)
+                   group;
+                 Coordinator.commit t.Sharded.coord x;
+                 acked := group :: !acked
+               with Transact.Lock_client.Deadlock_victim ->
+                 Coordinator.abort t.Sharded.coord x)
+            end;
+            Engine.sleep 3
+          done)
+    done;
+    Engine.run eng;
+    Sharded.flush_all t
+  in
+
+  let cycle plan label =
+    incr points;
+    let t, base = build () in
+    let attempted = Hashtbl.create 31 in
+    let acked = ref [] in
+    Pager.Fault.arm faults plan;
+    let crashed =
+      try
+        workload t attempted acked;
+        Pager.Fault.disarm faults;
+        false
+      with Pager.Fault.Crash -> true
+    in
+    match
+      if crashed then begin
+        Sharded.crash_now t;
+        let recovered = Sharded.recover ?registry ?tracer ~config t in
+        Array.iter
+          (fun (_, (o : Reorg.Recovery.outcome)) ->
+            units_finished := !units_finished + o.Reorg.Recovery.units_finished;
+            torn_repaired := !torn_repaired + o.Reorg.Recovery.torn_pages)
+          recovered;
+        Sharded.resume_after_recovery t recovered
+      end
+      else incr survivors;
+      acked_total := !acked_total + List.length !acked;
+      verify t ~base ~attempted ~acked:!acked
+    with
+    | () -> ()
+    | exception Failed msg -> raise (Failed (label ^ ": " ^ msg))
+    | exception e -> raise (Failed (label ^ ": " ^ Printexc.to_string e))
+  in
+
+  (* Fault-free dry run: the crashable boundary space is every page write on
+     any shard's disk plus every advancing force of any shard's log. *)
+  let write_boundaries, force_boundaries =
+    let t, _ = build () in
+    let writes () =
+      Array.fold_left
+        (fun acc (st : Store.t) -> acc + (Pager.Disk.stats st.Store.disk).Pager.Disk.writes)
+        0 t.Sharded.stores
+    in
+    let forces () =
+      Array.fold_left
+        (fun acc (st : Store.t) -> acc + (Wal.Log.stats st.Store.log).Wal.Log.forced)
+        0 t.Sharded.stores
+    in
+    let w0 = writes () and f0 = forces () in
+    workload t (Hashtbl.create 31) (ref []);
+    (writes () - w0, forces () - f0)
+  in
+
+  let k = ref 1 in
+  while !k <= write_boundaries do
+    let prng = Util.Rng.create (seed + (7919 * !k)) in
+    cycle
+      {
+        Pager.Fault.no_faults with
+        crash_after_writes = Some !k;
+        torn_write = Util.Rng.bool prng;
+        seed = seed + !k;
+      }
+      (Printf.sprintf "write-%d" !k);
+    k := !k + stride
+  done;
+  let j = ref 1 in
+  while !j <= force_boundaries do
+    let prng = Util.Rng.create (seed + (104729 * !j)) in
+    cycle
+      {
+        Pager.Fault.no_faults with
+        crash_after_forces = Some !j;
+        torn_tail = Util.Rng.bool prng;
+        seed = seed + (2 * !j) + 1;
+      }
+      (Printf.sprintf "force-%d" !j);
+    j := !j + stride
+  done;
+  {
+    write_boundaries;
+    force_boundaries;
+    points = !points;
+    crashes = Pager.Fault.crashes faults;
+    torn_writes = Pager.Fault.torn_writes faults;
+    torn_tails = Pager.Fault.torn_tails faults;
+    units_finished = !units_finished;
+    torn_repaired = !torn_repaired;
+    survivors = !survivors;
+    acked_txns = !acked_total;
+  }

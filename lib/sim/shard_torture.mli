@@ -1,0 +1,61 @@
+(** Cross-shard crash/recovery torture: the sharded analogue of {!Torture}.
+
+    The coordinator's claim — commit records written to every written
+    shard's WAL in ascending shard order, acknowledgement only after the
+    last force, hence {e acked transactions are all-or-nothing across
+    shards} — is only believable if it holds at every I/O boundary,
+    including the ones {e between} the first and the last shard's commit
+    record.  {!run} makes that systematic: a fault-free dry run of a seeded
+    workload ([shards] concurrent reorganizers plus cross-shard multi-insert
+    client transactions through the router) counts the machine's page-write
+    and log-force boundaries; then, for every boundary in turn (or every
+    [stride]-th), a fresh identical sharded assembly is built, the shared
+    fault controller is armed to kill the machine exactly there — sometimes
+    tearing the final page write or a WAL tail — and after
+    {!Sharded.crash_now} + independent per-shard recovery + resumed
+    reorganizations the harness asserts:
+
+    - every shard's structural B+-tree invariant, and global key order of
+      the merged contents;
+    - no base record lost, changed or duplicated; no phantom user record;
+    - {b all-or-nothing}: every key of every {e acked} cross-shard
+      transaction is present (unacked transactions may commit a prefix of
+      their shards — the client was never told they committed);
+    - every reorganization unit begun in any shard's stable log was
+      finished forward.
+
+    Any violation raises {!Failed} naming the crash point. *)
+
+exception Failed of string
+
+type report = {
+  write_boundaries : int;
+  force_boundaries : int;
+  points : int;  (** crash points exercised (plus the dry run) *)
+  crashes : int;
+  torn_writes : int;
+  torn_tails : int;
+  units_finished : int;  (** interrupted reorg units finished forward, summed *)
+  torn_repaired : int;
+  survivors : int;  (** cycles whose plan never tripped *)
+  acked_txns : int;  (** acked cross-shard transactions verified all-or-nothing *)
+}
+
+val run :
+  ?registry:Obs.Registry.t ->
+  ?tracer:Obs.Trace.t ->
+  ?config:Reorg.Config.t ->
+  ?page_size:int ->
+  ?n:int ->
+  ?shards:int ->
+  ?users:int ->
+  ?xspan:int ->
+  ?survive:float ->
+  seed:int ->
+  stride:int ->
+  unit ->
+  report
+(** Sweep every [stride]-th write boundary and every [stride]-th force
+    boundary of the seeded workload.  [n] base records (default 300) over
+    [shards] shards (default 3); [users] clients (default 3) each issuing
+    transactions spanning [xspan] distinct shards (default 2). *)

@@ -4,16 +4,22 @@ module Record = Wal.Record
 type t = {
   journal : Journal.t;
   locks : Lockmgr.Lock_mgr.t;
+  first_id : int;
+  id_stride : int;
   mutable next_id : int;
   active : (int, Txn.t) Hashtbl.t;
   mutable logical_undo : Txn.t -> Record.clr_action -> unit;
 }
 
-let create journal locks =
+let create ?(first_id = 1) ?(id_stride = 1) journal locks =
+  if id_stride < 1 then invalid_arg "Txn_mgr.create: id_stride must be >= 1";
+  if first_id < 1 then invalid_arg "Txn_mgr.create: first_id must be >= 1";
   {
     journal;
     locks;
-    next_id = 1;
+    first_id;
+    id_stride;
+    next_id = first_id;
     active = Hashtbl.create 16;
     logical_undo = (fun _ _ -> failwith "Txn_mgr: no logical undo handler installed");
   }
@@ -23,13 +29,22 @@ let lock_mgr t = t.locks
 
 let fresh_owner t =
   let id = t.next_id in
-  t.next_id <- id + 1;
+  t.next_id <- id + t.id_stride;
   Txn.make id
+
+let adopt t tx =
+  if Hashtbl.mem t.active tx.Txn.id then invalid_arg "Txn_mgr.adopt: id already active";
+  tx.Txn.last_lsn <- Log.append (Journal.log t.journal) (Record.Txn_begin tx.Txn.id);
+  Hashtbl.replace t.active tx.Txn.id tx
 
 let begin_txn t =
   let tx = fresh_owner t in
-  tx.Txn.last_lsn <- Log.append (Journal.log t.journal) (Record.Txn_begin tx.Txn.id);
-  Hashtbl.replace t.active tx.Txn.id tx;
+  adopt t tx;
+  tx
+
+let begin_with_id t id =
+  let tx = Txn.make id in
+  adopt t tx;
   tx
 
 let set_logical_undo t f = t.logical_undo <- f
@@ -106,7 +121,14 @@ let active_txns t = Hashtbl.fold (fun id tx acc -> (id, tx.Txn.last_lsn) :: acc)
 
 let find_active t id = Hashtbl.find_opt t.active id
 
-let ensure_next_id t n = if n > t.next_id then t.next_id <- n
+(* Round [n] up onto this manager's id lattice (first_id + k*id_stride) so
+   recovery advancing past ids seen in the log — which may belong to other
+   shards' lattices — never knocks this shard off its own residue class. *)
+let ensure_next_id t n =
+  if n > t.next_id then begin
+    let k = (n - t.first_id + t.id_stride - 1) / t.id_stride in
+    t.next_id <- t.first_id + (t.id_stride * max 0 k)
+  end
 
 let clear_active t = Hashtbl.reset t.active
 

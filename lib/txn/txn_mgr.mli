@@ -11,7 +11,11 @@
 
 type t
 
-val create : Journal.t -> Lockmgr.Lock_mgr.t -> t
+val create : ?first_id:int -> ?id_stride:int -> Journal.t -> Lockmgr.Lock_mgr.t -> t
+(** [first_id] / [id_stride] (defaults 1 / 1) put every owner id this manager
+    mints on the lattice [first_id + k * id_stride].  Shard [i] of [n] uses
+    [~first_id:(i + 1) ~id_stride:n], making owner ids globally disjoint
+    across shards: each shard owns one residue class mod [n]. *)
 
 val journal : t -> Journal.t
 val lock_mgr : t -> Lockmgr.Lock_mgr.t
@@ -22,6 +26,20 @@ val fresh_owner : t -> Txn.t
 
 val begin_txn : t -> Txn.t
 (** Logs [Txn_begin] and registers the transaction as active. *)
+
+val adopt : t -> Txn.t -> unit
+(** Log [Txn_begin] for a caller-made handle and register it active — the
+    lazy upgrade of a cross-shard transaction's read-only presence in a
+    shard to a writing one (the handle already holds locks under its id).
+    Raises [Invalid_argument] if the id is already active here. *)
+
+val begin_with_id : t -> int -> Txn.t
+(** Like {!begin_txn} but with a caller-supplied id: a cross-shard
+    coordinator mints one global id and begins a local transaction under it
+    in every shard it touches, so all of a distributed transaction's locks
+    and log records share a single identity.  The id must come from a
+    lattice disjoint from this manager's own (see {!create}); beginning an
+    id that is already active here is an error. *)
 
 val commit : t -> Txn.t -> unit
 (** Log [Txn_commit], force the log, release all locks. *)
@@ -41,7 +59,9 @@ val find_active : t -> int -> Txn.t option
 
 val ensure_next_id : t -> int -> unit
 (** Make sure future owner ids are at least this (restart runs this with the
-    max id seen in the log, so recovered and new actors never collide). *)
+    max id seen in the log, so recovered and new actors never collide).  The
+    bound is rounded up onto this manager's [first_id]/[id_stride] lattice,
+    preserving cross-shard disjointness. *)
 
 val clear_active : t -> unit
 (** Forget all in-memory transaction state (crash simulation). *)

@@ -57,12 +57,14 @@ let pick_op rng mix =
   else if x < mix.insert_pct +. mix.delete_pct +. mix.range_pct then Range
   else Read
 
-let spawn_users eng ~access ~seed ~users ~ops_per_user ?(think = 1)
-    ?(start = fun () -> true) ?(stop = fun () -> false) ?(key_space = 4096) ~mix () =
-  let stats = create_stats () in
-  let mgr = Access.mgr access in
+(* The user-process skeleton shared by every client flavor: one process per
+   user, a per-user rng on a fixed lattice (so adding users never changes
+   the streams of existing ones), a start barrier, and a stop predicate
+   checked between operations.  [body ~user ~rng] runs one operation. *)
+let spawn_loop eng ~name_prefix ~seed ~users ~ops_per_user ?(think = 1)
+    ?(start = fun () -> true) ?(stop = fun () -> false) body =
   for u = 0 to users - 1 do
-    Engine.spawn eng ~name:(Printf.sprintf "user-%d" u) (fun () ->
+    Engine.spawn eng ~name:(Printf.sprintf "%s-%d" name_prefix u) (fun () ->
         let rng = Util.Rng.create (seed + (u * 7919)) in
         while not (start ()) && not (stop ()) do
           Engine.sleep 1
@@ -70,48 +72,105 @@ let spawn_users eng ~access ~seed ~users ~ops_per_user ?(think = 1)
         let ops = ref 0 in
         while !ops < ops_per_user && not (stop ()) do
           incr ops;
-          let op = pick_op rng mix in
-          let started = Engine.current_time () in
-          let tx =
-            match op with
-            | Read | Range -> Txn_mgr.fresh_owner mgr
-            | Insert | Delete -> Txn_mgr.begin_txn mgr
-          in
-          (try
-             (match op with
-             | Read ->
-               let k = 2 * Util.Rng.int rng key_space in
-               ignore (Access.read access ~txn:tx k);
-               stats.reads <- stats.reads + 1;
-               Txn_mgr.finish_read_only mgr tx
-             | Range ->
-               let lo = 2 * Util.Rng.int rng key_space in
-               ignore (Access.range_read access ~txn:tx ~lo ~hi:(lo + mix.range_width));
-               stats.range_scans <- stats.range_scans + 1;
-               Txn_mgr.finish_read_only mgr tx
-             | Insert ->
-               let k = (2 * Util.Rng.int rng key_space) + 1 in
-               (try Access.insert access ~txn:tx ~key:k ~payload:(Sparse.payload k)
-                with Tree.Duplicate_key _ -> ());
-               stats.inserts <- stats.inserts + 1;
-               Txn_mgr.commit mgr tx
-             | Delete ->
-               let k = 2 * Util.Rng.int rng key_space in
-               ignore (Access.delete access ~txn:tx k);
-               stats.deletes <- stats.deletes + 1;
-               Txn_mgr.commit mgr tx);
-             stats.committed <- stats.committed + 1;
-             let took = Engine.current_time () - started in
-             stats.op_ticks <- stats.op_ticks + took;
-             if took > stats.max_op_ticks then stats.max_op_ticks <- took
-           with Lock_client.Deadlock_victim ->
-             stats.aborted <- stats.aborted + 1;
-             (match op with
-             | Read | Range -> Txn_mgr.finish_read_only mgr tx
-             | Insert | Delete -> Txn_mgr.abort mgr tx));
-          stats.give_ups <- stats.give_ups + tx.Transact.Txn.gave_up;
-          stats.blocked_ticks <- stats.blocked_ticks + tx.Transact.Txn.blocked_ticks;
+          body ~user:u ~rng;
           if think > 0 then Engine.sleep think else Engine.yield ()
         done)
-  done;
+  done
+
+let spawn_users eng ~access ~seed ~users ~ops_per_user ?think ?start ?stop
+    ?(key_space = 4096) ~mix () =
+  let stats = create_stats () in
+  let mgr = Access.mgr access in
+  spawn_loop eng ~name_prefix:"user" ~seed ~users ~ops_per_user ?think ?start ?stop
+    (fun ~user:_ ~rng ->
+      let op = pick_op rng mix in
+      let started = Engine.current_time () in
+      let tx =
+        match op with
+        | Read | Range -> Txn_mgr.fresh_owner mgr
+        | Insert | Delete -> Txn_mgr.begin_txn mgr
+      in
+      (try
+         (match op with
+         | Read ->
+           let k = 2 * Util.Rng.int rng key_space in
+           ignore (Access.read access ~txn:tx k);
+           stats.reads <- stats.reads + 1;
+           Txn_mgr.finish_read_only mgr tx
+         | Range ->
+           let lo = 2 * Util.Rng.int rng key_space in
+           ignore (Access.range_read access ~txn:tx ~lo ~hi:(lo + mix.range_width));
+           stats.range_scans <- stats.range_scans + 1;
+           Txn_mgr.finish_read_only mgr tx
+         | Insert ->
+           let k = (2 * Util.Rng.int rng key_space) + 1 in
+           (try Access.insert access ~txn:tx ~key:k ~payload:(Sparse.payload k)
+            with Tree.Duplicate_key _ -> ());
+           stats.inserts <- stats.inserts + 1;
+           Txn_mgr.commit mgr tx
+         | Delete ->
+           let k = 2 * Util.Rng.int rng key_space in
+           ignore (Access.delete access ~txn:tx k);
+           stats.deletes <- stats.deletes + 1;
+           Txn_mgr.commit mgr tx);
+         stats.committed <- stats.committed + 1;
+         let took = Engine.current_time () - started in
+         stats.op_ticks <- stats.op_ticks + took;
+         if took > stats.max_op_ticks then stats.max_op_ticks <- took
+       with Lock_client.Deadlock_victim ->
+         stats.aborted <- stats.aborted + 1;
+         (match op with
+         | Read | Range -> Txn_mgr.finish_read_only mgr tx
+         | Insert | Delete -> Txn_mgr.abort mgr tx));
+      stats.give_ups <- stats.give_ups + tx.Transact.Txn.gave_up;
+      stats.blocked_ticks <- stats.blocked_ticks + tx.Transact.Txn.blocked_ticks);
+  stats
+
+(* Cross-shard clients: same skeleton, but every operation is a
+   [Shard.Coordinator] transaction through the router.  Writes touch
+   [xspan] random keys in one transaction, so most write transactions span
+   several shards and exercise the shard-ordered commit protocol; range
+   scans use the stitched cursor and so cross boundaries naturally. *)
+let spawn_cross_users eng ~router ~seed ~users ~ops_per_user ?think ?start ?stop
+    ?(key_space = 4096) ?(xspan = 2) ~mix () =
+  let stats = create_stats () in
+  let coord = Shard.Router.coordinator router in
+  spawn_loop eng ~name_prefix:"xuser" ~seed ~users ~ops_per_user ?think ?start ?stop
+    (fun ~user:_ ~rng ->
+      let op = pick_op rng mix in
+      let started = Engine.current_time () in
+      let x = Shard.Coordinator.begin_x coord in
+      (try
+         (match op with
+         | Read ->
+           let k = 2 * Util.Rng.int rng key_space in
+           ignore (Shard.Router.read router x k);
+           stats.reads <- stats.reads + 1
+         | Range ->
+           let lo = 2 * Util.Rng.int rng key_space in
+           ignore (Shard.Router.range_read router x ~lo ~hi:(lo + mix.range_width));
+           stats.range_scans <- stats.range_scans + 1
+         | Insert ->
+           for _ = 1 to xspan do
+             let k = (2 * Util.Rng.int rng key_space) + 1 in
+             try Shard.Router.insert router x ~key:k ~payload:(Sparse.payload k)
+             with Tree.Duplicate_key _ -> ()
+           done;
+           stats.inserts <- stats.inserts + 1
+         | Delete ->
+           for _ = 1 to xspan do
+             let k = 2 * Util.Rng.int rng key_space in
+             ignore (Shard.Router.delete router x k)
+           done;
+           stats.deletes <- stats.deletes + 1);
+         Shard.Coordinator.commit coord x;
+         stats.committed <- stats.committed + 1;
+         let took = Engine.current_time () - started in
+         stats.op_ticks <- stats.op_ticks + took;
+         if took > stats.max_op_ticks then stats.max_op_ticks <- took
+       with Lock_client.Deadlock_victim ->
+         stats.aborted <- stats.aborted + 1;
+         Shard.Coordinator.abort coord x);
+      stats.give_ups <- stats.give_ups + Shard.Coordinator.give_ups x;
+      stats.blocked_ticks <- stats.blocked_ticks + Shard.Coordinator.blocked_ticks x);
   stats

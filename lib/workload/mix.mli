@@ -39,6 +39,23 @@ type stats = {
 
 val create_stats : unit -> stats
 
+val spawn_loop :
+  Sched.Engine.t ->
+  name_prefix:string ->
+  seed:int ->
+  users:int ->
+  ops_per_user:int ->
+  ?think:int ->
+  ?start:(unit -> bool) ->
+  ?stop:(unit -> bool) ->
+  (user:int -> rng:Util.Rng.t -> unit) ->
+  unit
+(** The user-process skeleton every client flavor shares: one process per
+    user with its own seeded rng (on a fixed lattice, so adding users never
+    perturbs existing streams), a start barrier, a stop predicate checked
+    between operations, and a think-time sleep (default 1 tick) after each.
+    [body ~user ~rng] runs one operation. *)
+
 val spawn_users :
   Sched.Engine.t ->
   access:Btree.Access.t ->
@@ -56,3 +73,24 @@ val spawn_users :
     it) and returns the shared stats they fill in.  [key_space] bounds the
     keys drawn (default 4096); existing keys are assumed even (the
     convention of the workload generators), inserts draw odd keys. *)
+
+val spawn_cross_users :
+  Sched.Engine.t ->
+  router:Shard.Router.t ->
+  seed:int ->
+  users:int ->
+  ops_per_user:int ->
+  ?think:int ->
+  ?start:(unit -> bool) ->
+  ?stop:(unit -> bool) ->
+  ?key_space:int ->
+  ?xspan:int ->
+  mix:mix ->
+  unit ->
+  stats
+(** Like {!spawn_users}, but every operation is one {!Shard.Coordinator}
+    transaction issued through the router: point ops route to the owning
+    shard, range scans stitch across boundaries, and each write transaction
+    touches [xspan] (default 2) random keys so most of them span shards and
+    commit through the shard-ordered protocol.  [aborted] counts deadlock
+    victims across the whole assembly. *)

@@ -191,24 +191,25 @@ let test_probe_does_not_clobber_hooks () =
   ignore (Engine.create ());
   Alcotest.(check int) "removed hook stops firing" 3 !foreign
 
-let test_legacy_set_create_hook () =
+let test_hooks_compose_and_remove_independently () =
   let a = ref 0 and b = ref 0 in
-  let id = Engine.add_create_hook (fun _ -> incr a) in
+  let ida = Engine.add_create_hook (fun _ -> incr a) in
+  let idb = Engine.add_create_hook (fun _ -> incr b) in
   Fun.protect
     ~finally:(fun () ->
-      Engine.remove_create_hook id;
-      Engine.set_create_hook None)
+      Engine.remove_create_hook ida;
+      Engine.remove_create_hook idb)
     (fun () ->
-      Engine.set_create_hook (Some (fun _ -> incr b));
       ignore (Engine.create ());
       Alcotest.(check (pair int int)) "both fire" (1, 1) (!a, !b);
-      (* Replacing the legacy slot leaves composable hooks alone. *)
-      Engine.set_create_hook (Some (fun _ -> b := !b + 10));
+      (* Removing one registration leaves the other alone. *)
+      Engine.remove_create_hook idb;
       ignore (Engine.create ());
-      Alcotest.(check (pair int int)) "replaced slot" (2, 11) (!a, !b);
-      Engine.set_create_hook None;
+      Alcotest.(check (pair int int)) "removed hook stops, other stays" (2, 1) (!a, !b);
+      (* Double-removal of an already removed id is a no-op. *)
+      Engine.remove_create_hook idb;
       ignore (Engine.create ());
-      Alcotest.(check (pair int int)) "legacy removed, added stays" (3, 11) (!a, !b))
+      Alcotest.(check (pair int int)) "idempotent removal" (3, 1) (!a, !b))
 
 (* Two databases in one process: each keeps its own working health tracker
    (the per-pool dirty hooks must not interfere). *)
@@ -316,7 +317,8 @@ let () =
         [
           Alcotest.test_case "probe does not clobber hooks" `Quick
             test_probe_does_not_clobber_hooks;
-          Alcotest.test_case "legacy set_create_hook" `Quick test_legacy_set_create_hook;
+          Alcotest.test_case "hooks compose and remove independently" `Quick
+            test_hooks_compose_and_remove_independently;
           Alcotest.test_case "two dbs track independently" `Quick
             test_two_dbs_track_independently;
         ] );
