@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json health shard torture clean
+.PHONY: all build test check bench bench-json health shard torture model clean
 
 all: build
 
@@ -41,6 +41,15 @@ torture:
 	dune exec bin/reorg_cli.exe -- torture --seed 23 --stride 1 -n 120
 	dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 1 -n 120
 	dune exec bin/reorg_cli.exe -- torture --seed 7 --stride 17 --users 2
+
+# Protocol-model conformance: replay the seeded workloads and the stride-1
+# crash sweep through the lib/model state machines, then prove the checker
+# bites by running both mutation self-tests (which must exit 2).
+model:
+	dune exec bin/reorg_cli.exe -- model --seeds 11,23,42 --experiments workload
+	dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture,shard --stride 1 -n 120
+	dune exec bin/reorg_cli.exe -- model --mutate table1; test $$? -eq 2
+	dune exec bin/reorg_cli.exe -- model --mutate switch; test $$? -eq 2
 
 clean:
 	dune clean

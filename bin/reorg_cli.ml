@@ -343,6 +343,64 @@ let workload users mix_name records seed shards trace metrics health =
   check_invariants db
   end
 
+
+(* Model conformance: replay the seeded workloads and crash sweeps through
+   the protocol models (lib/model), or run a mutation self-test that proves
+   the checker catches a deliberately broken protocol.  Exit code 2 whenever
+   a violation is reported — which is the EXPECTED outcome of the mutation
+   runs (CI asserts it). *)
+let model seeds experiments stride records mutate =
+  setup_logs ();
+  let split s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+  match mutate with
+  | "none" ->
+    let seeds =
+      try List.map int_of_string (split seeds)
+      with Failure _ ->
+        Printf.eprintf "model: --seeds wants a comma-separated list of integers\n";
+        exit 1
+    in
+    let summaries =
+      List.concat_map
+        (fun exp ->
+          match exp with
+          | "workload" -> List.map (fun seed -> Sim.Conformance.workload ~seed) seeds
+          | "torture" ->
+            List.map
+              (fun seed -> Sim.Conformance.torture ~n:records ~seed ~stride ~users:2 ())
+              seeds
+          | "shard" ->
+            List.map (fun seed -> Sim.Conformance.shard_torture ~n:records ~seed ~stride ()) seeds
+          | other ->
+            Printf.eprintf
+              "model: unknown experiment %S (want workload, torture and/or shard)\n" other;
+            exit 1)
+        (split experiments)
+    in
+    List.iter (fun s -> print_endline (Sim.Conformance.to_string s)) summaries;
+    let bad = List.filter (fun s -> not (Sim.Conformance.ok s)) summaries in
+    if bad <> [] then begin
+      Printf.eprintf "model conformance FAILED in %d run(s)\n" (List.length bad);
+      exit 2
+    end;
+    Printf.printf "model conformance OK (%d run(s))\n" (List.length summaries)
+  | ("table1" | "switch") as which ->
+    let s =
+      if which = "table1" then Sim.Conformance.mutate_table1 ()
+      else Sim.Conformance.mutate_switch ()
+    in
+    print_endline (Sim.Conformance.to_string s);
+    if Sim.Conformance.ok s then begin
+      Printf.eprintf "mutation self-test FAILED: the checker missed the broken %s protocol\n"
+        which;
+      exit 1
+    end;
+    print_endline "mutation caught by the checker (exit 2, as the self-test expects)";
+    exit 2
+  | other ->
+    Printf.eprintf "model: unknown --mutate %S (want none, table1 or switch)\n" other;
+    exit 1
+
 (* ------------- command wiring ------------- *)
 
 let demo_cmd =
@@ -419,6 +477,47 @@ let workload_cmd =
       const workload $ users_t $ mix_t $ records_t $ seed_t $ shards_t $ trace_t $ metrics_t
       $ health_t)
 
+
+let model_cmd =
+  let seeds_t =
+    Arg.(
+      value
+      & opt string "11,23,42"
+      & info [ "seeds" ] ~docv:"S1,S2,.." ~doc:"Seeds for the conformance runs.")
+  in
+  let experiments_t =
+    Arg.(
+      value
+      & opt string "workload,torture,shard"
+      & info [ "experiments" ] ~docv:"LIST"
+          ~doc:"Comma-separated subset of: workload, torture, shard.")
+  in
+  let stride_t =
+    Arg.(
+      value & opt int 17
+      & info [ "stride" ] ~docv:"K"
+          ~doc:"Crash-boundary stride for the torture conformance runs (1 = exhaustive).")
+  in
+  let records_t =
+    Arg.(value & opt int 120 & info [ "records"; "n" ] ~docv:"N" ~doc:"Records per tree.")
+  in
+  let mutate_t =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "mutate" ] ~docv:"WHICH"
+          ~doc:
+            "Mutation self-test: $(b,table1) flips one lock-compatibility cell, \
+             $(b,switch) breaks the \xc2\xa77.1 CK-advance guard; the checker must object \
+             (exit 2).")
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:
+         "Replay seeded workloads and crash sweeps through the protocol state-machine \
+          models (Table-1 locks, unit lifecycle, switch/drain); exit 2 on any violation.")
+    Term.(const model $ seeds_t $ experiments_t $ stride_t $ records_t $ mutate_t)
+
 let () =
   let info =
     Cmd.info "reorg-cli" ~version:"1.0.0"
@@ -427,4 +526,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; reorganize_cmd; inspect_cmd; crash_cmd; workload_cmd; torture_cmd ]))
+          [ demo_cmd; reorganize_cmd; inspect_cmd; crash_cmd; workload_cmd; torture_cmd; model_cmd ]))

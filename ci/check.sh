@@ -113,4 +113,20 @@ dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 1 -n 120 >/dev/null
 dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 1 -n 120 >/dev/null
 echo "torture OK"
 
+echo "== model conformance =="
+dune exec bin/reorg_cli.exe -- model --seeds 11,23,42 --experiments workload
+dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture,shard --stride 1 -n 120
+echo "== model mutation self-tests (must exit 2) =="
+set +e
+dune exec bin/reorg_cli.exe -- model --mutate table1 >/dev/null
+rc=$?
+set -e
+test "$rc" -eq 2 || { echo "mutate table1: expected exit 2, got $rc" >&2; exit 1; }
+set +e
+dune exec bin/reorg_cli.exe -- model --mutate switch >/dev/null
+rc=$?
+set -e
+test "$rc" -eq 2 || { echo "mutate switch: expected exit 2, got $rc" >&2; exit 1; }
+echo "model OK"
+
 echo "All checks passed."

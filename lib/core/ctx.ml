@@ -12,9 +12,10 @@ type t = {
   actor : Transact.Txn.t;
   tracer : Obs.Trace.t option;
   shard : int * int;
+  prot : (Prot.event -> unit) option;
 }
 
-let make ?registry ?tracer ?(shard = (0, 1)) ~access ~config () =
+let make ?registry ?tracer ?(shard = (0, 1)) ?prot ~access ~config () =
   let shard_i, shard_n = shard in
   if shard_n < 1 || shard_i < 0 || shard_i >= shard_n then
     invalid_arg "Ctx.make: shard index out of range";
@@ -31,7 +32,10 @@ let make ?registry ?tracer ?(shard = (0, 1)) ~access ~config () =
     actor;
     tracer;
     shard;
+    prot;
   }
+
+let emit t ev = match t.prot with None -> () | Some f -> f ev
 
 let worker t ~index ~count =
   let shard_i, shard_n = t.shard in
@@ -52,6 +56,7 @@ let worker t ~index ~count =
     actor;
     tracer = t.tracer;
     shard = t.shard;
+    prot = t.prot;
   }
 
 let span t ?args name f =
@@ -77,6 +82,25 @@ let log_reorg t body =
   Obs.Counter.incr t.metrics.Metrics.log_bytes ~by:(Wal.Record.encoded_size body);
   Obs.Counter.incr t.metrics.Metrics.log_records;
   Rtable.note_lsn t.rtable lsn;
+  (* All unit-lifecycle WAL records flow through here (execution, §5.2 undo
+     and recovery completions alike), so this is the one place the protocol
+     stream derives its Unit_* events. *)
+  (match t.prot with
+  | None -> ()
+  | Some f ->
+    let actor = t.actor.Transact.Txn.id in
+    (match body with
+    | Wal.Record.Reorg_begin { unit_id; rtype; base_pages; leaf_pages } ->
+      f
+        (Prot.Unit_begin
+           { actor; unit_id; kind = rtype; bases = base_pages; leaves = leaf_pages; lsn })
+    | Wal.Record.Reorg_move { unit_id; org; dest; _ } ->
+      f (Prot.Unit_move { actor; unit_id; org; dest; lsn })
+    | Wal.Record.Reorg_modify { unit_id; base; _ } ->
+      f (Prot.Unit_modify { actor; unit_id; base; lsn })
+    | Wal.Record.Reorg_end { unit_id; largest_key; _ } ->
+      f (Prot.Unit_end { actor; unit_id; largest_key; lsn })
+    | _ -> ()));
   lsn
 
 let stamp t ~page lsn = Journal.stamp (journal t) ~page lsn

@@ -12,12 +12,14 @@ type t = {
   actor : Transact.Txn.t;  (** the reorganization process's lock owner *)
   tracer : Obs.Trace.t option;
   shard : int * int;  (** [(index, count)] of the shard this run works on *)
+  prot : (Prot.event -> unit) option;  (** protocol-event sink (model checker) *)
 }
 
 val make :
   ?registry:Obs.Registry.t ->
   ?tracer:Obs.Trace.t ->
   ?shard:int * int ->
+  ?prot:(Prot.event -> unit) ->
   access:Btree.Access.t ->
   config:Config.t ->
   unit ->
@@ -28,7 +30,12 @@ val make :
     [i+1 + k*n] so the system tables of concurrently reorganizing shards
     never share a unit id; the actor's lock-owner id is globally unique
     already because it is minted by the shard's strided transaction
-    manager. *)
+    manager.  [prot] installs a {!Prot} event sink: {!log_reorg} derives the
+    unit-lifecycle events from the records it appends, and the passes emit
+    the switch-protocol events explicitly. *)
+
+val emit : t -> Prot.event -> unit
+(** Feed one protocol event to the attached sink (no-op without one). *)
 
 val worker : t -> index:int -> count:int -> t
 (** A derived context for one of [count] parallel reorganizer workers: its

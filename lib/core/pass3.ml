@@ -16,6 +16,14 @@ module Access = Btree.Access
 let key_of = function
   | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
 
+(* Test-only mutation hook: while [true], the scan does NOT advance CK as it
+   releases each base page's S lock — breaking the §7.1 Get_Current contract
+   the switch model guards.  The model-conformance self-test flips it to
+   prove the checker catches a broken switch protocol.  The tree itself stays
+   correct (a stale CK only means updaters are never "behind", so nothing
+   enters the side file). *)
+let test_skip_ck_advance = ref false
+
 (* Apply one side-file entry to the new tree (used for catch-up and for
    post-switch redirected updaters). *)
 let apply_op ctx new_tree ?txn op =
@@ -89,6 +97,8 @@ let run ctx ?resume ?finish () =
     let gen = Tree.generation tree + 1 in
     let side = Side_file.create ~journal ~locks in
     Side_file.set_health side (Access.health access);
+    Side_file.set_prot side ctx.Ctx.prot;
+    let me = ctx.Ctx.actor.Transact.Txn.id in
     (match (resume, finish) with
     | Some r, _ -> Side_file.restore_entries side r.r_side
     | _, Some f -> Side_file.restore_entries side f.f_side
@@ -112,7 +122,13 @@ let run ctx ?resume ?finish () =
     let post_switch = ref false in
     (* §7.2 updater logic, installed behind the reorganization bit. *)
     Access.set_on_base_update access (fun txn op ->
-        if !post_switch then apply_op ctx (Ctx.tree ctx) ~txn op
+        if !post_switch then begin
+          (* λ-mode post-switch: the update goes straight to the new tree —
+             the same redirect decision the side file reports when it turns
+             an updater away, so it is announced under the same event. *)
+          Ctx.emit ctx (Prot.Side_redirect { key = key_of op });
+          apply_op ctx (Ctx.tree ctx) ~txn op
+        end
         else begin
           let behind =
             match Rtable.ck ctx.Ctx.rtable with Some c -> key_of op < c | None -> false
@@ -136,6 +152,18 @@ let run ctx ?resume ?finish () =
       | None, None -> min_int
     in
     Rtable.set_ck ctx.Ctx.rtable (Some resume_key);
+    Ctx.emit ctx
+      (Prot.Pass3_start
+         {
+           actor = me;
+           mode =
+             (match (resume, finish) with
+             | Some _, _ -> Prot.Resume
+             | _, Some _ -> Prot.Finish
+             | None, None -> Prot.Fresh);
+           ck = resume_key;
+           lambda = ctx.Ctx.config.Config.lambda_switch;
+         });
     let scanned = ref 0 in
     let rec scan low =
       match lock_base ctx ~low with
@@ -152,7 +180,10 @@ let run ctx ?resume ?finish () =
           match next with Some nb -> Inode.low_mark (Ctx.page ctx nb) | None -> max_int
         in
         (* Get_Current advances before the S lock is given up (§7.1). *)
-        Rtable.set_ck ctx.Ctx.rtable (Some next_key);
+        let ck_before = Option.value (Rtable.ck ctx.Ctx.rtable) ~default:min_int in
+        if not !test_skip_ck_advance then Rtable.set_ck ctx.Ctx.rtable (Some next_key);
+        let ck_after = Option.value (Rtable.ck ctx.Ctx.rtable) ~default:min_int in
+        Ctx.emit ctx (Prot.Scan_base { actor = me; base; ck_before; ck_after });
         Ctx.release ctx (Resource.Page base) Mode.S;
         if !scanned mod ctx.Ctx.config.Config.stable_every = 0 && next_key <> max_int then
           Builder.stable_point builder ~next_key;
@@ -163,6 +194,7 @@ let run ctx ?resume ?finish () =
     if finish = None then
       Ctx.span ctx "pass3.scan" (fun () -> scan resume_key);
     Rtable.set_ck ctx.Ctx.rtable (Some max_int);
+    Ctx.emit ctx (Prot.Scan_done { actor = me });
     (* ---- finalize the new upper levels ---- *)
     let new_root =
       match finish with
@@ -190,6 +222,7 @@ let run ctx ?resume ?finish () =
       | ops ->
         List.iter (fun op -> apply_op ctx nt op) ops;
         Obs.Counter.incr ctx.Ctx.metrics.Metrics.catchup_batches;
+        Ctx.emit ctx (Prot.Catchup { actor = me; applied = List.length ops });
         Engine.yield ();
         catch_up ()
     in
@@ -205,12 +238,26 @@ let run ctx ?resume ?finish () =
       ~args:[ ("old_root", Obs.Trace.Int old_root); ("new_root", Obs.Trace.Int (Tree.root nt)) ]
       (fun () ->
         acquire_side_x ();
+        Ctx.emit ctx (Prot.Side_locked { actor = me });
         (* Final catch-up: only the entries appended while we waited. *)
         catch_up ();
-        ignore
-          (Ctx.log_reorg ctx
-             (Record.Switch
-                { old_root; new_root = Tree.root nt; old_name; new_name = old_name + 1 }));
+        let backlog = Side_file.size side in
+        let switch_lsn =
+          Ctx.log_reorg ctx
+            (Record.Switch
+               { old_root; new_root = Tree.root nt; old_name; new_name = old_name + 1 })
+        in
+        Ctx.emit ctx
+          (Prot.Switch_logged
+             {
+               actor = me;
+               old_root;
+               new_root = Tree.root nt;
+               old_name;
+               new_name = old_name + 1;
+               backlog;
+               lsn = switch_lsn;
+             });
         Journal.physical journal ~page:(Tree.meta_pid tree) ~off:0
           ~len:Btree.Layout.body_start (fun p ->
             Meta.set_root p (Tree.root nt);
@@ -227,7 +274,8 @@ let run ctx ?resume ?finish () =
       Access.clear_on_base_update access;
       Rtable.set_ck ctx.Ctx.rtable None;
       Ctx.release ctx (Resource.Tree old_name) Mode.X;
-      Wal.Log.force_all (Ctx.log ctx)
+      Wal.Log.force_all (Ctx.log ctx);
+      Ctx.emit ctx (Prot.Switch_cleanup { actor = me })
     in
     if ctx.Ctx.config.Config.lambda_switch then begin
       (* λ-tree variant: the side file is held only for an instant — new
@@ -265,8 +313,10 @@ let run ctx ?resume ?finish () =
           if Engine.current_time () - started > ctx.Ctx.config.Config.switch_wait then
             List.iter
               (fun (owner, _) ->
-                if Lock_mgr.cancel_wait locks ~owner then
-                  Obs.Counter.incr ctx.Ctx.metrics.Metrics.forced_aborts)
+                if Lock_mgr.cancel_wait locks ~owner then begin
+                  Obs.Counter.incr ctx.Ctx.metrics.Metrics.forced_aborts;
+                  Ctx.emit ctx (Prot.Forced_abort { actor = me; owner; lambda = false })
+                end)
               blockers;
           Engine.sleep 3;
           drain ()

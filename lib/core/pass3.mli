@@ -34,3 +34,9 @@ val run : Ctx.t -> ?resume:resume -> ?finish:finish -> unit -> bool
     skips straight to catch-up + switch (the new tree was already complete
     when the crash hit). *)
 
+val test_skip_ck_advance : bool ref
+(** Test-only mutation hook: while [true], the scan withholds the per-base
+    CK advance of §7.1, violating the switch model's strict-advance guard.
+    The model-conformance self-test uses it to prove the checker is live;
+    production code must leave it [false]. *)
+

@@ -1,0 +1,62 @@
+(** Typed protocol events emitted by the reorganizer for the model checker.
+
+    Alongside {!Obs.Trace} (human timelines) the reorganizer publishes a
+    machine-checkable stream of protocol steps.  Consumers install a sink via
+    [?prot] on {!Ctx.make} / {!Recovery.restart} and {!Side_file.set_prot};
+    the [lib/model] conformance machines replay the stream against guarded
+    models of the paper's unit lifecycle (§5) and switch protocol (§7).
+
+    Event sources:
+    - [Unit_begin]/[Unit_move]/[Unit_modify]/[Unit_end] are derived from the
+      reorganization WAL records at their single append choke point
+      ({!Ctx.log_reorg}), so unit execution, §5.2 undo and recovery's
+      completion paths are all covered without per-site hooks;
+    - [Unit_undo] marks the §5.2 give-up decision (before its reverse moves),
+      [Unit_recover] marks restart's decision to finish an interrupted unit;
+    - the pass-3 events trace §7: scan with strictly-advancing CK (§7.1),
+      side-file catch-up, the switch record, the drain with forced aborts
+      (§7.4) and the λ-switch variant;
+    - [Side_accept]/[Side_redirect] are the side file's per-update admission
+      decisions (accepted behind CK vs redirected to the new tree). *)
+
+type pass3_mode = Fresh | Resume | Finish
+
+type event =
+  | Unit_begin of {
+      actor : int;
+      unit_id : int;
+      kind : Wal.Record.reorg_type;
+      bases : int list;
+      leaves : int list;
+      lsn : int;
+    }
+  | Unit_move of { actor : int; unit_id : int; org : int; dest : int; lsn : int }
+  | Unit_modify of { actor : int; unit_id : int; base : int; lsn : int }
+  | Unit_undo of { actor : int; unit_id : int }
+  | Unit_end of { actor : int; unit_id : int; largest_key : int; lsn : int }
+  | Unit_recover of { actor : int; unit_id : int }
+  | Pass3_start of { actor : int; mode : pass3_mode; ck : int; lambda : bool }
+  | Scan_base of { actor : int; base : int; ck_before : int; ck_after : int }
+  | Scan_done of { actor : int }
+  | Catchup of { actor : int; applied : int }
+  | Side_locked of { actor : int }
+      (** the reorganizer holds X on the side file: admissions now redirect *)
+  | Switch_logged of {
+      actor : int;
+      old_root : int;
+      new_root : int;
+      old_name : int;
+      new_name : int;
+      backlog : int;  (** side-file entries left at switch — must be 0 *)
+      lsn : int;
+    }
+  | Forced_abort of { actor : int; owner : int; lambda : bool }
+  | Switch_cleanup of { actor : int }
+  | Side_accept of { key : int }
+  | Side_redirect of { key : int }
+
+val key_to_string : int -> string
+(** Renders [min_int]/[max_int] as the -inf/+inf sentinels they are. *)
+
+val to_string : event -> string
+val pp : Format.formatter -> event -> unit

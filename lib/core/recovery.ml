@@ -635,6 +635,7 @@ let finish_one ctx log ~unit_id =
       (* BEGIN never became stable: the unit never existed. *)
       ()
     | Some (rtype, bases, leaves), moves, modifies ->
+      Ctx.emit ctx (Prot.Unit_recover { actor = ctx.Ctx.actor.Transact.Txn.id; unit_id });
       (match (rtype, moves) with
       | _, [] | Record.Swap, [ _ ] ->
         (* Nothing moved yet: end the unit as a no-op; the restarted pass
@@ -743,7 +744,7 @@ let rebuild_builder_state ctx ~stable_key =
 (* Restart                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let restart ?registry ?tracer ?shard ~access ~config () =
+let restart ?registry ?tracer ?shard ?prot ~access ~config () =
   let tree = Access.tree access in
   let mgr = Access.mgr access in
   let journal = Tree.journal tree in
@@ -777,7 +778,7 @@ let restart ?registry ?tracer ?shard ~access ~config () =
      of a torn block operation): recompute the free sets. *)
   if a.losers <> [] then Alloc.rebuild (Tree.alloc tree);
   (* Forward recovery of the reorganizer's state. *)
-  let ctx = Ctx.make ?registry ?tracer ?shard ~access ~config () in
+  let ctx = Ctx.make ?registry ?tracer ?shard ?prot ~access ~config () in
   Rtable.restore ctx.Ctx.rtable a.rt;
   let finished_unit = finish_units ctx log ~open_units:a.open_units in
   let resume =

@@ -15,12 +15,15 @@ type t = {
   mutable back : Record.side_op list; (* newest first *)
   mutable count : int;
   mutable health : Obs.Health.t option;
+  mutable prot : (Prot.event -> unit) option;
 }
 
 let create ~journal ~locks =
-  { journal; locks; front = []; back = []; count = 0; health = None }
+  { journal; locks; front = []; back = []; count = 0; health = None; prot = None }
 
 let set_health t h = t.health <- h
+let set_prot t f = t.prot <- f
+let emit t ev = match t.prot with None -> () | Some f -> f ev
 
 let note t ev =
   match t.health with
@@ -40,11 +43,13 @@ let append t ~txn op =
     t.back <- op :: t.back;
     t.count <- t.count + 1;
     note t Obs.Health.Append;
+    emit t (Prot.Side_accept { key = key_of op });
     `Accepted
   | `Conflict _ ->
     (* Switching is in progress: wait it out with an instant-duration IX,
        then redirect the update to the new tree (§7.4). *)
     Lock_client.instant t.locks ~txn Resource.Side_file Mode.IX;
+    emit t (Prot.Side_redirect { key = key_of op });
     `Redirect
 
 let pop_oldest t =

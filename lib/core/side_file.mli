@@ -20,6 +20,11 @@ val set_health : t -> Obs.Health.t option -> unit
 (** Report the backlog size to the tree-health tracker after every append,
     take, undo-remove, and recovery-restore. *)
 
+val set_prot : t -> (Prot.event -> unit) option -> unit
+(** Protocol-event sink: each {!append} emits [Side_accept] or
+    [Side_redirect] with the affected key, so the model checker sees the
+    admission decision the switch protocol hinges on. *)
+
 val append : t -> txn:Transact.Txn.t -> Wal.Record.side_op -> [ `Accepted | `Redirect ]
 (** May raise {!Transact.Lock_client.Deadlock_victim}. *)
 

@@ -188,6 +188,10 @@ let entries_for_leaves ctx ~base ~leaves =
    unit as a no-op. *)
 let undo_moves ctx ~unit_id ~dest ~dest_fresh ~saved =
   Obs.Counter.incr ctx.Ctx.metrics.Metrics.units_undone;
+  (* The give-up decision itself is a protocol step the reverse MOVE records
+     below cannot express (they look like forward moves of a swap), so it is
+     announced explicitly to the model checker. *)
+  Ctx.emit ctx (Prot.Unit_undo { actor = ctx.Ctx.actor.Transact.Txn.id; unit_id });
   List.iter
     (fun (org, records, low_mark, prev, next) ->
       let lsn =
@@ -537,6 +541,7 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
      with Lock_client.Deadlock_victim ->
        (* Undo the exchange (§5.2). *)
        Obs.Counter.incr ctx.Ctx.metrics.Metrics.units_undone;
+       Ctx.emit ctx (Prot.Unit_undo { actor = ctx.Ctx.actor.Transact.Txn.id; unit_id });
        let p = Rtable.last_lsn ctx.Ctx.rtable in
        let lsn =
          Ctx.log_reorg ctx

@@ -24,6 +24,27 @@ type waiter = {
   w_wake : grant -> unit;
 }
 
+(* Typed protocol events for the model-conformance checker (lib/model).  One
+   event per observable lock-table decision; emitted only when a hook is
+   installed, so scenarios without a checker pay one [None] test per
+   decision. *)
+type event =
+  | Ev_granted of { owner : owner; res : Resource.t; mode : Mode.t; after_wait : bool }
+  | Ev_queued of {
+      owner : owner;
+      res : Resource.t;
+      mode : Mode.t;
+      instant : bool;
+      conversion : bool;
+    }
+  | Ev_signalled of { owner : owner; res : Resource.t; mode : Mode.t }
+      (** instant-duration request signalled: the paper's give-up *)
+  | Ev_victim of { owner : owner; res : Resource.t; mode : Mode.t; forced : bool }
+      (** wait aborted: deadlock victim, or [forced] switch-drain cancellation *)
+  | Ev_dequeued of { owner : owner; res : Resource.t; mode : Mode.t }
+      (** wait abandoned by its own owner (release_all while queued) *)
+  | Ev_released of { owner : owner; res : Resource.t; mode : Mode.t }
+
 (* Holder bookkeeping is hashed so the hot paths stay O(1) in the number of
    holders: [holders] maps owner -> distinct modes held (with multiplicity —
    the per-owner list is bounded by [Mode.arity], so it stays an assoc list),
@@ -75,6 +96,7 @@ type t = {
      shards' local edges for an owner, so cycles spanning shard lock
      managers are still found by the local DFS at enqueue time. *)
   mutable extra_edges : (owner -> owner list) option;
+  mutable event_hook : (event -> unit) option;
 }
 
 let create () =
@@ -96,10 +118,13 @@ let create () =
     scan_steps = 0;
     by_mode = Hashtbl.create 8;
     tracer = None;
+    event_hook = None;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
 let tracer t = t.tracer
+let set_event_hook t hook = t.event_hook <- hook
+let emit t ev = match t.event_hook with None -> () | Some f -> f ev
 
 let mode_stats t mode =
   match Hashtbl.find_opt t.by_mode mode with
@@ -283,6 +308,11 @@ let blockers e o mode =
    still-blocked waiters ahead of it. *)
 let process_queue t e =
   let blocked_modes = ref [] in
+  (* Modes granted earlier in this same wake batch: [compat_with_holders]
+     sees the holder table as it was when the batch started (grants are
+     applied in [fire]), so without this a batch like [S; IX] behind a
+     released X would wake both and leave incompatible holders coexisting. *)
+  let granted_in_batch = ref [] in
   let still_waiting = ref [] in
   let to_wake = ref [] in
   List.iter
@@ -290,6 +320,9 @@ let process_queue t e =
       let ok =
         compat_with_holders t e w.w_owner w.w_mode
         && List.for_all (fun m -> Mode.compat m w.w_mode) !blocked_modes
+        && List.for_all
+             (fun (o, m) -> o = w.w_owner || Mode.compat m w.w_mode)
+             !granted_in_batch
       in
       if ok then begin
         if w.w_instant then begin
@@ -301,7 +334,8 @@ let process_queue t e =
         else begin
           (* Resource is recovered lazily below; holders list needs it only
              for the index, which add_holding handles. *)
-          t.grants_after_wait <- t.grants_after_wait + 1
+          t.grants_after_wait <- t.grants_after_wait + 1;
+          granted_in_batch := (w.w_owner, w.w_mode) :: !granted_in_batch
         end;
         to_wake := w :: !to_wake
       end
@@ -317,7 +351,11 @@ let fire t res e woken =
   List.iter
     (fun w ->
       Hashtbl.remove t.pending w.w_owner;
-      if not w.w_instant then add_holding t e w.w_owner res w.w_mode;
+      if not w.w_instant then begin
+        add_holding t e w.w_owner res w.w_mode;
+        emit t (Ev_granted { owner = w.w_owner; res; mode = w.w_mode; after_wait = true })
+      end
+      else emit t (Ev_signalled { owner = w.w_owner; res; mode = w.w_mode });
       w.w_wake Granted)
     woken;
   gc_entry t res e
@@ -329,6 +367,7 @@ let try_acquire t ~owner res mode =
     add_holding t e owner res mode;
     t.acquires <- t.acquires + 1;
     (mode_stats t mode).m_acquires <- (mode_stats t mode).m_acquires + 1;
+    emit t (Ev_granted { owner; res; mode; after_wait = false });
     `Granted
   end
   else begin
@@ -341,6 +380,7 @@ let try_acquire t ~owner res mode =
       add_holding t e owner res mode;
       t.acquires <- t.acquires + 1;
       (mode_stats t mode).m_acquires <- (mode_stats t mode).m_acquires + 1;
+      emit t (Ev_granted { owner; res; mode; after_wait = false });
       `Granted
     end
     else begin
@@ -461,6 +501,9 @@ let resolve_deadlock t cycle =
             ("mode", Obs.Trace.Str (Mode.to_string w.w_mode));
           ]
     | None -> ());
+    (* The victim event precedes the wakes its removal enables, matching the
+       order in which the model must replay the queue change. *)
+    emit t (Ev_victim { owner = w.w_owner; res; mode = w.w_mode; forced = false });
     (* Removing the victim may unblock others. *)
     let woken = process_queue t e in
     fire t res e woken;
@@ -481,6 +524,7 @@ let enqueue t ~owner res mode ~instant ~wake =
   Hashtbl.replace t.pending owner res;
   t.waits <- t.waits + 1;
   (mode_stats t mode).m_waits <- (mode_stats t mode).m_waits + 1;
+  emit t (Ev_queued { owner; res; mode; instant; conversion });
   match find_cycle t owner with
   | Some cycle -> resolve_deadlock t cycle
   | None -> ()
@@ -502,6 +546,7 @@ let cancel_wait t ~owner =
             ("mode", Obs.Trace.Str (Mode.to_string w.w_mode));
           ]
     | None -> ());
+    emit t (Ev_victim { owner = w.w_owner; res; mode = w.w_mode; forced = true });
     let woken = process_queue t e in
     fire t res e woken;
     w.w_wake Deadlock;
@@ -513,6 +558,7 @@ let release t ~owner res mode =
   | Some e ->
     remove_holding t e owner res mode;
     t.releases <- t.releases + 1;
+    emit t (Ev_released { owner; res; mode });
     let woken = process_queue t e in
     fire t res e woken
 
@@ -522,12 +568,15 @@ let downgrade t ~owner res ~from_ ~to_ =
   | Some e ->
     remove_holding t e owner res from_;
     add_holding t e owner res to_;
+    emit t (Ev_released { owner; res; mode = from_ });
+    emit t (Ev_granted { owner; res; mode = to_; after_wait = false });
     let woken = process_queue t e in
     fire t res e woken
 
 let release_all t ~owner =
   (match remove_waiter t owner with
-  | Some (res, e, _) ->
+  | Some (res, e, w) ->
+    emit t (Ev_dequeued { owner; res; mode = w.w_mode });
     let woken = process_queue t e in
     fire t res e woken
   | None -> ());
@@ -541,6 +590,15 @@ let release_all t ~owner =
         match entry_opt t res with
         | None -> ()
         | Some e ->
+          (match (t.event_hook, Hashtbl.find_opt e.holders owner) with
+          | Some _, Some ms ->
+            List.iter
+              (fun (m, n) ->
+                for _ = 1 to n do
+                  emit t (Ev_released { owner; res; mode = m })
+                done)
+              ms
+          | _ -> ());
           ignore (drop_owner t e owner res);
           t.releases <- t.releases + 1;
           let woken = process_queue t e in

@@ -148,3 +148,36 @@ val set_tracer : t -> Obs.Trace.t option -> unit
     lock wait as a span on the waiting process's timeline row. *)
 
 val tracer : t -> Obs.Trace.t option
+
+(** {2 Protocol events}
+
+    A typed stream of every observable lock-table decision, consumed by the
+    model-conformance checker ([lib/model]).  Events fire in decision order:
+    a deadlock victim's {!Ev_victim} precedes the {!Ev_granted}s its removal
+    enables; a grant after waiting fires before the waiter's [wake]. *)
+
+type event =
+  | Ev_granted of { owner : owner; res : Resource.t; mode : Mode.t; after_wait : bool }
+      (** a mode was added to the owner's holdings (immediately, by
+          conversion/cover, or — [after_wait] — when its queued wait fired) *)
+  | Ev_queued of {
+      owner : owner;
+      res : Resource.t;
+      mode : Mode.t;
+      instant : bool;
+      conversion : bool;
+    }  (** the request conflicted and parked in the queue *)
+  | Ev_signalled of { owner : owner; res : Resource.t; mode : Mode.t }
+      (** instant-duration request signalled (never granted): the give-up *)
+  | Ev_victim of { owner : owner; res : Resource.t; mode : Mode.t; forced : bool }
+      (** wait woken with [Deadlock]: victim selection, or a [forced]
+          switch-drain {!cancel_wait} *)
+  | Ev_dequeued of { owner : owner; res : Resource.t; mode : Mode.t }
+      (** wait silently dropped by its own owner's {!release_all} *)
+  | Ev_released of { owner : owner; res : Resource.t; mode : Mode.t }
+      (** one acquisition released (bulk {!release_all} emits one event per
+          held acquisition) *)
+
+val set_event_hook : t -> (event -> unit) option -> unit
+(** Install (or clear) the protocol-event consumer.  With no hook installed
+    the emission paths cost a single [None] test. *)

@@ -12,7 +12,7 @@ let of_index = [| IS; IX; S; X; R; RX; RS |]
    everything; RS conflicts with R (and X), which is what makes the
    instant-duration RS request block until the reorganizer is done with the
    base page. *)
-let compat a b =
+let compat_spec a b =
   match (a, b) with
   | RX, _ | _, RX -> false
   | X, _ | _, X -> false
@@ -25,6 +25,18 @@ let compat a b =
   | S, IX | IX, S -> false
   | IS, (IS | IX) | IX, IS -> true
   | IX, IX -> true
+
+(* Test-only mutation hook: forcing one cell of the compatibility matrix to
+   [true] lets the model-conformance self-test prove the checker is live (a
+   silently-dead checker would accept the broken grant).  Never set outside
+   tests; [compat] consults it on every call but the common case is one load
+   and one comparison. *)
+let test_break_compat : (t * t) option ref = ref None
+
+let compat a b =
+  match !test_break_compat with
+  | Some (x, y) when (a = x && b = y) || (a = y && b = x) -> true
+  | _ -> compat_spec a b
 
 let covers ~held ~need =
   match (held, need) with

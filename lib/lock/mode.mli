@@ -37,6 +37,12 @@ val of_index : t array
 val compat : t -> t -> bool
 (** [compat granted requested] — symmetric. *)
 
+val test_break_compat : (t * t) option ref
+(** Test-only mutation hook: while [Some (a, b)], {!compat} reports that pair
+    (in either order) as compatible regardless of Table 1.  The model
+    conformance self-test uses it to prove the protocol checker actually
+    fires; production code must leave it [None]. *)
+
 val covers : held:t -> need:t -> bool
 (** Does holding [held] subsume a request for [need]?  ([X] covers all, [S]
     covers [IS], [IX] covers [IS].) *)

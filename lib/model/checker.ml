@@ -1,0 +1,162 @@
+(* The conformance checker: owns one machine per model, fans the typed event
+   streams out to them, and collects violations.  Track keys are prefixed
+   with the shard ("s0/Page 17", "s1/unit3") so one checker covers a whole
+   sharded engine; [cycle] relabels violations with the current scenario
+   phase so a torture report says which crash boundary tripped it. *)
+
+module Lock_mgr = Lockmgr.Lock_mgr
+module Prot = Reorg.Prot
+module Coordinator = Shard.Coordinator
+
+type t = {
+  locks : (Lock_model.state, Lock_mgr.event) Machine.t;
+  units : (Unit_model.state, Prot.event) Machine.t;
+  actors : (Unit_model.actor_state, Prot.event) Machine.t;
+  switches : (Switch_model.state, Prot.event) Machine.t;
+  coords : (Coord_model.state, Coordinator.event) Machine.t;
+  mutable label : string;
+  mutable violations : Machine.violation list; (* newest first *)
+  max_violations : int;
+  mutable events : int;
+}
+
+let create ?(max_violations = 20) () =
+  let t_ref = ref None in
+  let sink v =
+    match !t_ref with
+    | None -> ()
+    | Some t ->
+      if List.length t.violations < t.max_violations then
+        t.violations <-
+          { v with Machine.v_track = Printf.sprintf "%s%s" t.label v.Machine.v_track }
+          :: t.violations
+  in
+  let t =
+    {
+      locks = Machine.create Lock_model.def ~sink;
+      units = Machine.create Unit_model.lifecycle ~sink;
+      actors = Machine.create Unit_model.actor ~sink;
+      switches = Machine.create Switch_model.def ~sink;
+      coords = Machine.create Coord_model.def ~sink;
+      label = "";
+      violations = [];
+      max_violations;
+      events = 0;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let cycle t label =
+  (* New scenario phase: protocol state restarts from scratch (fresh engine
+     or post-crash restart), but accumulated violations are kept. *)
+  t.label <- (if label = "" then "" else label ^ ": ");
+  Machine.reset t.locks;
+  Machine.reset t.units;
+  Machine.reset t.actors;
+  Machine.reset t.switches;
+  Machine.reset t.coords
+
+let crash t =
+  (* A crash wipes all volatile protocol state: locks are gone, in-flight
+     units and switches are represented again by recovery's own events. *)
+  Machine.reset t.locks;
+  Machine.reset t.units;
+  Machine.reset t.actors;
+  Machine.reset t.switches;
+  Machine.reset t.coords
+
+let lock_hook t ~shard =
+  let track ev =
+    let res =
+      match ev with
+      | Lock_mgr.Ev_granted { res; _ }
+      | Lock_mgr.Ev_queued { res; _ }
+      | Lock_mgr.Ev_signalled { res; _ }
+      | Lock_mgr.Ev_victim { res; _ }
+      | Lock_mgr.Ev_dequeued { res; _ }
+      | Lock_mgr.Ev_released { res; _ } ->
+        res
+    in
+    Printf.sprintf "s%d/%s" shard (Lockmgr.Resource.to_string res)
+  in
+  fun ev ->
+    t.events <- t.events + 1;
+    Machine.step t.locks ~track:(track ev) ev
+
+let attach_locks t ~shard lm = Lock_mgr.set_event_hook lm (Some (lock_hook t ~shard))
+
+let prot_hook t ~shard =
+  fun ev ->
+    t.events <- t.events + 1;
+    (match ev with
+    | Prot.Unit_begin { unit_id; _ }
+    | Prot.Unit_move { unit_id; _ }
+    | Prot.Unit_modify { unit_id; _ }
+    | Prot.Unit_undo { unit_id; _ }
+    | Prot.Unit_end { unit_id; _ }
+    | Prot.Unit_recover { unit_id; _ } ->
+      Machine.step t.units ~track:(Printf.sprintf "s%d/unit%d" shard unit_id) ev
+    | _ -> ());
+    (match ev with
+    | Prot.Unit_begin { actor; _ }
+    | Prot.Unit_move { actor; _ }
+    | Prot.Unit_modify { actor; _ }
+    | Prot.Unit_undo { actor; _ }
+    | Prot.Unit_end { actor; _ }
+    | Prot.Unit_recover { actor; _ } ->
+      Machine.step t.actors ~track:(Printf.sprintf "s%d/actor%d" shard actor) ev
+    | _ -> ());
+    Machine.step t.switches ~track:(Printf.sprintf "s%d" shard) ev
+
+let coord_hook t =
+  fun ev ->
+    t.events <- t.events + 1;
+    let x_id =
+      match ev with
+      | Coordinator.Ev_begun { x_id }
+      | Coordinator.Ev_commit_record { x_id; _ }
+      | Coordinator.Ev_acked { x_id }
+      | Coordinator.Ev_aborted { x_id } ->
+        x_id
+    in
+    Machine.step t.coords ~track:(Printf.sprintf "x%d" x_id) ev
+
+let attach_coordinator t coord = Coordinator.set_event_hook coord (Some (coord_hook t))
+
+let finalize t =
+  (* Only the unit lifecycle and switch machines have non-trivial acceptance
+     (open units / unfinished switches); the others accept everywhere, and
+     the coordinator machine is finalized too (unacked transactions). *)
+  Machine.finalize t.units;
+  Machine.finalize t.actors;
+  Machine.finalize t.switches;
+  Machine.finalize t.coords
+
+let events t = t.events
+
+let tracks t =
+  Machine.track_count t.locks + Machine.track_count t.units + Machine.track_count t.actors
+  + Machine.track_count t.switches + Machine.track_count t.coords
+
+let violations t = List.rev t.violations
+
+let ok t = t.violations = []
+
+let first_violation t =
+  match List.rev t.violations with [] -> None | v :: _ -> Some v
+
+let report t =
+  match violations t with
+  | [] -> Printf.sprintf "conformance ok: %d events, 0 violations" t.events
+  | vs ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "conformance FAILED: %d events, %d violation(s)\n" t.events
+         (List.length vs));
+    List.iter
+      (fun v ->
+        Buffer.add_string b (Machine.violation_to_string v);
+        Buffer.add_char b '\n')
+      vs;
+    Buffer.contents b

@@ -1,0 +1,82 @@
+(* Cross-shard transaction lifecycle under the coordinator's 2PL commit:
+   one track per global transaction id.  Commit records go down in ascending
+   shard order (the coordinator's deadlock-avoiding total order), the ack to
+   the client comes only after begin/commit-record activity, and nothing
+   follows a terminal state. *)
+
+module Coordinator = Shard.Coordinator
+
+type phase = Running | Committing | Acked | Aborted
+
+type state = { phase : phase; last_shard : int }
+
+let initial = { phase = Running; last_shard = -1 }
+
+let phase_to_string = function
+  | Running -> "running"
+  | Committing -> "committing"
+  | Acked -> "acked"
+  | Aborted -> "aborted"
+
+let pp_state st = Printf.sprintf "%s last_shard=%d" (phase_to_string st.phase) st.last_shard
+
+let pp_event = function
+  | Coordinator.Ev_begun { x_id } -> Printf.sprintf "begun x%d" x_id
+  | Coordinator.Ev_commit_record { x_id; shard } ->
+    Printf.sprintf "commit-record x%d shard=%d" x_id shard
+  | Coordinator.Ev_acked { x_id } -> Printf.sprintf "acked x%d" x_id
+  | Coordinator.Ev_aborted { x_id } -> Printf.sprintf "aborted x%d" x_id
+
+let def : (state, Coordinator.event) Machine.def =
+  {
+    Machine.d_name = "cross-shard-commit";
+    d_initial = initial;
+    d_pp_state = pp_state;
+    d_pp_event = pp_event;
+    d_rules =
+      [
+        Machine.rule "begin"
+          ~applies:(fun _ ev -> match ev with Coordinator.Ev_begun _ -> true | _ -> false)
+          ~guards:
+            [ ("fresh-x-id", fun st _ -> st.phase = Running && st.last_shard = -1) ]
+          ~next:(fun st _ -> st);
+        Machine.rule "commit-record"
+          ~applies:(fun _ ev ->
+            match ev with Coordinator.Ev_commit_record _ -> true | _ -> false)
+          ~guards:
+            [
+              ( "not-terminal",
+                fun st _ -> st.phase = Running || st.phase = Committing );
+              ( "shards-commit-in-ascending-order",
+                fun st ev ->
+                  match ev with
+                  | Coordinator.Ev_commit_record { shard; _ } -> shard > st.last_shard
+                  | _ -> false );
+            ]
+          ~next:(fun st ev ->
+            match ev with
+            | Coordinator.Ev_commit_record { shard; _ } ->
+              { phase = Committing; last_shard = shard }
+            | _ -> st);
+        Machine.rule "ack"
+          ~applies:(fun _ ev -> match ev with Coordinator.Ev_acked _ -> true | _ -> false)
+          ~guards:
+            [
+              ( "ack-only-while-live",
+                fun st _ -> st.phase = Running || st.phase = Committing );
+            ]
+          ~next:(fun st _ -> { st with phase = Acked });
+        Machine.rule "abort"
+          ~applies:(fun _ ev -> match ev with Coordinator.Ev_aborted _ -> true | _ -> false)
+          ~guards:
+            [
+              (* Once any shard's commit record is on disk the transaction
+                 must go forward — an abort after that is a 2PL atomicity
+                 break. *)
+              ("abort-only-before-first-commit-record", fun st _ -> st.phase = Running);
+            ]
+          ~next:(fun st _ -> { st with phase = Aborted })
+      ];
+    d_invariants = [];
+    d_accepting = (fun st -> st.phase = Acked || st.phase = Aborted);
+  }

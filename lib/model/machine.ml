@@ -1,0 +1,133 @@
+(* Guarded state-machine DSL (Accord style): a machine definition is a list
+   of named rules over an abstract state; a tracker instantiates the machine
+   once per "track" (one lock resource, one reorganization unit, one shard's
+   switch, one cross-shard transaction) and replays the event stream through
+   it, recording a violation — with the offending event and the track's
+   recent history — whenever no rule matches or a guard refuses. *)
+
+type violation = {
+  v_machine : string;
+  v_track : string;
+  v_state : string;
+  v_event : string;
+  v_reason : string;
+  v_history : string list; (* oldest first, most recent last *)
+}
+
+type ('s, 'e) rule = {
+  r_name : string;
+  r_applies : 's -> 'e -> bool;
+  r_guards : (string * ('s -> 'e -> bool)) list;
+  r_next : 's -> 'e -> 's;
+}
+
+type ('s, 'e) def = {
+  d_name : string;
+  d_initial : 's;
+  d_pp_state : 's -> string;
+  d_pp_event : 'e -> string;
+  d_rules : ('s, 'e) rule list;
+  d_invariants : (string * ('s -> bool)) list;
+  d_accepting : 's -> bool;
+}
+
+let rule ?(guards = []) name ~applies ~next =
+  { r_name = name; r_applies = applies; r_guards = guards; r_next = next }
+
+let history_depth = 12
+
+type 's track = {
+  mutable t_state : 's;
+  (* Recent "state -| event" lines, newest first; rendered oldest-first. *)
+  mutable t_history : string list;
+  (* After the first violation the track is poisoned: later events are
+     counted but not checked, so one protocol break reports once instead of
+     cascading into a wall of follow-on noise. *)
+  mutable t_poisoned : bool;
+}
+
+type ('s, 'e) t = {
+  def : ('s, 'e) def;
+  tracks : (string, 's track) Hashtbl.t;
+  sink : violation -> unit;
+  mutable events : int;
+}
+
+let create def ~sink = { def; tracks = Hashtbl.create 32; sink; events = 0 }
+
+let name t = t.def.d_name
+let events t = t.events
+let track_count t = Hashtbl.length t.tracks
+
+let track t key =
+  match Hashtbl.find_opt t.tracks key with
+  | Some tr -> tr
+  | None ->
+    let tr = { t_state = t.def.d_initial; t_history = []; t_poisoned = false } in
+    Hashtbl.replace t.tracks key tr;
+    tr
+
+let render t tr ~key ~event ~reason =
+  {
+    v_machine = t.def.d_name;
+    v_track = key;
+    v_state = t.def.d_pp_state tr.t_state;
+    v_event = event;
+    v_reason = reason;
+    v_history = List.rev tr.t_history;
+  }
+
+let flag t tr ~key ~event ~reason =
+  tr.t_poisoned <- true;
+  t.sink (render t tr ~key ~event ~reason)
+
+let remember tr line =
+  tr.t_history <-
+    (line :: tr.t_history
+    |> fun h -> if List.length h > history_depth then List.filteri (fun i _ -> i < history_depth) h else h)
+
+let step t ~track:key ev =
+  t.events <- t.events + 1;
+  let tr = track t key in
+  if not tr.t_poisoned then begin
+    let ev_str = t.def.d_pp_event ev in
+    match List.find_opt (fun r -> r.r_applies tr.t_state ev) t.def.d_rules with
+    | None -> flag t tr ~key ~event:ev_str ~reason:"no transition accepts this event"
+    | Some r -> begin
+      match List.find_opt (fun (_, g) -> not (g tr.t_state ev)) r.r_guards with
+      | Some (gname, _) ->
+        flag t tr ~key ~event:ev_str ~reason:(Printf.sprintf "guard '%s' of rule '%s'" gname r.r_name)
+      | None ->
+        remember tr (Printf.sprintf "%s -| %s" (t.def.d_pp_state tr.t_state) ev_str);
+        tr.t_state <- r.r_next tr.t_state ev;
+        (match
+           List.find_opt (fun (_, inv) -> not (inv tr.t_state)) t.def.d_invariants
+         with
+        | Some (iname, _) -> flag t tr ~key ~event:ev_str ~reason:(Printf.sprintf "invariant '%s'" iname)
+        | None -> ())
+    end
+  end
+
+(* Crash: volatile protocol state is gone; every track restarts from the
+   initial state (what survives, survives in the WAL and re-announces itself
+   through recovery's own events). *)
+let reset t = Hashtbl.reset t.tracks
+
+let finalize t =
+  Hashtbl.iter
+    (fun key tr ->
+      if (not tr.t_poisoned) && not (t.def.d_accepting tr.t_state) then
+        flag t tr ~key ~event:"<end of execution>" ~reason:"track ended in a non-accepting state")
+    t.tracks
+
+let violation_to_string v =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "model '%s', track '%s': %s\n" v.v_machine v.v_track v.v_reason);
+  Buffer.add_string b (Printf.sprintf "  state: %s\n" v.v_state);
+  Buffer.add_string b (Printf.sprintf "  event: %s\n" v.v_event);
+  if v.v_history <> [] then begin
+    Buffer.add_string b "  history (oldest first):\n";
+    List.iter (fun line -> Buffer.add_string b (Printf.sprintf "    %s\n" line)) v.v_history
+  end;
+  Buffer.contents b

@@ -1,0 +1,65 @@
+(** Guarded state-machine DSL for protocol models (Accord style).
+
+    A {!def} is a pure description: an initial state, named {!rule}s (event
+    pattern + guards + successor), named invariants over the post-state, and
+    an accepting predicate for end-of-execution.  A tracker ({!t}) holds one
+    machine instance per {e track} — per lock resource, per reorganization
+    unit, per shard's switch, per cross-shard transaction — created lazily on
+    the track's first event.
+
+    Checking one event: the first rule whose [applies] matches is chosen; an
+    event no rule accepts, a failing guard, or a failing invariant produce a
+    {!violation} naming the guard, the offending event, the machine state and
+    the track's recent event history.  A violated track is {e poisoned}:
+    later events are counted but not checked, so one protocol break reports
+    once instead of cascading. *)
+
+type violation = {
+  v_machine : string;
+  v_track : string;
+  v_state : string;  (** rendered state when the violation fired *)
+  v_event : string;  (** offending event, or [<end of execution>] *)
+  v_reason : string;  (** failing guard/invariant, or "no transition" *)
+  v_history : string list;  (** recent [state -| event] steps, oldest first *)
+}
+
+type ('s, 'e) rule
+
+val rule :
+  ?guards:(string * ('s -> 'e -> bool)) list ->
+  string ->
+  applies:('s -> 'e -> bool) ->
+  next:('s -> 'e -> 's) ->
+  ('s, 'e) rule
+(** [applies] selects the rule (typically by event constructor); [guards]
+    are checked in order against the pre-state; [next] computes the
+    post-state. *)
+
+type ('s, 'e) def = {
+  d_name : string;
+  d_initial : 's;
+  d_pp_state : 's -> string;
+  d_pp_event : 'e -> string;
+  d_rules : ('s, 'e) rule list;
+  d_invariants : (string * ('s -> bool)) list;
+  d_accepting : 's -> bool;
+}
+
+type ('s, 'e) t
+
+val create : ('s, 'e) def -> sink:(violation -> unit) -> ('s, 'e) t
+val step : ('s, 'e) t -> track:string -> 'e -> unit
+
+val reset : ('s, 'e) t -> unit
+(** Crash semantics: drop every track — volatile protocol state is gone;
+    whatever survived the crash re-announces itself through recovery's own
+    events. *)
+
+val finalize : ('s, 'e) t -> unit
+(** Flag every live, unpoisoned track whose state is not accepting. *)
+
+val name : ('s, 'e) t -> string
+val events : ('s, 'e) t -> int
+val track_count : ('s, 'e) t -> int
+
+val violation_to_string : violation -> string

@@ -1,0 +1,53 @@
+(* The paper's Table 1, written out as a literal boolean matrix — deliberately
+   NOT computed by calling [Lockmgr.Mode]: the whole point is that the model
+   and the implementation can only agree by both being right.  Blank cells of
+   the paper (mode pairs that never meet on one resource) carry the same
+   conservative fill the implementation documents: RX and X conflict with
+   everything, RS is compatible with whatever does not signal it. *)
+
+module Mode = Lockmgr.Mode
+
+let order = [| Mode.IS; Mode.IX; Mode.S; Mode.X; Mode.R; Mode.RX; Mode.RS |]
+
+let idx = function
+  | Mode.IS -> 0
+  | Mode.IX -> 1
+  | Mode.S -> 2
+  | Mode.X -> 3
+  | Mode.R -> 4
+  | Mode.RX -> 5
+  | Mode.RS -> 6
+
+(* Row = granted, column = requested, in [order]:      IS     IX     S      X      R      RX     RS  *)
+let matrix =
+  [|
+    (* IS *) [| true;  true;  true;  false; true;  false; true |];
+    (* IX *) [| true;  true;  false; false; false; false; true |];
+    (* S  *) [| true;  false; true;  false; true;  false; true |];
+    (* X  *) [| false; false; false; false; false; false; false |];
+    (* R  *) [| true;  false; true;  false; true;  false; false |];
+    (* RX *) [| false; false; false; false; false; false; false |];
+    (* RS *) [| true;  true;  true;  false; false; false; false |];
+  |]
+
+let compatible granted requested = matrix.(idx granted).(idx requested)
+
+(* Lock subsumption: which held mode covers which request without a new
+   acquisition.  Mirrors the implementation's contract literally. *)
+let covers ~held ~need =
+  held = need
+  ||
+  match (held, need) with
+  | Mode.X, _ -> true
+  | Mode.S, Mode.IS -> true
+  | Mode.IX, Mode.IS -> true
+  | _ -> false
+
+(* Legal strengthening conversions: the ones the system performs. *)
+let upgrade_legal ~from_ ~to_ =
+  match (from_, to_) with
+  | Mode.IS, (Mode.IX | Mode.S | Mode.X) -> true
+  | Mode.IX, Mode.X -> true
+  | Mode.S, Mode.X -> true
+  | Mode.R, Mode.X -> true
+  | _ -> false

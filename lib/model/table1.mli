@@ -1,0 +1,17 @@
+(** A literal, independent transcription of the paper's Table 1 (plus the
+    covers/upgrade contracts), used by {!Lock_model} to judge the real lock
+    manager's decisions.  It intentionally never calls {!Lockmgr.Mode}'s own
+    predicates — model and implementation can only agree by both matching the
+    paper. *)
+
+val order : Lockmgr.Mode.t array
+(** Row/column order of {!matrix}: IS, IX, S, X, R, RX, RS. *)
+
+val matrix : bool array array
+(** [matrix.(granted).(requested)] in {!order} indices. *)
+
+val compatible : Lockmgr.Mode.t -> Lockmgr.Mode.t -> bool
+(** [compatible granted requested] — the Table-1 cell. *)
+
+val covers : held:Lockmgr.Mode.t -> need:Lockmgr.Mode.t -> bool
+val upgrade_legal : from_:Lockmgr.Mode.t -> to_:Lockmgr.Mode.t -> bool

@@ -2,6 +2,15 @@ module Txn = Transact.Txn
 module Txn_mgr = Transact.Txn_mgr
 module Lock_mgr = Lockmgr.Lock_mgr
 
+(* Typed protocol events for the model checker: the commit-protocol steps
+   whose ordering (ascending shard order, ack strictly after the last
+   record) is what makes acked cross-shard transactions all-or-nothing. *)
+type event =
+  | Ev_begun of { x_id : int }
+  | Ev_commit_record of { x_id : int; shard : int }
+  | Ev_acked of { x_id : int }
+  | Ev_aborted of { x_id : int }
+
 type t = {
   map : Shard_map.t;
   stores : Store.t array;
@@ -10,6 +19,7 @@ type t = {
   mutable aborted : int;
   mutable cross_shard_commits : int;
   mutable commit_records : int;
+  mutable event_hook : (event -> unit) option;
 }
 
 (* Per-shard presence of one cross-shard transaction: the handle exists as
@@ -51,7 +61,19 @@ let create ~map ~stores =
                stores;
              !acc)))
     stores;
-  { map; stores; begun = 0; committed = 0; aborted = 0; cross_shard_commits = 0; commit_records = 0 }
+  {
+    map;
+    stores;
+    begun = 0;
+    committed = 0;
+    aborted = 0;
+    cross_shard_commits = 0;
+    commit_records = 0;
+    event_hook = None;
+  }
+
+let set_event_hook t hook = t.event_hook <- hook
+let emit t ev = match t.event_hook with None -> () | Some f -> f ev
 
 let map t = t.map
 let stores t = t.stores
@@ -63,6 +85,7 @@ let begin_x t =
      including shard 0's own, whose counter this very mint advances. *)
   let id = (Txn_mgr.fresh_owner t.stores.(0).Store.mgr).Txn.id in
   t.begun <- t.begun + 1;
+  emit t (Ev_begun { x_id = id });
   { coord = t; x_id = id; slots = Array.make (Array.length t.stores) None; x_state = `Active }
 
 let xid x = x.x_id
@@ -113,11 +136,13 @@ let commit t x =
            shard's locks under the global id. *)
         Txn_mgr.commit t.stores.(i).Store.mgr s.tx;
         t.commit_records <- t.commit_records + 1;
+        emit t (Ev_commit_record { x_id = x.x_id; shard = i });
         incr written
       | Some s -> Txn_mgr.finish_read_only t.stores.(i).Store.mgr s.tx
       | None -> ())
     x.slots;
   x.x_state <- `Committed;
+  emit t (Ev_acked { x_id = x.x_id });
   t.committed <- t.committed + 1;
   if !written >= 2 then t.cross_shard_commits <- t.cross_shard_commits + 1
 
@@ -131,6 +156,7 @@ let abort t x =
       | None -> ())
     x.slots;
   x.x_state <- `Aborted;
+  emit t (Ev_aborted { x_id = x.x_id });
   t.aborted <- t.aborted + 1
 
 let finished x = x.x_state <> `Active

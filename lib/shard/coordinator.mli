@@ -91,3 +91,19 @@ val stats : t -> stats
 val register_obs : t -> Obs.Registry.t -> unit
 (** Register [coord.begun], [coord.committed], [coord.aborted],
     [coord.cross_shard_commits], [coord.commit_records]. *)
+
+(** {2 Protocol events}
+
+    The commit-protocol steps, in decision order, for the model checker: a
+    transaction's per-shard commit records must land in strictly ascending
+    shard order and its ack must follow the last record — the ordering that
+    makes acked cross-shard transactions all-or-nothing under any crash. *)
+
+type event =
+  | Ev_begun of { x_id : int }
+  | Ev_commit_record of { x_id : int; shard : int }
+      (** shard [shard]'s commit record appended and forced *)
+  | Ev_acked of { x_id : int }  (** commit returned to the client *)
+  | Ev_aborted of { x_id : int }
+
+val set_event_hook : t -> (event -> unit) option -> unit

@@ -1,0 +1,138 @@
+(* The model-conformance runner: replays the deterministic workloads and the
+   torture crash sweeps with a {!Model.Checker} attached, plus the two
+   mutation self-tests that prove the checker actually catches a broken
+   Table-1 cell and a broken §7.1 switch guard.  Everything is deterministic
+   from the seeds. *)
+
+module Mode = Lockmgr.Mode
+module Resource = Lockmgr.Resource
+module Lock_mgr = Lockmgr.Lock_mgr
+
+type summary = {
+  label : string;
+  events : int;
+  tracks : int;
+  violations : Model.Machine.violation list;
+}
+
+let ok s = s.violations = []
+
+let to_string s =
+  match s.violations with
+  | [] -> Printf.sprintf "%-14s ok      %6d events, %4d tracks" s.label s.events s.tracks
+  | vs ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "%-14s FAILED  %6d events, %4d tracks, %d violation(s)\n" s.label
+         s.events s.tracks (List.length vs));
+    List.iter
+      (fun v ->
+        Buffer.add_string b (Model.Machine.violation_to_string v);
+        Buffer.add_char b '\n')
+      vs;
+    Buffer.contents b
+
+let summarize label c =
+  {
+    label;
+    events = Model.Checker.events c;
+    tracks = Model.Checker.tracks c;
+    violations = Model.Checker.violations c;
+  }
+
+(* A mixed seeded workload: reorganization of an aged tree with concurrent
+   updaters — the deadlock/give-up machinery fires, the side file fills, the
+   switch drains. *)
+let workload ~seed =
+  let c = Model.Checker.create () in
+  let db, _ = Scenario.aged ~page_size:512 ~leaf_pages:512 ~seed ~n:400 ~f1:0.3 () in
+  let _ctx, _report, _ustats =
+    Scenario.run_reorg ~checker:c ~users:4 ~user_mix:Workload.Mix.update_heavy
+      ~user_ops:400 ~seed db
+  in
+  Model.Checker.finalize c;
+  summarize (Printf.sprintf "workload-%d" seed) c
+
+(* The crash sweeps: every [stride]-th write/force boundary of the seeded
+   torture workloads, each crash replayed through recovery with the models
+   watching both sides of the boundary. *)
+let torture ?(n = 120) ?(leaf_pages = 128) ~seed ~stride ~users () =
+  let c = Model.Checker.create () in
+  let label = Printf.sprintf "torture-%d/%d" seed stride in
+  match Torture.run ~checker:c ~n ~leaf_pages ~seed ~stride ~users () with
+  | (_ : Torture.report) -> summarize label c
+  | exception Torture.Failed msg ->
+    let s = summarize label c in
+    if s.violations <> [] then s
+    else
+      {
+        s with
+        violations =
+          [
+            {
+              Model.Machine.v_machine = "torture";
+              v_track = label;
+              v_state = "";
+              v_event = "";
+              v_reason = msg;
+              v_history = [];
+            };
+          ];
+      }
+
+let shard_torture ?(n = 120) ~seed ~stride () =
+  let c = Model.Checker.create () in
+  let label = Printf.sprintf "shard-%d/%d" seed stride in
+  match Shard_torture.run ~checker:c ~n ~seed ~stride () with
+  | (_ : Shard_torture.report) -> summarize label c
+  | exception Shard_torture.Failed msg ->
+    let s = summarize label c in
+    if s.violations <> [] then s
+    else
+      {
+        s with
+        violations =
+          [
+            {
+              Model.Machine.v_machine = "shard-torture";
+              v_track = label;
+              v_state = "";
+              v_event = "";
+              v_reason = msg;
+              v_history = [];
+            };
+          ];
+      }
+
+(* ---- mutation self-tests: each flips one protocol cell under a test flag
+   and must make the checker report a violation. ---- *)
+
+(* Break one Table-1 cell (RX/X compatible) and drive the lock manager into
+   granting through it: the model, reading its own literal matrix, must
+   object. *)
+let mutate_table1 () =
+  let c = Model.Checker.create () in
+  let lm = Lock_mgr.create () in
+  Model.Checker.attach_locks c ~shard:0 lm;
+  Mode.test_break_compat := Some (Mode.RX, Mode.X);
+  Fun.protect
+    ~finally:(fun () -> Mode.test_break_compat := None)
+    (fun () ->
+      ignore (Lock_mgr.try_acquire lm ~owner:1 (Resource.Page 7) Mode.RX : Lock_mgr.outcome);
+      ignore (Lock_mgr.try_acquire lm ~owner:2 (Resource.Page 7) Mode.X : Lock_mgr.outcome));
+  Model.Checker.finalize c;
+  summarize "mutate-table1" c
+
+(* Break the §7.1 Get_Current contract (CK not advanced before the base's S
+   lock is released) and run a small reorganization: the switch machine's
+   scan guard must fire. *)
+let mutate_switch () =
+  let c = Model.Checker.create () in
+  Reorg.Pass3.test_skip_ck_advance := true;
+  Fun.protect
+    ~finally:(fun () -> Reorg.Pass3.test_skip_ck_advance := false)
+    (fun () ->
+      let db, _ = Scenario.aged ~page_size:512 ~leaf_pages:256 ~seed:5 ~n:200 ~f1:0.3 () in
+      ignore (Scenario.run_reorg ~checker:c db));
+  Model.Checker.finalize c;
+  summarize "mutate-switch" c

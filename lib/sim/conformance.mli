@@ -1,0 +1,31 @@
+(** Model-conformance runner: seeded deterministic workloads, the
+    crash-boundary torture sweeps, and the two mutation self-tests, each
+    replayed with a {!Model.Checker} attached.  All runs are deterministic
+    from their arguments. *)
+
+type summary = {
+  label : string;
+  events : int;  (** protocol events judged *)
+  tracks : int;  (** machine instances created *)
+  violations : Model.Machine.violation list;
+}
+
+val ok : summary -> bool
+val to_string : summary -> string
+
+val workload : seed:int -> summary
+(** Reorganization of an aged tree with concurrent update-heavy users. *)
+
+val torture : ?n:int -> ?leaf_pages:int -> seed:int -> stride:int -> users:int -> unit -> summary
+(** {!Torture.run} with the checker attached; a harness [Failed] (data loss
+    rather than a protocol violation) is folded into the summary too. *)
+
+val shard_torture : ?n:int -> seed:int -> stride:int -> unit -> summary
+
+val mutate_table1 : unit -> summary
+(** Flips one Table-1 cell ({!Lockmgr.Mode.test_break_compat}) and drives the
+    lock manager through it: the summary must NOT be [ok]. *)
+
+val mutate_switch : unit -> summary
+(** Breaks the §7.1 CK-advance contract ({!Reorg.Pass3.test_skip_ck_advance})
+    during a small reorganization: the summary must NOT be [ok]. *)

@@ -51,10 +51,17 @@ let purged ?(page_size = 512) ~seed ~n ~ranges ~width () =
   in
   (db, expected)
 
-let run_reorg ?registry ?tracer ?(config = Reorg.Config.default) ?(users = 0)
+let run_reorg ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(users = 0)
     ?(user_mix = Workload.Mix.read_mostly) ?(user_ops = 10_000) ?(seed = 1) ?sampler
     ?(sample_every = 25) db =
-  let ctx = Reorg.Ctx.make ?registry ?tracer ~access:db.Db.access ~config () in
+  let prot =
+    match checker with
+    | Some c ->
+      Model.Checker.attach_locks c ~shard:0 db.Db.locks;
+      Some (Model.Checker.prot_hook c ~shard:0)
+    | None -> None
+  in
+  let ctx = Reorg.Ctx.make ?registry ?tracer ?prot ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
   Db.set_tracers db ctx.Reorg.Ctx.tracer;

@@ -40,6 +40,7 @@ val purged :
 val run_reorg :
   ?registry:Obs.Registry.t ->
   ?tracer:Obs.Trace.t ->
+  ?checker:Model.Checker.t ->
   ?config:Reorg.Config.t ->
   ?users:int ->
   ?user_mix:Workload.Mix.mix ->
@@ -51,7 +52,9 @@ val run_reorg :
   Reorg.Ctx.t * Reorg.Driver.report * Workload.Mix.stats
 (** Run the full reorganization inside a fresh scheduler, optionally with
     concurrent users (they stop when the reorganizer finishes or after
-    [user_ops], default 10_000 each).  [registry] collects every subsystem's
+    [user_ops], default 10_000 each).  [checker] attaches the protocol-model
+    conformance checker to the lock manager and the reorganization context
+    (the caller finalizes and inspects it afterwards).  [registry] collects every subsystem's
     counters (scheduler, locks, pager, WAL, reorganizer); [tracer] records
     the run as spans/instants on per-process timeline rows, with its clock
     driven by the scheduler's logical time.

@@ -105,8 +105,8 @@ let verify t ~base ~attempted ~acked =
                 i (List.length us))))
     t.Sharded.stores
 
-let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512) ?(n = 300)
-    ?(shards = 3) ?(users = 3) ?(xspan = 2) ?(survive = 0.45) ~seed ~stride () =
+let run ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(page_size = 512)
+    ?(n = 300) ?(shards = 3) ?(users = 3) ?(xspan = 2) ?(survive = 0.45) ~seed ~stride () =
   if stride < 1 then invalid_arg "Shard_torture.run: stride must be >= 1";
   if xspan < 1 then invalid_arg "Shard_torture.run: xspan must be >= 1";
   let faults = Pager.Fault.create () in
@@ -127,15 +127,16 @@ let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512) ?(
      [xspan] odd keys in [xspan] distinct shards (when available), committed
      through the shard-ordered protocol.  [attempted] is filled before the
      first insert, [acked] only once commit returned. *)
-  let workload (t : Sharded.t) attempted acked =
+  let workload ?prot (t : Sharded.t) attempted acked =
     let nshards = Sharded.shards t in
     let eng = Engine.create () in
     let done_ = ref 0 in
     for i = 0 to nshards - 1 do
       let st = t.Sharded.stores.(i) in
       let ctx =
-        Reorg.Ctx.make ?registry ?tracer ~shard:(i, nshards) ~access:st.Store.access
-          ~config ()
+        Reorg.Ctx.make ?registry ?tracer
+          ?prot:(Option.map (fun f -> f i) prot)
+          ~shard:(i, nshards) ~access:st.Store.access ~config ()
       in
       if i = 0 then begin
         Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
@@ -191,18 +192,32 @@ let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512) ?(
     let t, base = build () in
     let attempted = Hashtbl.create 31 in
     let acked = ref [] in
+    (* One checker spans the whole machine: per-shard lock and protocol
+       streams plus the coordinator's commit-protocol stream. *)
+    let prot =
+      match checker with
+      | Some c ->
+        Model.Checker.cycle c label;
+        Array.iteri
+          (fun i (st : Store.t) -> Model.Checker.attach_locks c ~shard:i st.Store.locks)
+          t.Sharded.stores;
+        Model.Checker.attach_coordinator c t.Sharded.coord;
+        Some (fun i -> Model.Checker.prot_hook c ~shard:i)
+      | None -> None
+    in
     Pager.Fault.arm faults plan;
     let crashed =
       try
-        workload t attempted acked;
+        workload ?prot t attempted acked;
         Pager.Fault.disarm faults;
         false
       with Pager.Fault.Crash -> true
     in
     match
       if crashed then begin
+        (match checker with Some c -> Model.Checker.crash c | None -> ());
         Sharded.crash_now t;
-        let recovered = Sharded.recover ?registry ?tracer ~config t in
+        let recovered = Sharded.recover ?registry ?tracer ?prot ~config t in
         Array.iter
           (fun (_, (o : Reorg.Recovery.outcome)) ->
             units_finished := !units_finished + o.Reorg.Recovery.units_finished;
@@ -212,7 +227,15 @@ let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512) ?(
       end
       else incr survivors;
       acked_total := !acked_total + List.length !acked;
-      verify t ~base ~attempted ~acked:!acked
+      verify t ~base ~attempted ~acked:!acked;
+      match checker with
+      | Some c -> begin
+        Model.Checker.finalize c;
+        match Model.Checker.first_violation c with
+        | Some v -> raise (Failed ("model: " ^ Model.Machine.violation_to_string v))
+        | None -> ()
+      end
+      | None -> ()
     with
     | () -> ()
     | exception Failed msg -> raise (Failed (label ^ ": " ^ msg))

@@ -44,6 +44,7 @@ type report = {
 val run :
   ?registry:Obs.Registry.t ->
   ?tracer:Obs.Trace.t ->
+  ?checker:Model.Checker.t ->
   ?config:Reorg.Config.t ->
   ?page_size:int ->
   ?n:int ->

@@ -70,13 +70,15 @@ let crash_now t =
   Array.iter Store.volatile_teardown t.stores;
   Pager.Fault.revive t.faults
 
-let recover ?registry ?tracer ?(config = Reorg.Config.default) t =
+let recover ?registry ?tracer ?prot ?(config = Reorg.Config.default) t =
   let n = shards t in
   Array.mapi
     (fun i (st : Store.t) ->
       Reorg.Recovery.restart
         ?registry:(shard_registry registry i)
-        ?tracer ~shard:(i, n) ~access:st.Store.access ~config ())
+        ?tracer
+        ?prot:(Option.map (fun f -> f i) prot)
+        ~shard:(i, n) ~access:st.Store.access ~config ())
     t.stores
 
 let resume_after_recovery t recovered =

@@ -73,7 +73,7 @@ let verify db exp =
          (Printf.sprintf "%d reorganization unit(s) begun but never finished forward"
             (List.length us)))
 
-let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512)
+let run ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(page_size = 512)
     ?(leaf_pages = 512) ?(n = 400) ?(users = 0) ?(f1 = 0.3) ~seed ~stride () =
   if stride < 1 then invalid_arg "Torture.run: stride must be >= 1";
   let faults = Pager.Fault.create () in
@@ -93,8 +93,8 @@ let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512)
      expected set is exact.  [attempted] is recorded before the insert is
      attempted, [acked] only once commit returned — a crash in between
      leaves the key in the "may or may not survive" set. *)
-  let workload db attempted acked =
-    let ctx = Reorg.Ctx.make ?registry ?tracer ~access:db.Db.access ~config () in
+  let workload ?prot db attempted acked =
+    let ctx = Reorg.Ctx.make ?registry ?tracer ?prot ~access:db.Db.access ~config () in
     let eng = Engine.create () in
     Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
     Db.set_tracers db ctx.Reorg.Ctx.tracer;
@@ -129,18 +129,30 @@ let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512)
     incr points;
     let db, base = build () in
     let exp = expectation_of_base base in
+    (* The conformance checker judges every cycle — including the crashed
+       ones: [crash] drops the volatile model state exactly when the engine
+       loses its own, and recovery's events rebuild the surviving tracks. *)
+    let prot =
+      match checker with
+      | Some c ->
+        Model.Checker.cycle c label;
+        Model.Checker.attach_locks c ~shard:0 db.Db.locks;
+        Some (Model.Checker.prot_hook c ~shard:0)
+      | None -> None
+    in
     Pager.Fault.arm faults plan;
     let crashed =
       try
-        workload db exp.attempted exp.acked;
+        workload ?prot db exp.attempted exp.acked;
         Pager.Fault.disarm faults;
         false
       with Pager.Fault.Crash -> true
     in
     if crashed then begin
+      (match checker with Some c -> Model.Checker.crash c | None -> ());
       Db.crash_now db;
       let ctx2, outcome =
-        Reorg.Recovery.restart ?registry ?tracer ~access:db.Db.access ~config ()
+        Reorg.Recovery.restart ?registry ?tracer ?prot ~access:db.Db.access ~config ()
       in
       units_finished := !units_finished + outcome.Reorg.Recovery.units_finished;
       torn_repaired := !torn_repaired + outcome.Reorg.Recovery.torn_pages;
@@ -152,7 +164,15 @@ let run ?registry ?tracer ?(config = Reorg.Config.default) ?(page_size = 512)
       Db.flush_all db
     end
     else incr survivors;
-    try verify db exp with Failed msg -> raise (Failed (label ^ ": " ^ msg))
+    (try verify db exp with Failed msg -> raise (Failed (label ^ ": " ^ msg)));
+    match checker with
+    | Some c -> begin
+      Model.Checker.finalize c;
+      match Model.Checker.first_violation c with
+      | Some v -> raise (Failed (label ^ ": model: " ^ Model.Machine.violation_to_string v))
+      | None -> ()
+    end
+    | None -> ()
   in
 
   (* Fault-free dry run to discover the crashable boundary space: every page

@@ -53,6 +53,7 @@ type report = {
 val run :
   ?registry:Obs.Registry.t ->
   ?tracer:Obs.Trace.t ->
+  ?checker:Model.Checker.t ->
   ?config:Reorg.Config.t ->
   ?page_size:int ->
   ?leaf_pages:int ->

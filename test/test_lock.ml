@@ -48,6 +48,81 @@ let test_key_paper_cells () =
   Alcotest.(check bool) "RS passes S" true (Mode.compat Mode.S Mode.RS);
   Alcotest.(check bool) "IS/IX compatible" true (Mode.compat Mode.IS Mode.IX)
 
+
+(* Exhaustive pairwise golden test: a third, literal transcription of
+   Table 1 (blank cells carrying the documented conservative fill), checked
+   cell-by-cell against BOTH the implementation's [Mode.compat] and the
+   conformance model's [Model.Table1] matrix.  Implementation, model and
+   this test can only all agree by all matching the paper. *)
+let golden_order = [| Mode.IS; Mode.IX; Mode.S; Mode.X; Mode.R; Mode.RX; Mode.RS |]
+
+let golden =
+  [|
+    (* IS *) [| true; true; true; false; true; false; true |];
+    (* IX *) [| true; true; false; false; false; false; true |];
+    (* S  *) [| true; false; true; false; true; false; true |];
+    (* X  *) [| false; false; false; false; false; false; false |];
+    (* R  *) [| true; false; true; false; true; false; false |];
+    (* RX *) [| false; false; false; false; false; false; false |];
+    (* RS *) [| true; true; true; false; false; false; false |];
+  |]
+
+let test_golden_matrix () =
+  Array.iteri
+    (fun i g ->
+      Array.iteri
+        (fun j r ->
+          let want = golden.(i).(j) in
+          Alcotest.(check bool)
+            (Printf.sprintf "Mode.compat %s/%s" (Mode.to_string g) (Mode.to_string r))
+            want (Mode.compat g r);
+          Alcotest.(check bool)
+            (Printf.sprintf "Table1.compatible %s/%s" (Mode.to_string g) (Mode.to_string r))
+            want
+            (Model.Table1.compatible g r))
+        golden_order)
+    golden_order;
+  Alcotest.(check int) "model matrix order" (Array.length Model.Table1.order)
+    (Array.length golden_order);
+  Array.iteri
+    (fun i m -> Alcotest.(check bool) "order agrees" true (m = golden_order.(i)))
+    Model.Table1.order
+
+let test_golden_upgrades () =
+  (* The strengthening conversions the system performs, exhaustively. *)
+  let legal =
+    [
+      (Mode.IS, Mode.IX);
+      (Mode.IS, Mode.S);
+      (Mode.IS, Mode.X);
+      (Mode.IX, Mode.X);
+      (Mode.S, Mode.X);
+      (Mode.R, Mode.X);
+    ]
+  in
+  List.iter
+    (fun from_ ->
+      List.iter
+        (fun to_ ->
+          let want = List.mem (from_, to_) legal in
+          Alcotest.(check bool)
+            (Printf.sprintf "upgrade %s->%s" (Mode.to_string from_) (Mode.to_string to_))
+            want
+            (Model.Table1.upgrade_legal ~from_ ~to_))
+        Mode.all)
+    Mode.all;
+  (* And the covering relation the re-entrant grant path uses. *)
+  List.iter
+    (fun held ->
+      List.iter
+        (fun need ->
+          Alcotest.(check bool)
+            (Printf.sprintf "covers %s/%s" (Mode.to_string held) (Mode.to_string need))
+            (Mode.covers ~held ~need)
+            (Model.Table1.covers ~held ~need))
+        Mode.all)
+    Mode.all
+
 let test_basic_grant_conflict () =
   let m = Lock_mgr.create () in
   Alcotest.(check bool) "S granted" true (granted (Lock_mgr.try_acquire m ~owner:1 (page 1) Mode.S));
@@ -313,6 +388,8 @@ let () =
           Alcotest.test_case "matches paper" `Quick test_table1_matches_compat;
           Alcotest.test_case "symmetry" `Quick test_compat_symmetry;
           Alcotest.test_case "key cells" `Quick test_key_paper_cells;
+          Alcotest.test_case "golden matrix (impl+model)" `Quick test_golden_matrix;
+          Alcotest.test_case "golden upgrades/covers" `Quick test_golden_upgrades;
         ] );
       ( "manager",
         [
