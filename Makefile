@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json health shard torture model clean
+.PHONY: all build test check bench bench-json health shard groupcommit torture model clean
 
 all: build
 
@@ -32,6 +32,14 @@ health:
 shard:
 	dune exec bench/main.exe -- shard
 	dune exec bin/reorg_cli.exe -- workload --shards 4 --users 6 -n 1200
+
+# Group commit + async I/O pipeline: the sync-vs-pipelined G1 table, then
+# crash sweeps with the pipeline attached (boundaries inside group-commit
+# windows, fuzzy checkpoints truncating the WAL mid-workload).
+groupcommit:
+	dune exec bench/main.exe -- groupcommit
+	dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 7 -n 120 --users 2 --pipeline
+	dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture --stride 7 -n 120 --pipeline
 
 # Exhaustive crash-point sweep: crash at every write boundary on three seeds,
 # recover forward, verify.  Fast (in-memory disk), run it before shipping

@@ -65,6 +65,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "shard",
       "S1: keyspace-sharded engine — per-shard reorganizers, makespan scaling",
       fun () -> Util.Table.print (Sim.Exp_shard.run ()) );
+    ( "groupcommit",
+      "G1: group commit + async I/O pipeline vs synchronous durability",
+      fun () -> Util.Table.print (Sim.Exp_groupcommit.run ()) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -215,8 +218,16 @@ let micro () =
    makespan, the mixed-workload user commit/abort counts, a [per_shard]
    block of counters for every shard (ticks, I/O, lock, WAL), and a
    [totals] block that must equal the field-wise sum of the per-shard
-   blocks — ci/check.sh validates that equality. *)
-let json_schema_version = 3
+   blocks — ci/check.sh validates that equality.
+
+   Version 4 adds a per-experiment [groupcommit] array (empty for all but
+   the "groupcommit" experiment): one block per arm (sync vs. pipelined) —
+   WAL forces, group-commit batching counters, checkpoint/truncation
+   counts, the sequential/random split of the disk's read and write
+   streams, the io-cost model total and the user commits.  ci/check.sh
+   asserts the pipelined arm forces strictly less and writes more
+   sequentially than the sync arm. *)
+let json_schema_version = 4
 
 let emit_experiment buf (wall, s) =
   let module J = Obs.Json in
@@ -329,6 +340,28 @@ let emit_experiment buf (wall, s) =
                            ] );
                    ])
                s.Sim.Probe.shard_sweep) );
+      ( "groupcommit",
+        fun b ->
+          J.arr b
+            (List.map
+               (fun (a : Sim.Probe.gc_arm) b ->
+                 J.obj b
+                   [
+                     ("arm", fun b -> J.string b a.Sim.Probe.g_label);
+                     ("forced", i a.Sim.Probe.g_forced);
+                     ("batches", i a.Sim.Probe.g_batches);
+                     ("coalesced", i a.Sim.Probe.g_coalesced);
+                     ("max_batch", i a.Sim.Probe.g_max_batch);
+                     ("checkpoints", i a.Sim.Probe.g_checkpoints);
+                     ("wal_truncated", i a.Sim.Probe.g_truncated);
+                     ("seq_reads", i a.Sim.Probe.g_seq_reads);
+                     ("rand_reads", i a.Sim.Probe.g_rand_reads);
+                     ("seq_writes", i a.Sim.Probe.g_seq_writes);
+                     ("rand_writes", i a.Sim.Probe.g_rand_writes);
+                     ("io_cost", fun b -> J.float b a.Sim.Probe.g_io_cost);
+                     ("user_committed", i a.Sim.Probe.g_committed);
+                   ])
+               s.Sim.Probe.groupcommit) );
     ]
 
 let write_json ~file ~experiments:exps ~micro:micro_est =

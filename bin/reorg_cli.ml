@@ -260,10 +260,10 @@ let crash at records seed =
   print_tree_stats "after" db.Sim.Db.tree;
   print_endline "all records intact, invariants OK"
 
-let torture seed stride records users trace metrics =
+let torture seed stride records users pipeline trace metrics =
   setup_logs ();
   let registry, tracer = obs_setup ~trace ~metrics in
-  match Sim.Torture.run ?registry ?tracer ~seed ~stride ~n:records ~users () with
+  match Sim.Torture.run ?registry ?tracer ~seed ~stride ~n:records ~users ~pipeline () with
   | r ->
     Printf.printf
       "torture: seed=%d stride=%d\n\
@@ -349,7 +349,7 @@ let workload users mix_name records seed shards trace metrics health =
    the checker catches a deliberately broken protocol.  Exit code 2 whenever
    a violation is reported — which is the EXPECTED outcome of the mutation
    runs (CI asserts it). *)
-let model seeds experiments stride records mutate =
+let model seeds experiments stride records pipeline mutate =
   setup_logs ();
   let split s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
   match mutate with
@@ -367,7 +367,8 @@ let model seeds experiments stride records mutate =
           | "workload" -> List.map (fun seed -> Sim.Conformance.workload ~seed) seeds
           | "torture" ->
             List.map
-              (fun seed -> Sim.Conformance.torture ~n:records ~seed ~stride ~users:2 ())
+              (fun seed ->
+                Sim.Conformance.torture ~n:records ~pipeline ~seed ~stride ~users:2 ())
               seeds
           | "shard" ->
             List.map (fun seed -> Sim.Conformance.shard_torture ~n:records ~seed ~stride ()) seeds
@@ -445,12 +446,22 @@ let torture_cmd =
   let records_t =
     Arg.(value & opt int 400 & info [ "records"; "n" ] ~docv:"N" ~doc:"Number of records.")
   in
+  let pipeline_t =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Run every cycle with the asynchronous durability pipeline (group commit, \
+             elevator writeback, fuzzy checkpoints with WAL truncation) attached.")
+  in
   Cmd.v
     (Cmd.info "torture"
        ~doc:
          "Crash at every write boundary (torn pages, torn WAL tails), recover, verify \
           forward recovery.")
-    Term.(const torture $ seed_t $ stride_t $ records_t $ users_t $ trace_t $ metrics_t)
+    Term.(
+      const torture $ seed_t $ stride_t $ records_t $ users_t $ pipeline_t $ trace_t
+      $ metrics_t)
 
 let workload_cmd =
   let users_t =
@@ -501,6 +512,15 @@ let model_cmd =
   let records_t =
     Arg.(value & opt int 120 & info [ "records"; "n" ] ~docv:"N" ~doc:"Records per tree.")
   in
+  let pipeline_t =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Attach the asynchronous durability pipeline during the torture conformance \
+             runs — crashes then land inside group-commit windows and across checkpoint \
+             truncation.")
+  in
   let mutate_t =
     Arg.(
       value
@@ -516,7 +536,8 @@ let model_cmd =
        ~doc:
          "Replay seeded workloads and crash sweeps through the protocol state-machine \
           models (Table-1 locks, unit lifecycle, switch/drain); exit 2 on any violation.")
-    Term.(const model $ seeds_t $ experiments_t $ stride_t $ records_t $ mutate_t)
+    Term.(
+      const model $ seeds_t $ experiments_t $ stride_t $ records_t $ pipeline_t $ mutate_t)
 
 let () =
   let info =

@@ -24,7 +24,7 @@ dune runtest
 echo "== bench smoke (JSON schema) =="
 BENCH_OUT=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 trap 'rm -f "$BENCH_OUT"' EXIT
-BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency health shard >/dev/null
+BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency health shard groupcommit >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$BENCH_OUT" <<'EOF'
 import json, sys
@@ -32,7 +32,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
-assert doc["schema_version"] == 3, "unexpected schema_version"
+assert doc["schema_version"] == 4, "unexpected schema_version"
 assert doc["revision"] == "ci-smoke", "BENCH_REV not propagated"
 exps = doc["experiments"]
 assert exps, "no experiments recorded"
@@ -85,13 +85,36 @@ assert 1 in makespans and 4 in makespans, "sweep must include 1 and 4 shards"
 ratio = makespans[4] / makespans[1]
 assert ratio <= 0.6, "4-shard makespan ratio %.2f exceeds 0.6" % ratio
 
+# Schema v4: the groupcommit experiment carries one block per arm; the
+# pipelined arm must force strictly less and write more sequentially than
+# the sync arm at the identical workload table.
+arms = {a["arm"]: a for a in exps["groupcommit"]["groupcommit"]}
+assert set(arms) == {"sync", "pipelined"}, "expected sync and pipelined arms"
+sync, piped = arms["sync"], arms["pipelined"]
+assert piped["forced"] < sync["forced"], (
+    "group commit did not reduce wal.forced: %d vs %d" % (piped["forced"], sync["forced"]))
+assert piped["batches"] > 0 and piped["coalesced"] >= piped["batches"], \
+    "pipelined arm batched no commits"
+assert piped["max_batch"] >= 2, "no force covered more than one commit"
+assert sync["batches"] == 0, "sync arm must not group-commit"
+def seq_ratio(a):
+    return a["seq_writes"] / max(1, a["rand_writes"])
+assert seq_ratio(piped) > seq_ratio(sync), (
+    "elevator did not improve the seq/rand write ratio: %.3f vs %.3f"
+    % (seq_ratio(piped), seq_ratio(sync)))
+assert piped["checkpoints"] > 0, "no fuzzy checkpoint taken"
+assert piped["wal_truncated"] > 0, "checkpoints reclaimed no WAL records"
+assert piped["user_committed"] > 0 and sync["user_committed"] > 0
+
 print("bench JSON OK: %d experiment(s), %d health sample(s), watch fires: %s, "
-      "shard sweep %s (4/1 makespan %.2f)"
+      "shard sweep %s (4/1 makespan %.2f), groupcommit forces %d->%d, "
+      "seq/rand writes %.2f->%.2f"
       % (len(exps), len(series), ",".join(sorted(set(fired))),
-         sorted(makespans), ratio))
+         sorted(makespans), ratio, sync["forced"], piped["forced"],
+         seq_ratio(sync), seq_ratio(piped)))
 EOF
 elif command -v jq >/dev/null 2>&1; then
-  test "$(jq -r .schema_version "$BENCH_OUT")" = 3
+  test "$(jq -r .schema_version "$BENCH_OUT")" = 4
   test "$(jq -r '.experiments.concurrency.lock.acquires > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.lock.scan_steps > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.io.reads > 0' "$BENCH_OUT")" = true
@@ -103,6 +126,9 @@ elif command -v jq >/dev/null 2>&1; then
   test "$(jq -r '[.experiments.shard.shard_sweep[] | (.per_shard | length) == .shards] | all' "$BENCH_OUT")" = true
   test "$(jq -r '[.experiments.shard.shard_sweep[] | .totals.ticks == ([.per_shard[].ticks] | add)] | all' "$BENCH_OUT")" = true
   test "$(jq -r '(.experiments.shard.shard_sweep | (map(select(.shards == 4))[0].parallel_makespan) / (map(select(.shards == 1))[0].parallel_makespan)) <= 0.6' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.groupcommit.groupcommit | (map(select(.arm == "pipelined"))[0].forced) < (map(select(.arm == "sync"))[0].forced)' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.groupcommit.groupcommit | map(select(.arm == "pipelined"))[0] | (.batches > 0) and (.coalesced >= .batches) and (.checkpoints > 0) and (.wal_truncated > 0)' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.groupcommit.groupcommit | ((map(select(.arm == "pipelined"))[0]) as $p | (map(select(.arm == "sync"))[0]) as $s | ($p.seq_writes / ([1, $p.rand_writes] | max)) > ($s.seq_writes / ([1, $s.rand_writes] | max)))' "$BENCH_OUT")" = true
   echo "bench JSON OK (jq)"
 else
   echo "python3/jq not available; skipping JSON validation" >&2
@@ -111,11 +137,15 @@ fi
 echo "== torture sweep =="
 dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 1 -n 120 >/dev/null
 dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 1 -n 120 >/dev/null
+echo "== torture sweep (async pipeline: group-commit windows, checkpoint truncation) =="
+dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 7 -n 120 --users 2 --pipeline >/dev/null
+dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 7 -n 120 --users 2 --pipeline >/dev/null
 echo "torture OK"
 
 echo "== model conformance =="
 dune exec bin/reorg_cli.exe -- model --seeds 11,23,42 --experiments workload
 dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture,shard --stride 1 -n 120
+dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture --stride 7 -n 120 --pipeline
 echo "== model mutation self-tests (must exit 2) =="
 set +e
 dune exec bin/reorg_cli.exe -- model --mutate table1 >/dev/null

@@ -13,6 +13,7 @@ type t = {
   tracer : Obs.Trace.t option;
   shard : int * int;
   prot : (Prot.event -> unit) option;
+  worker_rtables : Rtable.t list ref;
 }
 
 let make ?registry ?tracer ?(shard = (0, 1)) ?prot ~access ~config () =
@@ -33,6 +34,7 @@ let make ?registry ?tracer ?(shard = (0, 1)) ?prot ~access ~config () =
     tracer;
     shard;
     prot;
+    worker_rtables = ref [];
   }
 
 let emit t ev = match t.prot with None -> () | Some f -> f ev
@@ -45,18 +47,23 @@ let worker t ~index ~count =
      lattices so unit ids are disjoint across BOTH workers and shards.
      Reduces to the historical [1_000_000 + index + 1] / [count] lattice in
      the unsharded case. *)
+  let rtable =
+    Rtable.create
+      ~first_id:(1_000_000 + (index * shard_n) + shard_i + 1)
+      ~id_stride:(count * shard_n) ()
+  in
+  (* The parent's checkpoint must see worker units as truncation floors. *)
+  t.worker_rtables := rtable :: !(t.worker_rtables);
   {
     access = t.access;
     config = t.config;
-    rtable =
-      Rtable.create
-        ~first_id:(1_000_000 + (index * shard_n) + shard_i + 1)
-        ~id_stride:(count * shard_n) ();
+    rtable;
     metrics = t.metrics;
     actor;
     tracer = t.tracer;
     shard = t.shard;
     prot = t.prot;
+    worker_rtables = t.worker_rtables;
   }
 
 let span t ?args name f =
@@ -123,4 +130,25 @@ let checkpoint t =
       }
   in
   let lsn = Wal.Log.append (log t) body in
-  Wal.Log.force (log t) lsn
+  Wal.Log.force (log t) lsn;
+  (* Fuzzy-checkpoint truncation: everything below the oldest record anyone
+     could still need is reclaimed.  The floors are the checkpoint itself,
+     the oldest recovery LSN of a dirty frame, the oldest active
+     transaction's begin, each in-flight reorganization unit's BEGIN (main
+     table and parallel workers), and the pass-3 floor pinned while the
+     side file / stable key / switch records must stay replayable. *)
+  let keep = ref lsn in
+  let lower l = if l <> Wal.Lsn.nil && l < !keep then keep := l in
+  (* A recovery LSN of 0 is a dirty frame whose first mutation was never
+     stamped (virgin page): no lower bound is known, so pin everything. *)
+  (match Pager.Buffer_pool.min_rec_lsn (pool t) with
+  | Some l -> keep := min !keep (max 1 (Wal.Lsn.of_int64 l))
+  | None -> ());
+  (match Txn_mgr.oldest_begin_lsn mgr with Some l -> lower l | None -> ());
+  List.iter
+    (fun rt ->
+      let img = Rtable.image rt in
+      if img.Wal.Record.rt_unit <> None then lower img.Wal.Record.rt_begin_lsn;
+      lower (Rtable.floor rt))
+    (t.rtable :: !(t.worker_rtables));
+  Wal.Log.truncate (log t) ~keep_from:!keep

@@ -13,6 +13,9 @@ type t = {
   tracer : Obs.Trace.t option;
   shard : int * int;  (** [(index, count)] of the shard this run works on *)
   prot : (Prot.event -> unit) option;  (** protocol-event sink (model checker) *)
+  worker_rtables : Rtable.t list ref;
+      (** system tables of derived {!worker} contexts — their in-flight
+          units are truncation floors for the parent's checkpoints *)
 }
 
 val make :
@@ -78,4 +81,6 @@ val release_unit_locks : t -> (Lockmgr.Resource.t * Lockmgr.Mode.t) list ref -> 
 
 val checkpoint : t -> unit
 (** Write a checkpoint record (active transactions + reorg table image +
-    dirty pages) and force the log. *)
+    dirty pages), force the log, then truncate the WAL below the oldest
+    record recovery could still need (dirty-frame recovery LSNs, active
+    transactions' begins, in-flight units' BEGINs, the pass-3 floor). *)

@@ -151,6 +151,12 @@ let run ctx ?resume ?finish () =
       | _, Some _ -> max_int (* scan already complete *)
       | None, None -> min_int
     in
+    (* Pin the WAL-truncation floor for the whole pass-3 span: the side-file
+       records, the [Stable_key] and the [Switch] must stay replayable until
+       cleanup, even though no transaction or dirty page pins them.  On
+       resume the restart path has already lowered the floor to the oldest
+       surviving pre-crash record; [lower_floor] keeps that minimum. *)
+    Rtable.lower_floor ctx.Ctx.rtable (Wal.Log.head_lsn (Ctx.log ctx) + 1);
     Rtable.set_ck ctx.Ctx.rtable (Some resume_key);
     Ctx.emit ctx
       (Prot.Pass3_start
@@ -273,6 +279,7 @@ let run ctx ?resume ?finish () =
       Tree.set_reorg_bit tree false;
       Access.clear_on_base_update access;
       Rtable.set_ck ctx.Ctx.rtable None;
+      Rtable.clear_floor ctx.Ctx.rtable;
       Ctx.release ctx (Resource.Tree old_name) Mode.X;
       Wal.Log.force_all (Ctx.log ctx);
       Ctx.emit ctx (Prot.Switch_cleanup { actor = me })

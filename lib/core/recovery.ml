@@ -37,9 +37,13 @@ type analysis = {
   rt : Record.reorg_table;
   unit_types : (int, Record.reorg_type) Hashtbl.t;
   stable_key : int option;  (** most recent Stable_key's key *)
+  stable_key_lsn : Lsn.t;  (** its LSN ([nil] if none) — a truncation floor *)
   final_root : int option;  (** new_root of a Stable_key{key=max_int} *)
   switched : bool;
   side : Record.side_op list;  (** oldest first, survivors *)
+  side_oldest_lsn : Lsn.t;
+      (** LSN of the oldest surviving side-file record ([nil] if none) — a
+          truncation floor while pass 3 remains to be finished *)
   max_txn_id : int;
 }
 
@@ -50,7 +54,10 @@ let analyze log =
   let rt_lk = ref min_int and rt_unit = ref None in
   let rt_begin = ref Lsn.nil and rt_last = ref Lsn.nil and rt_ck = ref None in
   let stable_key = ref None and final_root = ref None and switched = ref false in
-  let side : (int * Record.side_op) list ref = ref [] (* newest first, with txn *) in
+  let stable_key_lsn = ref Lsn.nil in
+  let side : (int * Lsn.t * Record.side_op) list ref =
+    ref [] (* newest first, with txn and lsn *)
+  in
   let max_txn = ref 0 in
   let note_txn t lsn =
     max_txn := max !max_txn t;
@@ -59,7 +66,7 @@ let analyze log =
   let drop_side op =
     let rec go = function
       | [] -> []
-      | (t, o) :: rest -> if o = op then rest else (t, o) :: go rest
+      | (t, l, o) :: rest -> if o = op then rest else (t, l, o) :: go rest
     in
     (* entries are newest-first; drop the oldest matching one *)
     side := List.rev (go (List.rev !side))
@@ -92,10 +99,11 @@ let analyze log =
         if largest_key > !rt_lk then rt_lk := largest_key
       | Record.Side_file { txn; op; _ } ->
         note_txn txn lsn;
-        side := (txn, op) :: !side
+        side := (txn, lsn, op) :: !side
       | Record.Side_applied { op } -> drop_side op
       | Record.Stable_key { key; new_root } ->
         stable_key := Some key;
+        stable_key_lsn := lsn;
         rt_ck := Some key;
         if key = max_int && new_root <> 0 then final_root := Some new_root
       | Record.Switch _ ->
@@ -114,21 +122,22 @@ let analyze log =
      had the rollback run before the crash). *)
   let losers = Hashtbl.fold (fun t l acc -> (t, l) :: acc) txns [] in
   let loser_ids = List.map fst losers in
-  let side_ops =
-    List.rev !side
-    |> List.filter_map (fun (t, op) -> if List.mem t loser_ids then None else Some op)
+  let survivors =
+    List.rev !side |> List.filter (fun (t, _, _) -> not (List.mem t loser_ids))
   in
   (* §7.3: entries beyond the most recent stable key refer to base pages the
      resumed scan will re-read — drop them. *)
   let key_of = function
     | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
   in
-  let side_ops =
+  let survivors =
     match !stable_key with
     | Some sk when not !switched && !final_root = None ->
-      List.filter (fun op -> key_of op < sk) side_ops
-    | _ -> side_ops
+      List.filter (fun (_, _, op) -> key_of op < sk) survivors
+    | _ -> survivors
   in
+  let side_ops = List.map (fun (_, _, op) -> op) survivors in
+  let side_oldest_lsn = match survivors with [] -> Lsn.nil | (_, l, _) :: _ -> l in
   {
     losers;
     open_units = Hashtbl.fold (fun u () acc -> u :: acc) open_units [] |> List.sort compare;
@@ -142,9 +151,11 @@ let analyze log =
       };
     unit_types;
     stable_key = !stable_key;
+    stable_key_lsn = !stable_key_lsn;
     final_root = !final_root;
     switched = !switched;
     side = side_ops;
+    side_oldest_lsn;
     max_txn_id = !max_txn;
   }
 
@@ -803,6 +814,15 @@ let restart ?registry ?tracer ?shard ?prot ~access ~config () =
       else Resume_passes { lk = Rtable.lk ctx.Ctx.rtable }
     else No_reorg
   in
+  (* When pass 3 must be resumed or the switch finished, the pre-crash
+     side-file records and the Stable_key must survive any further crash —
+     re-pin the volatile truncation floor before the end-of-restart
+     checkpoint (the first one that could otherwise reclaim them). *)
+  (match resume with
+  | Resume_pass3 _ | Finish_switch _ ->
+    Rtable.lower_floor ctx.Ctx.rtable a.stable_key_lsn;
+    Rtable.lower_floor ctx.Ctx.rtable a.side_oldest_lsn
+  | No_reorg | Resume_passes _ -> ());
   (* End of restart: everything durable, fresh checkpoint. *)
   Buffer_pool.flush_all pool;
   Log.force_all log;

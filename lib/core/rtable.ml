@@ -4,6 +4,7 @@ type t = {
   mutable begin_lsn : Wal.Lsn.t;
   mutable last_lsn : Wal.Lsn.t;
   mutable ck : int option;
+  mutable floor : Wal.Lsn.t; (* WAL-truncation floor while pass 3 is live *)
   mutable next_id : int;
   id_stride : int;
 }
@@ -15,6 +16,7 @@ let create ?(first_id = 1) ?(id_stride = 1) () =
     begin_lsn = Wal.Lsn.nil;
     last_lsn = Wal.Lsn.nil;
     ck = None;
+    floor = Wal.Lsn.nil;
     next_id = first_id;
     id_stride;
   }
@@ -40,6 +42,17 @@ let end_unit t ~largest_key =
 
 let ck t = t.ck
 let set_ck t v = t.ck <- v
+
+(* The floor is volatile (not part of the checkpoint image): restart
+   re-derives it from the stable log before its end-of-recovery checkpoint,
+   which is the only checkpoint that could otherwise truncate too far. *)
+let floor t = t.floor
+let set_floor t lsn = t.floor <- lsn
+
+let lower_floor t lsn =
+  if lsn <> Wal.Lsn.nil && (t.floor = Wal.Lsn.nil || lsn < t.floor) then t.floor <- lsn
+
+let clear_floor t = t.floor <- Wal.Lsn.nil
 
 let next_unit_id t =
   let id = t.next_id in

@@ -34,6 +34,24 @@ val ck : t -> int option
 
 val set_ck : t -> int option -> unit
 
+(** {2 WAL-truncation floor}
+
+    While pass 3 (catch-up and switch) is live, records as old as the
+    [Stable_key] / surviving side-file entries must stay replayable, and a
+    restarted pass 3 needs them even though no transaction or dirty page
+    pins them.  The floor is the oldest such LSN; checkpoint-time truncation
+    never reclaims at or above it.  It is volatile: restart re-derives it
+    from the stable log ({!lower_floor}) before checkpointing. *)
+
+val floor : t -> Wal.Lsn.t
+(** [Wal.Lsn.nil] when no floor is pinned. *)
+
+val set_floor : t -> Wal.Lsn.t -> unit
+val lower_floor : t -> Wal.Lsn.t -> unit
+(** Lower the floor to [lsn] if unset or higher; [nil] is ignored. *)
+
+val clear_floor : t -> unit
+
 val next_unit_id : t -> int
 (** Monotonically increasing unit ids (survives via the image). *)
 

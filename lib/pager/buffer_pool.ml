@@ -5,6 +5,7 @@ type frame = {
   pid : int;
   data : Page.t;
   mutable dirty : bool;
+  mutable rec_lsn : int64; (* page LSN when the frame last went clean->dirty *)
   mutable pins : int;
   mutable referenced : bool; (* clock second-chance bit *)
   mutable slot : int; (* index of this frame's entry in the clock ring *)
@@ -42,6 +43,7 @@ type t = {
   mutable evictions : int;
   mutable torn_detected : int;
   mutable read_repair : bool;
+  mutable sweep_pid : int; (* elevator hand: next pid the flusher visits *)
   mutable tracer : Obs.Trace.t option;
   (* Every page mutation in the system funnels through [mark_dirty]; the
      health tracker hooks it to learn which pages to re-examine. *)
@@ -73,6 +75,7 @@ let create ?(capacity = default_capacity) backend =
     evictions = 0;
     torn_detected = 0;
     read_repair = false;
+    sweep_pid = 0;
     tracer = None;
     dirty_hook = None;
   }
@@ -318,7 +321,17 @@ let load t pid =
   (* A repaired frame starts dirty: even if no log record ends up replayed
      against it, the final recovery flush must replace the torn on-disk
      image with a consistent one. *)
-  let fr = { pid; data; dirty = repaired; pins = 0; referenced = true; slot = -1 } in
+  let fr =
+    {
+      pid;
+      data;
+      dirty = repaired;
+      rec_lsn = Page.lsn data;
+      pins = 0;
+      referenced = true;
+      slot = -1;
+    }
+  in
   Hashtbl.replace t.frames pid fr;
   ring_push t fr;
   fr
@@ -352,13 +365,63 @@ let with_page t pid f =
 let mark_dirty t pid =
   match Hashtbl.find_opt t.frames pid with
   | Some fr ->
-    fr.dirty <- true;
+    (* Capture the recovery LSN on the clean->dirty transition: callers stamp
+       the page with the mutating record's LSN before marking, so this is the
+       oldest record that might need replaying against the frame — the
+       checkpoint's WAL-truncation floor for this page. *)
+    if not fr.dirty then begin
+      fr.dirty <- true;
+      fr.rec_lsn <- Page.lsn fr.data
+    end;
     (match t.dirty_hook with Some hook -> hook pid | None -> ())
   | None -> invalid_arg "Buffer_pool.mark_dirty: page not cached"
 
 let flush_all t =
   let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.frames [] in
   List.iter (fun pid -> flush_page t pid) (List.sort compare pids)
+
+let dirty_pages t =
+  Hashtbl.fold (fun pid fr acc -> if fr.dirty then pid :: acc else acc) t.frames []
+  |> List.sort compare
+
+(* Background-flusher entry point: drain up to [limit] dirty frames in
+   ascending-pid order starting at the persistent sweep hand, wrapping once —
+   the elevator discipline that turns the flush stream sequential.  The log
+   is forced once up to the batch's maximum page LSN first, so the per-frame
+   WAL-rule forces inside [flush_frame] are already satisfied and the whole
+   batch costs a single force. *)
+let flush_elevator ?(limit = max_int) t =
+  let dirty = dirty_pages t in
+  if dirty = [] then 0
+  else begin
+    let above, below = List.partition (fun pid -> pid >= t.sweep_pid) dirty in
+    let ordered = above @ below in
+    let rec take k xs =
+      match xs with [] -> [] | _ when k <= 0 -> [] | x :: rest -> x :: take (k - 1) rest
+    in
+    let batch = take limit ordered in
+    let max_lsn =
+      List.fold_left
+        (fun m pid ->
+          match Hashtbl.find_opt t.frames pid with
+          | Some fr when fr.dirty -> max m (Page.lsn fr.data)
+          | _ -> m)
+        Int64.min_int batch
+    in
+    if max_lsn > Int64.min_int then t.before_write max_lsn;
+    List.iter (fun pid -> flush_page t pid) batch;
+    (match List.rev batch with last :: _ -> t.sweep_pid <- last + 1 | [] -> ());
+    List.length batch
+  end
+
+(* Oldest recovery LSN over the dirty frames — together with the active-txn
+   and reorg floors, this bounds how far the WAL may be truncated. *)
+let min_rec_lsn t =
+  Hashtbl.fold
+    (fun _ fr acc ->
+      if not fr.dirty then acc
+      else match acc with None -> Some fr.rec_lsn | Some m -> Some (min m fr.rec_lsn))
+    t.frames None
 
 let crash t =
   Hashtbl.reset t.frames;
@@ -367,11 +430,8 @@ let crash t =
   t.ring <- Array.make 16 (-1);
   t.ring_len <- 0;
   t.ring_live <- 0;
-  t.hand <- 0
-
-let dirty_pages t =
-  Hashtbl.fold (fun pid fr acc -> if fr.dirty then pid :: acc else acc) t.frames []
-  |> List.sort compare
+  t.hand <- 0;
+  t.sweep_pid <- 0
 
 let frame_count t = Hashtbl.length t.frames
 let flushes t = t.flushes

@@ -94,6 +94,21 @@ val flush_page : t -> int -> unit
 
 val flush_all : t -> unit
 
+val flush_elevator : ?limit:int -> t -> int
+(** Background-flusher drain: write up to [limit] dirty frames (default all)
+    in ascending-pid order starting from a persistent sweep hand, wrapping
+    once past the end — the elevator discipline that makes the flush stream
+    sequential on disk.  The WAL is forced once up to the batch's maximum
+    page LSN before any frame is written, so the whole batch satisfies the
+    WAL rule with a single force; careful-writing prerequisites are honored
+    per frame as in {!flush_page}.  Returns the number of frames drained. *)
+
+val min_rec_lsn : t -> int64 option
+(** Oldest recovery LSN over the currently dirty frames: the page LSN each
+    frame carried when it last went clean->dirty.  [None] when the pool is
+    clean.  Fuzzy checkpoints use this as one of the WAL-truncation
+    floors. *)
+
 val is_durable : t -> int -> bool
 (** True when the on-disk image is current (frame absent or clean). *)
 

@@ -17,7 +17,8 @@ type t = {
   mutable rand_reads : int;
   mutable seq_writes : int;
   mutable rand_writes : int;
-  mutable last_pid : int;
+  mutable last_read_pid : int;
+  mutable last_write_pid : int;
 }
 
 let create ?(initial_pages = 0) ~page_size () =
@@ -32,7 +33,8 @@ let create ?(initial_pages = 0) ~page_size () =
       rand_reads = 0;
       seq_writes = 0;
       rand_writes = 0;
-      last_pid = -10;
+      last_read_pid = -10;
+      last_write_pid = -10;
     }
   in
   t
@@ -58,21 +60,25 @@ let check t pid =
   if pid < 0 || pid >= t.used then
     invalid_arg (Printf.sprintf "Disk: page %d out of range (0..%d)" pid (t.used - 1))
 
+(* Reads and writes keep separate head-position cursors: a real drive (or
+   its scheduler) services the two streams independently enough that a read
+   interleaved into an elevator write run should not turn the next write
+   into a "random" one. *)
 let read t pid =
   check t pid;
   t.reads <- t.reads + 1;
-  if pid = t.last_pid + 1 then t.seq_reads <- t.seq_reads + 1
+  if pid = t.last_read_pid + 1 then t.seq_reads <- t.seq_reads + 1
   else t.rand_reads <- t.rand_reads + 1;
-  t.last_pid <- pid;
+  t.last_read_pid <- pid;
   Bytes.copy t.pages.(pid)
 
 let write t pid page =
   check t pid;
   if Bytes.length page <> t.page_size then invalid_arg "Disk.write: bad page size";
   t.writes <- t.writes + 1;
-  if pid = t.last_pid + 1 then t.seq_writes <- t.seq_writes + 1
+  if pid = t.last_write_pid + 1 then t.seq_writes <- t.seq_writes + 1
   else t.rand_writes <- t.rand_writes + 1;
-  t.last_pid <- pid;
+  t.last_write_pid <- pid;
   Bytes.blit page 0 t.pages.(pid) 0 t.page_size
 
 let sync _t = ()
@@ -98,7 +104,8 @@ let reset_stats t =
   t.rand_reads <- 0;
   t.seq_writes <- 0;
   t.rand_writes <- 0;
-  t.last_pid <- -10
+  t.last_read_pid <- -10;
+  t.last_write_pid <- -10
 
 let io_cost ?(seek_cost = 10.0) ?(transfer_cost = 1.0) (s : stats) =
   let f = float_of_int in

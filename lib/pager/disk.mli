@@ -3,18 +3,21 @@
     The paper's evaluation concerns I/O counts and physical contiguity of leaf
     pages (range scans over a reorganized tree read sequential pages).  The
     disk therefore tracks, besides raw read/write counts, how many reads {e
-    and} writes were {e sequential} (page id = previously accessed id + 1), so
-    experiments can apply a seek/transfer cost model to both paths — pass 2's
-    contiguity argument applies to the bottom-up build's write stream too. *)
+    and} writes were {e sequential} — page id = previously {e read} id + 1
+    for reads, previously {e written} id + 1 for writes.  The two streams
+    keep independent cursors, so a read interleaved into an elevator write
+    run does not misclassify the next write as random.  Experiments apply a
+    seek/transfer cost model to both paths — pass 2's contiguity argument
+    applies to the bottom-up build's write stream too. *)
 
 type t
 
 type stats = {
   reads : int;
   writes : int;
-  seq_reads : int; (** reads at [last accessed + 1] *)
+  seq_reads : int; (** reads at [last read + 1] *)
   rand_reads : int;
-  seq_writes : int; (** writes at [last accessed + 1] *)
+  seq_writes : int; (** writes at [last written + 1] *)
   rand_writes : int;
 }
 

@@ -1,0 +1,18 @@
+(* A background system process: a fiber that wakes every [every] ticks, runs
+   its body, and exits once [until ()] holds.  The durability pipeline's
+   group-commit ticker, elevator flusher and checkpointer are all daemons;
+   keeping the loop here keeps their exit discipline uniform (checked after
+   each sleep, so a daemon never runs its body on a dead system). *)
+
+let spawn eng ?(name = "daemon") ~every ~until body =
+  Engine.spawn eng ~name (fun () ->
+      let rec loop () =
+        if not (until ()) then begin
+          Engine.sleep every;
+          if not (until ()) then begin
+            body ();
+            loop ()
+          end
+        end
+      in
+      loop ())

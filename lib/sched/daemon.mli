@@ -1,0 +1,10 @@
+(** Periodic background processes on the cooperative scheduler.
+
+    [spawn eng ~every ~until body] starts a fiber that sleeps [every] ticks,
+    re-checks [until], runs [body], and repeats; it exits (without running
+    [body] again) as soon as [until ()] is true at a wakeup.  The async
+    durability pipeline builds its group-commit ticker, elevator page
+    flusher and fuzzy checkpointer out of these. *)
+
+val spawn :
+  Engine.t -> ?name:string -> every:int -> until:(unit -> bool) -> (unit -> unit) -> unit

@@ -148,7 +148,21 @@ let checkpoint t ?(reorg_table = Record.empty_reorg_table) () =
       }
   in
   let lsn = Wal.Log.append t.log body in
-  Wal.Log.force t.log lsn
+  Wal.Log.force t.log lsn;
+  (* Reclaim log entries below the oldest record recovery could need: the
+     checkpoint itself, un-flushed page effects, active transactions' undo
+     chains and the in-flight reorganization unit (if the caller passed a
+     live table image).  Reorganizer-owned checkpoints go through
+     [Core.Ctx.checkpoint], which additionally honours the pass-3 floor. *)
+  let keep = ref lsn in
+  let lower l = if l <> Wal.Lsn.nil && l < !keep then keep := l in
+  (* rec_lsn 0 = dirty frame with no known lower bound: pin everything. *)
+  (match Buffer_pool.min_rec_lsn t.pool with
+  | Some l -> keep := min !keep (max 1 (Wal.Lsn.of_int64 l))
+  | None -> ());
+  (match Txn_mgr.oldest_begin_lsn t.mgr with Some l -> lower l | None -> ());
+  if reorg_table.Record.rt_unit <> None then lower reorg_table.Record.rt_begin_lsn;
+  Wal.Log.truncate t.log ~keep_from:!keep
 
 (* Everything volatile in ONE store dies; the fault controller is the
    caller's business (it may be shared by several stores). *)

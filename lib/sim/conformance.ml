@@ -56,10 +56,12 @@ let workload ~seed =
 (* The crash sweeps: every [stride]-th write/force boundary of the seeded
    torture workloads, each crash replayed through recovery with the models
    watching both sides of the boundary. *)
-let torture ?(n = 120) ?(leaf_pages = 128) ~seed ~stride ~users () =
+let torture ?(n = 120) ?(leaf_pages = 128) ?(pipeline = false) ~seed ~stride ~users () =
   let c = Model.Checker.create () in
-  let label = Printf.sprintf "torture-%d/%d" seed stride in
-  match Torture.run ~checker:c ~n ~leaf_pages ~seed ~stride ~users () with
+  let label =
+    Printf.sprintf "torture-%d/%d%s" seed stride (if pipeline then "+pipe" else "")
+  in
+  match Torture.run ~checker:c ~n ~leaf_pages ~pipeline ~seed ~stride ~users () with
   | (_ : Torture.report) -> summarize label c
   | exception Torture.Failed msg ->
     let s = summarize label c in

@@ -16,9 +16,20 @@ val to_string : summary -> string
 val workload : seed:int -> summary
 (** Reorganization of an aged tree with concurrent update-heavy users. *)
 
-val torture : ?n:int -> ?leaf_pages:int -> seed:int -> stride:int -> users:int -> unit -> summary
+val torture :
+  ?n:int ->
+  ?leaf_pages:int ->
+  ?pipeline:bool ->
+  seed:int ->
+  stride:int ->
+  users:int ->
+  unit ->
+  summary
 (** {!Torture.run} with the checker attached; a harness [Failed] (data loss
-    rather than a protocol violation) is folded into the summary too. *)
+    rather than a protocol violation) is folded into the summary too.
+    [pipeline:true] runs the sweep with the asynchronous durability pipeline
+    attached — the checker then also judges crashes that land inside
+    group-commit windows and across checkpoint truncation. *)
 
 val shard_torture : ?n:int -> seed:int -> stride:int -> unit -> summary
 

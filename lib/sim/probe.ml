@@ -28,6 +28,22 @@ type shard_point = {
   p_arms : shard_arm list;
 }
 
+type gc_arm = {
+  g_label : string;
+  g_forced : int;
+  g_batches : int;
+  g_coalesced : int;
+  g_max_batch : int;
+  g_checkpoints : int;
+  g_truncated : int;
+  g_seq_reads : int;
+  g_rand_reads : int;
+  g_seq_writes : int;
+  g_rand_writes : int;
+  g_io_cost : float;
+  g_committed : int;
+}
+
 type sample = {
   disk : Pager.Disk.stats;
   io_cost : float;
@@ -39,6 +55,7 @@ type sample = {
   dispatches : int;
   timeseries : Obs.Health.Sampler.snapshot list;
   shard_sweep : shard_point list;
+  groupcommit : gc_arm list;
 }
 
 type parts = {
@@ -49,6 +66,7 @@ type parts = {
   mutable engs : Sched.Engine.t list;
   mutable tseries : Obs.Health.Sampler.snapshot list; (* reversed batches *)
   mutable sweep : shard_point list; (* reversed *)
+  mutable gc_arms : gc_arm list; (* reversed *)
 }
 
 let current : parts option ref = ref None
@@ -75,6 +93,11 @@ let note_shard_sweep points =
   match !current with
   | None -> ()
   | Some c -> c.sweep <- List.rev_append points c.sweep
+
+let note_groupcommit arms =
+  match !current with
+  | None -> ()
+  | Some c -> c.gc_arms <- List.rev_append arms c.gc_arms
 
 let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
 
@@ -170,6 +193,7 @@ let total c =
     dispatches = sum Sched.Engine.dispatches c.engs;
     timeseries = List.rev c.tseries;
     shard_sweep = List.rev c.sweep;
+    groupcommit = List.rev c.gc_arms;
   }
 
 let with_collector f =
@@ -177,7 +201,16 @@ let with_collector f =
   | Some _ -> invalid_arg "Probe.with_collector: collector already active"
   | None -> ());
   let c =
-    { disks = []; pools = []; lockms = []; logs = []; engs = []; tseries = []; sweep = [] }
+    {
+      disks = [];
+      pools = [];
+      lockms = [];
+      logs = [];
+      engs = [];
+      tseries = [];
+      sweep = [];
+      gc_arms = [];
+    }
   in
   current := Some c;
   (* Register by id so hooks installed by anyone else stay in place. *)

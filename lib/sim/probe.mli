@@ -36,6 +36,24 @@ type shard_point = {
 (** One configuration of the shard-count sweep; totals in the benchmark
     JSON are computed as sums over [p_arms]. *)
 
+type gc_arm = {
+  g_label : string;  (** ["sync"] or ["pipelined"] *)
+  g_forced : int;  (** stable-boundary advances (the figure group commit cuts) *)
+  g_batches : int;  (** group-commit flushes that woke at least one waiter *)
+  g_coalesced : int;  (** commit waiters covered by those batches *)
+  g_max_batch : int;
+  g_checkpoints : int;  (** fuzzy checkpoints taken during the run *)
+  g_truncated : int;  (** WAL records reclaimed by checkpoint truncation *)
+  g_seq_reads : int;
+  g_rand_reads : int;
+  g_seq_writes : int;
+  g_rand_writes : int;
+  g_io_cost : float;
+  g_committed : int;  (** user transactions acknowledged *)
+}
+(** One arm of the group-commit experiment: the same workload run with the
+    synchronous commit path vs. the asynchronous durability pipeline. *)
+
 type sample = {
   disk : Pager.Disk.stats;  (** summed over every disk assembled *)
   io_cost : float;  (** {!Pager.Disk.io_cost} of the summed stats, default cost model *)
@@ -47,6 +65,7 @@ type sample = {
   dispatches : int;
   timeseries : Obs.Health.Sampler.snapshot list;  (** health samples reported via {!note_timeseries} *)
   shard_sweep : shard_point list;  (** sweep points reported via {!note_shard_sweep} *)
+  groupcommit : gc_arm list;  (** pipeline arms reported via {!note_groupcommit} *)
 }
 
 val with_collector : (unit -> 'a) -> 'a * sample
@@ -70,3 +89,8 @@ val note_shard_sweep : shard_point list -> unit
     call order); a no-op when no collector is active.  They surface as the
     [shard_sweep] array — with per-shard counter blocks — of the schema-v3
     benchmark baseline. *)
+
+val note_groupcommit : gc_arm list -> unit
+(** Report sync-vs-pipelined arms for the current experiment (appended in
+    call order); a no-op when no collector is active.  They surface as the
+    [groupcommit] array of the schema-v4 benchmark baseline. *)

@@ -53,7 +53,7 @@ let purged ?(page_size = 512) ~seed ~n ~ranges ~width () =
 
 let run_reorg ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(users = 0)
     ?(user_mix = Workload.Mix.read_mostly) ?(user_ops = 10_000) ?(seed = 1) ?sampler
-    ?(sample_every = 25) db =
+    ?(sample_every = 25) ?(pipeline = false) ?pipeline_ckpt_every db =
   let prot =
     match checker with
     | Some c ->
@@ -96,7 +96,9 @@ let run_reorg ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(user
         ~mix:user_mix ()
     else Workload.Mix.create_stats ()
   in
-  Engine.run eng;
+  Pipeline.with_pipeline ~enabled:pipeline ?ckpt_every:pipeline_ckpt_every ~ctx eng db
+    ~stop:(fun () -> !report <> None)
+    (fun () -> Engine.run eng);
   match !report with
   | Some r -> (ctx, r, ustats)
   | None -> failwith "Scenario.run_reorg: reorganizer did not finish"

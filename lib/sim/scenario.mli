@@ -48,6 +48,8 @@ val run_reorg :
   ?seed:int ->
   ?sampler:Obs.Health.Sampler.t ->
   ?sample_every:int ->
+  ?pipeline:bool ->
+  ?pipeline_ckpt_every:int ->
   Db.t ->
   Reorg.Ctx.t * Reorg.Driver.report * Workload.Mix.stats
 (** Run the full reorganization inside a fresh scheduler, optionally with
@@ -62,4 +64,9 @@ val run_reorg :
     [sampler] spawns a sampling process on the same engine: its clock is
     pointed at the engine, it snapshots at tick 0 and then every
     [sample_every] ticks (default 25), plus one final snapshot after the
-    reorganizer reports — deterministic health time series for free. *)
+    reorganizer reports — deterministic health time series for free.
+
+    [pipeline:true] attaches the asynchronous durability pipeline
+    ({!Pipeline}): commits group-commit through a background ticker, an
+    elevator flusher writes dirty pages back sequentially, and (with
+    [pipeline_ckpt_every]) a fuzzy checkpointer truncates the WAL. *)

@@ -74,7 +74,8 @@ let verify db exp =
             (List.length us)))
 
 let run ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(page_size = 512)
-    ?(leaf_pages = 512) ?(n = 400) ?(users = 0) ?(f1 = 0.3) ~seed ~stride () =
+    ?(leaf_pages = 512) ?(n = 400) ?(users = 0) ?(f1 = 0.3) ?(pipeline = false) ~seed ~stride
+    () =
   if stride < 1 then invalid_arg "Torture.run: stride must be >= 1";
   let faults = Pager.Fault.create () in
   (match registry with Some reg -> Pager.Fault.register_obs faults reg | None -> ());
@@ -120,7 +121,12 @@ let run ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(page_size 
             Engine.sleep 3
           done)
     done;
-    Engine.run eng;
+    (* With the pipeline on, crash boundaries move INSIDE group-commit
+       windows and elevator sweeps, and fuzzy checkpoints truncate the log
+       mid-workload — the sweep then proves recovery across all of it. *)
+    Pipeline.with_pipeline ~enabled:pipeline ~ckpt_every:40 ~ctx eng db
+      ~stop:(fun () -> !finished)
+      (fun () -> Engine.run eng);
     (* Background writeback: these page writes are crash boundaries too. *)
     Db.flush_all db
   in

@@ -60,6 +60,7 @@ val run :
   ?n:int ->
   ?users:int ->
   ?f1:float ->
+  ?pipeline:bool ->
   seed:int ->
   stride:int ->
   unit ->
@@ -68,4 +69,7 @@ val run :
     deterministic from the arguments.  Defaults: 512-byte pages, 512-page
     leaf zone, [n = 400] records at fill 0.3, no concurrent users.
     [registry] accumulates [fault.*], [recovery.*] and per-subsystem
-    counters across all cycles. *)
+    counters across all cycles.  [pipeline:true] runs every cycle with the
+    asynchronous durability pipeline attached ({!Pipeline}) — crash
+    boundaries then land inside group-commit windows and elevator sweeps,
+    and fuzzy checkpoints truncate the WAL mid-workload. *)

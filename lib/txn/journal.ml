@@ -3,14 +3,24 @@ module Buffer_pool = Pager.Buffer_pool
 module Log = Wal.Log
 module Record = Wal.Record
 
-type t = { pool : Buffer_pool.t; log : Log.t }
+type t = {
+  pool : Buffer_pool.t;
+  log : Log.t;
+  mutable commit_force : Wal.Lsn.t -> unit;
+      (* Commit-time durability: direct [Log.force] by default; the async
+         pipeline reroutes it through group commit while attached. *)
+}
 
 let create pool log =
   Buffer_pool.set_before_write pool (fun lsn -> Log.force log (Wal.Lsn.of_int64 lsn));
-  { pool; log }
+  { pool; log; commit_force = (fun lsn -> Log.force log lsn) }
 
 let pool t = t.pool
 let log t = t.log
+
+let commit_force t lsn = t.commit_force lsn
+let set_commit_force t f = t.commit_force <- f
+let reset_commit_force t = t.commit_force <- (fun lsn -> Log.force t.log lsn)
 
 let append t body = Log.append t.log body
 

@@ -14,6 +14,17 @@ val create : Pager.Buffer_pool.t -> Wal.Log.t -> t
 val pool : t -> Pager.Buffer_pool.t
 val log : t -> Wal.Log.t
 
+val commit_force : t -> Wal.Lsn.t -> unit
+(** Commit-time durability barrier: [Log.force] by default.  The async
+    pipeline reroutes it ({!set_commit_force}) so concurrent commits park on
+    the group-commit buffer instead of each forcing the log themselves.
+    Careful-writing prerequisite forces (the pool's before-write hook) stay
+    synchronous and are {e not} affected. *)
+
+val set_commit_force : t -> (Wal.Lsn.t -> unit) -> unit
+val reset_commit_force : t -> unit
+(** Restore the default synchronous force. *)
+
 val append : t -> Wal.Record.body -> Wal.Lsn.t
 (** Raw log append (for records that do not change pages, or whose page
     stamping the caller does itself with {!stamp}). *)

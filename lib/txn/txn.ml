@@ -4,13 +4,24 @@ type t = {
   id : int;
   mutable state : state;
   mutable last_lsn : Wal.Lsn.t;
+  mutable begin_lsn : Wal.Lsn.t;
+  mutable committing : bool;
   mutable waits : int;
   mutable blocked_ticks : int;
   mutable gave_up : int;
 }
 
 let make id =
-  { id; state = Active; last_lsn = Wal.Lsn.nil; waits = 0; blocked_ticks = 0; gave_up = 0 }
+  {
+    id;
+    state = Active;
+    last_lsn = Wal.Lsn.nil;
+    begin_lsn = Wal.Lsn.nil;
+    committing = false;
+    waits = 0;
+    blocked_ticks = 0;
+    gave_up = 0;
+  }
 
 let is_active t = t.state = Active
 

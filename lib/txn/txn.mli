@@ -11,6 +11,14 @@ type t = {
   id : int;
   mutable state : state;
   mutable last_lsn : Wal.Lsn.t;  (** most recent log record of this actor *)
+  mutable begin_lsn : Wal.Lsn.t;
+      (** LSN of the [Txn_begin] record ([nil] for unlogged actors) — the
+          WAL-truncation floor while this transaction is active *)
+  mutable committing : bool;
+      (** set once the [Txn_commit] record is appended: the transaction may
+          still be parked awaiting the group commit's force, but a checkpoint
+          taken in that window must not list it as active (the checkpoint's
+          own force makes the lower-LSN commit record durable first) *)
   mutable waits : int;  (** lock requests that had to block *)
   mutable blocked_ticks : int;  (** scheduler ticks spent blocked on locks *)
   mutable gave_up : int;  (** times an RX conflict made it restart (§4.1.2) *)

@@ -35,6 +35,7 @@ let fresh_owner t =
 let adopt t tx =
   if Hashtbl.mem t.active tx.Txn.id then invalid_arg "Txn_mgr.adopt: id already active";
   tx.Txn.last_lsn <- Log.append (Journal.log t.journal) (Record.Txn_begin tx.Txn.id);
+  tx.Txn.begin_lsn <- tx.Txn.last_lsn;
   Hashtbl.replace t.active tx.Txn.id tx
 
 let begin_txn t =
@@ -52,7 +53,16 @@ let set_logical_undo t f = t.logical_undo <- f
 let commit t tx =
   if not (Txn.is_active tx) then invalid_arg "Txn_mgr.commit: not active";
   let lsn = Log.append (Journal.log t.journal) (Record.Txn_commit tx.Txn.id) in
-  Log.force (Journal.log t.journal) lsn;
+  (* From here to the force the transaction's fate is sealed in the log
+     order: a checkpoint written inside this window must NOT list it as
+     active (any durable checkpoint implies the lower-LSN commit record is
+     durable too, and restart analysis would otherwise re-activate the
+     transaction past its own commit and undo it as a loser). *)
+  tx.Txn.committing <- true;
+  (* Commit-time durability goes through the journal's commit_force seam so
+     the async pipeline can park concurrent committers on the group-commit
+     buffer; by default this is a plain synchronous Log.force. *)
+  Journal.commit_force t.journal lsn;
   tx.Txn.state <- Txn.Committed;
   Hashtbl.remove t.active tx.Txn.id;
   Lockmgr.Lock_mgr.release_all t.locks ~owner:tx.Txn.id
@@ -117,7 +127,29 @@ let abort t tx =
 
 let finish_read_only t tx = Lockmgr.Lock_mgr.release_all t.locks ~owner:tx.Txn.id
 
-let active_txns t = Hashtbl.fold (fun id tx acc -> (id, tx.Txn.last_lsn) :: acc) t.active []
+(* Transactions parked between their commit-record append and the group
+   commit's force are excluded: their commit already precedes any checkpoint
+   taken now, so listing them as active would make restart analysis undo a
+   (possibly acknowledged) commit. *)
+let active_txns t =
+  Hashtbl.fold
+    (fun id tx acc -> if tx.Txn.committing then acc else (id, tx.Txn.last_lsn) :: acc)
+    t.active []
+
+(* Oldest Txn_begin among the active set — the floor below which the WAL may
+   not be truncated while these transactions might still need to roll back.
+   Committing transactions need no undo once their commit record is durable
+   (which any checkpoint taken now forces), and their redo records are
+   pinned by the dirty frames' recovery LSNs. *)
+let oldest_begin_lsn t =
+  Hashtbl.fold
+    (fun _ tx acc ->
+      if tx.Txn.begin_lsn = Wal.Lsn.nil || tx.Txn.committing then acc
+      else
+        match acc with
+        | None -> Some tx.Txn.begin_lsn
+        | Some b -> Some (min b tx.Txn.begin_lsn))
+    t.active None
 
 let find_active t id = Hashtbl.find_opt t.active id
 

@@ -42,7 +42,9 @@ val begin_with_id : t -> int -> Txn.t
     id that is already active here is an error. *)
 
 val commit : t -> Txn.t -> unit
-(** Log [Txn_commit], force the log, release all locks. *)
+(** Log [Txn_commit], make it durable through the journal's
+    {!Journal.commit_force} seam (a synchronous force by default, group
+    commit when the async pipeline is attached), release all locks. *)
 
 val abort : t -> Txn.t -> unit
 (** Undo (logging CLRs), log [Txn_abort], release all locks. *)
@@ -54,6 +56,10 @@ val set_logical_undo : t -> (Txn.t -> Wal.Record.clr_action -> unit) -> unit
 
 val active_txns : t -> (int * Wal.Lsn.t) list
 (** For checkpointing. *)
+
+val oldest_begin_lsn : t -> Wal.Lsn.t option
+(** Oldest [Txn_begin] LSN among active transactions (a WAL-truncation
+    floor), [None] when no active transaction has logged one. *)
 
 val find_active : t -> int -> Txn.t option
 

@@ -1,0 +1,52 @@
+(* The log buffer's group-commit seam: concurrent force requests (txn
+   commits, careful-writing prerequisites, cross-shard coordinator forces)
+   park here and a scheduler-driven flush turns the whole batch into one
+   force to the maximum requested LSN.  The module is engine-agnostic — a
+   waiter is just a wake callback — so the WAL layer stays below the
+   scheduler in the dependency order; [Sim.Pipeline] supplies the fibers. *)
+
+type waiter = { w_lsn : Lsn.t; w_wake : unit -> unit }
+
+type stats = { batches : int; coalesced : int; max_batch : int }
+
+type t = {
+  log : Log.t;
+  mutable pending : waiter list; (* newest first *)
+  mutable batches : int;
+  mutable coalesced : int;
+  mutable max_batch : int;
+}
+
+let create log = { log; pending = []; batches = 0; coalesced = 0; max_batch = 0 }
+
+let request t lsn wake = t.pending <- { w_lsn = lsn; w_wake = wake } :: t.pending
+
+let pending t = List.length t.pending
+
+let flush t =
+  match t.pending with
+  | [] -> ()
+  | ws ->
+    t.pending <- [];
+    let target = List.fold_left (fun m w -> max m w.w_lsn) Lsn.nil ws in
+    (* One force covers the whole batch.  If the fault controller makes it
+       raise Crash, the machine died mid-force: the waiters are abandoned,
+       which is correct — none of them was ever acknowledged. *)
+    Log.force t.log target;
+    let flushed = Log.flushed_lsn t.log in
+    (* Wake only waiters whose LSN is actually stable; an ack must never
+       outrun the flushed boundary.  (A successful force to [target] covers
+       everyone; the partition guards the invariant, not a live path.) *)
+    let sat, unsat = List.partition (fun w -> w.w_lsn <= flushed) ws in
+    t.pending <- unsat @ t.pending;
+    (match sat with
+    | [] -> ()
+    | _ ->
+      t.batches <- t.batches + 1;
+      let n = List.length sat in
+      t.coalesced <- t.coalesced + n;
+      if n > t.max_batch then t.max_batch <- n);
+    (* Oldest first, so commit acks come out in request order. *)
+    List.iter (fun w -> w.w_wake ()) (List.rev sat)
+
+let stats t = { batches = t.batches; coalesced = t.coalesced; max_batch = t.max_batch }

@@ -1,0 +1,37 @@
+(** Group commit: coalesce concurrent log-force requests into one stable
+    append per scheduler window.
+
+    Committers call {!request} with the LSN they need durable and a wake
+    callback, then park (the caller suspends its fiber; this module never
+    blocks).  A periodic {!flush} — driven by the pipeline's group-commit
+    ticker — issues a {e single} [Log.force] to the maximum pending LSN and
+    wakes exactly the waiters whose LSN is covered by the new flushed
+    boundary, preserving the prefix contract: an ack never outruns
+    [Log.flushed_lsn].  If the force trips a fault-plan crash, the waiters
+    are abandoned un-acknowledged, exactly as a synchronous force that never
+    returned. *)
+
+type t
+
+type stats = {
+  batches : int;  (** flushes that woke at least one waiter *)
+  coalesced : int;  (** total waiters woken across all batches *)
+  max_batch : int;  (** largest single batch *)
+}
+
+val create : Log.t -> t
+
+val request : t -> Lsn.t -> (unit -> unit) -> unit
+(** [request t lsn wake] enqueues a waiter for [lsn] to become stable.  The
+    caller is responsible for checking [Log.flushed_lsn] first (no waiter is
+    needed for an already-stable LSN) and for parking itself until [wake]. *)
+
+val pending : t -> int
+(** Waiters currently parked. *)
+
+val flush : t -> unit
+(** Force once to the maximum pending LSN and wake the covered waiters,
+    oldest first.  No-op when nothing is pending.  May raise
+    {!Pager.Fault.Crash} (waiters stay un-acknowledged). *)
+
+val stats : t -> stats

@@ -4,13 +4,15 @@ type stats = { records : int; bytes : int; forced : int }
 
 type t = {
   mutable entries : entry option array; (* index = lsn - base - 1 *)
-  mutable base : int; (* number of LSNs before entries.(0); always 0 here *)
+  mutable base : int; (* number of LSNs truncated away before entries.(0) *)
   mutable next : Lsn.t; (* next LSN to assign *)
   mutable flushed : Lsn.t;
   mutable ckpt : Lsn.t; (* last stable checkpoint, nil if none *)
   mutable records : int;
   mutable bytes : int;
   mutable forced : int;
+  mutable truncated : int; (* records reclaimed by truncate *)
+  mutable reset_floor : Lsn.t; (* head LSN at the last reset_stats *)
   mutable fault : Pager.Fault.t option;
   mutable tracer : Obs.Trace.t option;
 }
@@ -25,6 +27,8 @@ let create () =
     records = 0;
     bytes = 0;
     forced = 0;
+    truncated = 0;
+    reset_floor = Lsn.nil;
     fault = None;
     tracer = None;
   }
@@ -96,27 +100,100 @@ let force_all t = force t (head_lsn t)
 
 let flushed_lsn t = t.flushed
 
+let base_lsn t = t.base
+
 let read t lsn =
-  if lsn < 1 || lsn > head_lsn t then raise Not_found;
+  (* LSNs at or below [base] were reclaimed by {!truncate}. *)
+  if lsn <= t.base || lsn < 1 || lsn > head_lsn t then raise Not_found;
   match t.entries.(slot t lsn) with None -> raise Not_found | Some e -> e.body
 
 let iter ?(from = 1) ?upto t f =
   let upto = match upto with None -> t.flushed | Some u -> min u t.flushed in
-  for lsn = max 1 from to upto do
+  for lsn = max (t.base + 1) (max 1 from) to upto do
     match t.entries.(slot t lsn) with None -> () | Some e -> f lsn e.body
   done
 
 let crash t =
   (* Volatile tail vanishes; the LSN sequence continues (real systems reuse
-     offsets, but distinct LSNs keep page-LSN comparisons unambiguous). *)
+     offsets, but distinct LSNs keep page-LSN comparisons unambiguous).
+     Entries appended before the last [reset_stats] are no longer in the
+     counters, so only decrement for the ones appended after the mark — a
+     reset-then-crash must not drive the gauges negative. *)
   for lsn = t.flushed + 1 to head_lsn t do
     match t.entries.(slot t lsn) with
     | Some e ->
-      t.records <- t.records - 1;
-      t.bytes <- t.bytes - e.size;
+      if lsn > t.reset_floor then begin
+        t.records <- t.records - 1;
+        t.bytes <- t.bytes - e.size
+      end;
       t.entries.(slot t lsn) <- None
     | None -> ()
   done
+
+let truncate t ~keep_from =
+  (* Reclaim stable entries below [keep_from]: advance [base] and compact the
+     array.  Only the stable prefix may go — the volatile tail is still
+     awaiting a force — and [base] never moves backwards.  Byte/record stats
+     measure appended log volume, so truncation leaves them alone. *)
+  let keep_from = max keep_from (t.base + 1) in
+  let keep_from = min keep_from (t.flushed + 1) in
+  (* Metadata dependency: redo of a Reorg_move needs its unit's BEGIN record
+     (the unit type decides how the move replays — a swap is not a compact).
+     A finished unit's pages can stay dirty long after its BEGIN, so the
+     caller's recovery-LSN floor covers the moves but not the BEGIN.  Lower
+     [keep_from] to the oldest BEGIN any retained move/modify refers to,
+     iterating because newly retained moves can refer to still older
+     BEGINs of interleaved (parallel-worker) units. *)
+  let keep_from =
+    let begins = Hashtbl.create 8 and refs = ref [] in
+    for lsn = t.base + 1 to t.flushed do
+      match t.entries.(slot t lsn) with
+      | Some { body = Record.Reorg_begin { unit_id; _ }; _ } ->
+        Hashtbl.replace begins unit_id lsn
+      | Some { body = Record.Reorg_move { unit_id; _ } | Record.Reorg_modify { unit_id; _ }; _ }
+        ->
+        refs := (lsn, unit_id) :: !refs
+      | _ -> ()
+    done;
+    let keep = ref keep_from in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (lsn, unit_id) ->
+          if lsn >= !keep then
+            match Hashtbl.find_opt begins unit_id with
+            | Some b when b < !keep ->
+              keep := b;
+              changed := true
+            | _ -> ())
+        !refs
+    done;
+    !keep
+  in
+  let new_base = keep_from - 1 in
+  let dropped = new_base - t.base in
+  if dropped > 0 then begin
+    let reclaimed = ref 0 in
+    for lsn = t.base + 1 to new_base do
+      match t.entries.(slot t lsn) with Some _ -> incr reclaimed | None -> ()
+    done;
+    let retained = head_lsn t - new_base in
+    let cap = max 64 retained in
+    let fresh = Array.make cap None in
+    Array.blit t.entries dropped fresh 0 retained;
+    t.entries <- fresh;
+    t.base <- new_base;
+    t.truncated <- t.truncated + !reclaimed;
+    if t.ckpt <> Lsn.nil && t.ckpt <= new_base then t.ckpt <- Lsn.nil;
+    match t.tracer with
+    | Some tr ->
+      Obs.Trace.instant tr ~cat:"wal" "wal.truncate"
+        ~args:[ ("base", Obs.Trace.Int t.base); ("records", Obs.Trace.Int !reclaimed) ]
+    | None -> ()
+  end
+
+let truncated_records t = t.truncated
 
 let last_checkpoint t =
   if t.ckpt = Lsn.nil then None
@@ -130,4 +207,7 @@ let stats t = { records = t.records; bytes = t.bytes; forced = t.forced }
 let reset_stats t =
   t.records <- 0;
   t.bytes <- 0;
-  t.forced <- 0
+  t.forced <- 0;
+  (* Entries at or below this mark are no longer reflected in the counters;
+     a later [crash] must not subtract them. *)
+  t.reset_floor <- head_lsn t

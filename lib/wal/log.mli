@@ -49,12 +49,29 @@ val crash : t -> unit
 (** Discard the volatile tail.  Subsequent appends continue the LSN
     sequence. *)
 
+val truncate : t -> keep_from:Lsn.t -> unit
+(** Reclaim stable entries below [keep_from] and advance the log's base —
+    the checkpoint protocol calls this once replay is guaranteed to start at
+    or after [keep_from].  Clamped so the base never regresses and the
+    volatile tail is never touched.  {!read} of a reclaimed LSN raises
+    [Not_found]; {!iter} skips reclaimed prefixes.  {!stats} counters
+    (appended log volume) are unaffected. *)
+
+val base_lsn : t -> Lsn.t
+(** Highest reclaimed LSN (0 when nothing was truncated): records with
+    LSN <= [base_lsn] are gone. *)
+
+val truncated_records : t -> int
+(** Total records reclaimed by {!truncate} over this log's lifetime. *)
+
 val last_checkpoint : t -> (Lsn.t * Record.body) option
 (** Most recent stable [Checkpoint] record, tracked incrementally. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit
-(** Zeroes the counters in {!stats} (the records themselves are kept). *)
+(** Zeroes the counters in {!stats} (the records themselves are kept).  A
+    later {!crash} only subtracts volatile entries appended {e after} the
+    reset, so the gauges cannot go negative. *)
 
 (** {2 Observability} *)
 

@@ -166,6 +166,48 @@ let test_write_stats_and_cost () =
   Alcotest.(check (float 1e-9)) "custom cost" 10.0
     (Disk.io_cost ~seek_cost:4.0 ~transfer_cost:0.5 s)
 
+let test_split_rw_cursors () =
+  (* Reads and writes keep independent head cursors: a read interleaved
+     into an elevator write run must not turn the next write random (and
+     vice versa). *)
+  let disk, _ = mk () in
+  let p = Page.create ~size:256 in
+  Disk.reset_stats disk;
+  Disk.write disk 3 p;
+  ignore (Disk.read disk 7);
+  Disk.write disk 4 p;
+  ignore (Disk.read disk 8);
+  Disk.write disk 5 p;
+  let s = Disk.stats disk in
+  Alcotest.(check int) "writes stay sequential across reads" 2 s.Disk.seq_writes;
+  Alcotest.(check int) "first write is random" 1 s.Disk.rand_writes;
+  Alcotest.(check int) "reads stay sequential across writes" 1 s.Disk.seq_reads;
+  Alcotest.(check int) "first read is random" 1 s.Disk.rand_reads
+
+let test_flush_elevator_order () =
+  let disk, _ = mk ~pages:32 () in
+  let pool = Buffer_pool.create ~capacity:16 (Backend.of_disk disk) in
+  List.iter
+    (fun pid ->
+      let p = Buffer_pool.get pool pid in
+      Page.set_u16 p uoff pid;
+      Buffer_pool.mark_dirty pool pid)
+    [ 9; 2; 11; 4; 10 ];
+  Disk.reset_stats disk;
+  (* First sweep: limited batch in ascending-pid order from the hand. *)
+  Alcotest.(check int) "first batch" 3 (Buffer_pool.flush_elevator ~limit:3 pool);
+  Alcotest.(check (list int)) "remaining dirty" [ 10; 11 ] (Buffer_pool.dirty_pages pool);
+  (* Second sweep resumes at the hand and drains the rest. *)
+  Alcotest.(check int) "second batch" 2 (Buffer_pool.flush_elevator pool);
+  Alcotest.(check (list int)) "clean" [] (Buffer_pool.dirty_pages pool);
+  let s = Disk.stats disk in
+  Alcotest.(check int) "adjacent pids coalesced sequentially" 2 s.Disk.seq_writes;
+  List.iter
+    (fun pid ->
+      Alcotest.(check int) (Printf.sprintf "page %d on disk" pid) pid
+        (Page.get_u16 (Disk.peek disk pid) uoff))
+    [ 2; 4; 9; 10; 11 ]
+
 let test_dep_chain () =
   (* 1 blocked on 2 blocked on 3 blocked on 4: flushing the most blocked
      page must drive the whole chain, prerequisites first, and fire the
@@ -499,6 +541,7 @@ let () =
           Alcotest.test_case "rw + stats" `Quick test_disk_rw_and_stats;
           Alcotest.test_case "bounds" `Quick test_disk_bounds;
           Alcotest.test_case "write stats + cost" `Quick test_write_stats_and_cost;
+          Alcotest.test_case "split r/w cursors" `Quick test_split_rw_cursors;
         ] );
       ( "faults",
         [
@@ -514,6 +557,7 @@ let () =
           Alcotest.test_case "careful writing cycle" `Quick test_careful_writing_cycle;
           Alcotest.test_case "on_durable" `Quick test_on_durable;
           Alcotest.test_case "dependency chain" `Quick test_dep_chain;
+          Alcotest.test_case "elevator flush" `Quick test_flush_elevator_order;
           Alcotest.test_case "eviction" `Quick test_eviction;
           Alcotest.test_case "pinning" `Quick test_pin_blocks_eviction;
           Alcotest.test_case "bounded default capacity" `Quick test_bounded_default_capacity;

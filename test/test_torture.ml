@@ -39,6 +39,14 @@ let test_with_users () =
   let r = Torture.run ~seed:5 ~stride:11 ~n:80 ~leaf_pages:64 ~users:2 () in
   check_report "users" r
 
+let test_pipelined_sweep () =
+  (* Same sweep with the async durability pipeline attached: crash
+     boundaries now land inside group-commit windows and elevator sweeps,
+     and fuzzy checkpoints truncate the WAL mid-workload. *)
+  let r = Torture.run ~seed:11 ~stride:9 ~n:80 ~leaf_pages:64 ~users:2 ~pipeline:true () in
+  check_report "pipelined" r;
+  Alcotest.(check bool) "some plans tripped" true (r.Torture.crashes > 0)
+
 let test_torn_faults_seen () =
   (* The boundary sweep draws torn variants from the seeded rng; over a full
      stride-1 sweep both kinds of tear must actually occur, or the harness
@@ -83,6 +91,7 @@ let () =
           Alcotest.test_case "stride-1 small trees x3 seeds" `Quick test_stride1_sweep;
           Alcotest.test_case "sampled default size" `Quick test_sampled_default_size;
           Alcotest.test_case "with concurrent users" `Quick test_with_users;
+          Alcotest.test_case "pipelined sweep" `Quick test_pipelined_sweep;
           Alcotest.test_case "torn faults exercised" `Quick test_torn_faults_seen;
         ] );
       ("mutation", [ Alcotest.test_case "corruption is caught" `Quick test_mutation_caught ]);

@@ -155,6 +155,144 @@ let test_stats_accounting () =
   let s2 = Log.stats log in
   Alcotest.(check int) "crash removes unforced from accounting" 0 s2.Log.records
 
+let test_reset_stats_then_crash () =
+  let log = Log.create () in
+  ignore (Log.append log (Record.Txn_begin 1));
+  Log.force_all log;
+  Log.reset_stats log;
+  (* Only volatile records appended AFTER the reset may be subtracted: the
+     stable prefix predates the gauge's zero and a crash must not drive the
+     counters negative. *)
+  ignore (Log.append log (Record.Txn_begin 2));
+  Log.crash log;
+  let s = Log.stats log in
+  Alcotest.(check int) "records not negative" 0 s.Log.records;
+  Alcotest.(check bool) "bytes not negative" true (s.Log.bytes >= 0)
+
+let test_truncate_reclaims_prefix () =
+  let log = Log.create () in
+  let lsns = List.init 5 (fun i -> Log.append log (Record.Txn_begin i)) in
+  Log.force_all log;
+  Log.truncate log ~keep_from:4;
+  Alcotest.(check int) "base" 3 (Log.base_lsn log);
+  Alcotest.(check int) "reclaimed" 3 (Log.truncated_records log);
+  Alcotest.check_raises "read below base" Not_found (fun () ->
+      ignore (Log.read log (List.nth lsns 1)));
+  let seen = ref [] in
+  Log.iter log (fun lsn _ -> seen := lsn :: !seen);
+  Alcotest.(check (list int)) "iter skips reclaimed" [ 4; 5 ] (List.rev !seen);
+  (* Appends continue the LSN sequence and a lower keep_from cannot regress
+     the base. *)
+  let l6 = Log.append log (Record.Txn_begin 6) in
+  Alcotest.(check int) "lsn continues" 6 l6;
+  Log.truncate log ~keep_from:2;
+  Alcotest.(check int) "base never regresses" 3 (Log.base_lsn log)
+
+let test_truncate_spares_volatile_tail () =
+  let log = Log.create () in
+  let l1 = Log.append log (Record.Txn_begin 1) in
+  Log.force log l1;
+  let l2 = Log.append log (Record.Txn_begin 2) in
+  (* keep_from above the stable boundary is clamped: the volatile tail is
+     the crash model's business, not truncation's. *)
+  Log.truncate log ~keep_from:99;
+  Alcotest.(check int) "base stops at flushed" l1 (Log.base_lsn log);
+  Log.force log l2;
+  Alcotest.(check bool) "tail survived" true (Log.read log l2 = Record.Txn_begin 2)
+
+let test_truncate_pins_unit_begin () =
+  let log = Log.create () in
+  let b =
+    Log.append log
+      (Record.Reorg_begin { unit_id = 9; rtype = Record.Swap; base_pages = [ 1 ]; leaf_pages = [ 2; 3 ] })
+  in
+  ignore (Log.append log (Record.Txn_begin 1));
+  let m =
+    Log.append log
+      (Record.Reorg_move
+         { unit_id = 9; org = 2; dest = 3; payload = Record.Keys_only [ 1 ]; dest_init = None; prev = b })
+  in
+  Log.force_all log;
+  (* Truncating between the unit's BEGIN and a retained move would leave
+     redo unable to recover the unit's type (a Swap replayed as a Compact
+     corrupts the tree): keep_from is lowered to the BEGIN. *)
+  Log.truncate log ~keep_from:m;
+  Alcotest.(check int) "begin retained" (b - 1) (Log.base_lsn log);
+  Alcotest.(check bool) "begin readable" true
+    (match Log.read log b with Record.Reorg_begin _ -> true | _ -> false)
+
+let test_group_commit_coalesces () =
+  let log = Log.create () in
+  let gc = Wal.Group_commit.create log in
+  let woken = ref [] in
+  let lsns = List.init 5 (fun i -> Log.append log (Record.Txn_begin i)) in
+  List.iter (fun l -> Wal.Group_commit.request gc l (fun () -> woken := l :: !woken)) lsns;
+  Alcotest.(check int) "parked" 5 (Wal.Group_commit.pending gc);
+  let f0 = (Log.stats log).Log.forced in
+  Wal.Group_commit.flush gc;
+  Alcotest.(check int) "one force per batch" (f0 + 1) (Log.stats log).Log.forced;
+  Alcotest.(check (list int)) "all woken, oldest first" lsns (List.rev !woken);
+  Alcotest.(check int) "nothing parked" 0 (Wal.Group_commit.pending gc);
+  Alcotest.(check bool) "acks covered by flushed" true
+    (List.for_all (fun l -> l <= Log.flushed_lsn log) !woken);
+  let s = Wal.Group_commit.stats gc in
+  Alcotest.(check int) "batches" 1 s.Wal.Group_commit.batches;
+  Alcotest.(check int) "coalesced" 5 s.Wal.Group_commit.coalesced;
+  Alcotest.(check int) "max batch" 5 s.Wal.Group_commit.max_batch
+
+let test_group_commit_torn_tail () =
+  let faults = Pager.Fault.create () in
+  let log = Log.create () in
+  Log.set_fault log faults;
+  let gc = Wal.Group_commit.create log in
+  let woken = ref [] in
+  let lsns = List.init 4 (fun i -> Log.append log (Record.Txn_begin i)) in
+  List.iter (fun l -> Wal.Group_commit.request gc l (fun () -> woken := l :: !woken)) lsns;
+  let flushed0 = Log.flushed_lsn log in
+  Pager.Fault.arm faults
+    { Pager.Fault.no_faults with crash_after_forces = Some 1; torn_tail = true; seed = 3 };
+  (try
+     Wal.Group_commit.flush gc;
+     Alcotest.fail "expected Crash"
+   with Pager.Fault.Crash -> ());
+  Pager.Fault.disarm faults;
+  (* The torn force may have committed any prefix, but the boundary is
+     monotone and nobody was acknowledged — exactly a synchronous force
+     that never returned. *)
+  let flushed1 = Log.flushed_lsn log in
+  Alcotest.(check bool) "flushed monotone" true (flushed1 >= flushed0);
+  Alcotest.(check bool) "flushed bounded" true (flushed1 <= List.nth lsns 3);
+  Alcotest.(check (list int)) "no acks from a crashed force" [] !woken;
+  Log.crash log;
+  List.iter
+    (fun l ->
+      if l <= flushed1 then
+        Alcotest.(check bool) "stable prefix survives" true (Log.read log l = Record.Txn_begin (l - 1))
+      else Alcotest.check_raises "torn tail gone" Not_found (fun () -> ignore (Log.read log l)))
+    lsns
+
+let test_torn_checkpoint_not_tracked () =
+  let faults = Pager.Fault.create () in
+  let log = Log.create () in
+  Log.set_fault log faults;
+  ignore (Log.append log (Record.Txn_begin 1));
+  let c =
+    Log.append log
+      (Record.Checkpoint
+         { active_txns = []; reorg = Record.empty_reorg_table; dirty_pages = [] })
+  in
+  Pager.Fault.arm faults
+    { Pager.Fault.no_faults with crash_after_forces = Some 1; torn_tail = true; seed = 11 };
+  (try
+     Log.force log c;
+     Alcotest.fail "expected Crash"
+   with Pager.Fault.Crash -> ());
+  Pager.Fault.disarm faults;
+  (* Only a checkpoint that made it below the stable boundary counts. *)
+  (match Log.last_checkpoint log with
+  | Some (lsn, _) -> Alcotest.(check bool) "tracked checkpoint is stable" true (lsn <= Log.flushed_lsn log)
+  | None -> ())
+
 (* Property: encode/decode round-trips over generated record bodies. *)
 let gen_body : Record.body QCheck.Gen.t =
   let open QCheck.Gen in
@@ -217,5 +355,18 @@ let () =
           Alcotest.test_case "iter stable only" `Quick test_log_iter_stable_only;
           Alcotest.test_case "checkpoint tracking" `Quick test_checkpoint_tracking;
           Alcotest.test_case "stats" `Quick test_stats_accounting;
+          Alcotest.test_case "reset stats then crash" `Quick test_reset_stats_then_crash;
+        ] );
+      ( "truncate",
+        [
+          Alcotest.test_case "reclaims prefix" `Quick test_truncate_reclaims_prefix;
+          Alcotest.test_case "spares volatile tail" `Quick test_truncate_spares_volatile_tail;
+          Alcotest.test_case "pins unit begin" `Quick test_truncate_pins_unit_begin;
+        ] );
+      ( "group-commit",
+        [
+          Alcotest.test_case "coalesces into one force" `Quick test_group_commit_coalesces;
+          Alcotest.test_case "torn tail" `Quick test_group_commit_torn_tail;
+          Alcotest.test_case "torn checkpoint not tracked" `Quick test_torn_checkpoint_not_tracked;
         ] );
     ]
