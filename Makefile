@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json health shard groupcommit torture model clean
+.PHONY: all build test check bench bench-json health shard groupcommit olc torture model clean
 
 all: build
 
@@ -40,6 +40,17 @@ groupcommit:
 	dune exec bench/main.exe -- groupcommit
 	dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 7 -n 120 --users 2 --pipeline
 	dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture --stride 7 -n 120 --pipeline
+
+# Optimistic read path: the locked-vs-OLC R1 table (S acquires collapse,
+# digests identical), crash sweeps with optimistic readers (crashes land
+# inside lock-free descents; the epoch invalidates parked readers), and the
+# conformance runs including the skipped-version-bump mutation self-test.
+olc:
+	dune exec bench/main.exe -- olc
+	dune exec bin/reorg_cli.exe -- torture --seed 7 --stride 17 --users 2 --olc
+	dune exec bin/reorg_cli.exe -- model --seeds 11,23 --experiments workload --olc
+	dune exec bin/reorg_cli.exe -- model --seeds 7 --experiments torture --stride 29 -n 120 --olc
+	dune exec bin/reorg_cli.exe -- model --mutate olc; test $$? -eq 2
 
 # Exhaustive crash-point sweep: crash at every write boundary on three seeds,
 # recover forward, verify.  Fast (in-memory disk), run it before shipping

@@ -68,6 +68,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "groupcommit",
       "G1: group commit + async I/O pipeline vs synchronous durability",
       fun () -> Util.Table.print (Sim.Exp_groupcommit.run ()) );
+    ( "olc",
+      "R1: optimistic version-validated reads vs the locked reader protocol",
+      fun () -> Util.Table.print (Sim.Exp_olc.run ()) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -226,8 +229,19 @@ let micro () =
    counts, the sequential/random split of the disk's read and write
    streams, the io-cost model total and the user commits.  ci/check.sh
    asserts the pipelined arm forces strictly less and writes more
-   sequentially than the sync arm. *)
-let json_schema_version = 4
+   sequentially than the sync arm.
+
+   Version 5 adds a per-experiment [olc] array (empty for all but the
+   "olc" experiment): one block per arm (locked vs. olc) — the reader
+   operation counts and their xor-combined result digest (which must be
+   identical across the two arms), S-mode and total lock acquires for the
+   arm, the optimistic-path counters (committed reads, retries, fallbacks,
+   version bumps, non-enqueuing RX probes) and the arm makespan.  The
+   [lock] block also gains [instant_checks].  ci/check.sh asserts the olc
+   arm's S acquires are <= 0.30x the locked arm's and the digests are
+   equal.  Pre-v5 baselines omit both additions; all other fields remain
+   comparable field-by-field. *)
+let json_schema_version = 5
 
 let emit_experiment buf (wall, s) =
   let module J = Obs.Json in
@@ -283,6 +297,7 @@ let emit_experiment buf (wall, s) =
               ("deadlocks", i l.Lockmgr.Lock_mgr.deadlocks);
               ("releases", i l.Lockmgr.Lock_mgr.releases);
               ("scan_steps", i l.Lockmgr.Lock_mgr.scan_steps);
+              ("instant_checks", i l.Lockmgr.Lock_mgr.instant_checks);
             ] );
       ( "wal",
         fun b ->
@@ -362,6 +377,27 @@ let emit_experiment buf (wall, s) =
                      ("user_committed", i a.Sim.Probe.g_committed);
                    ])
                s.Sim.Probe.groupcommit) );
+      ( "olc",
+        fun b ->
+          J.arr b
+            (List.map
+               (fun (a : Sim.Probe.olc_arm) b ->
+                 J.obj b
+                   [
+                     ("arm", fun b -> J.string b a.Sim.Probe.o_label);
+                     ("reads", i a.Sim.Probe.o_reads);
+                     ("range_scans", i a.Sim.Probe.o_range_scans);
+                     ("digest", i a.Sim.Probe.o_digest);
+                     ("s_acquires", i a.Sim.Probe.o_s_acquires);
+                     ("acquires", i a.Sim.Probe.o_acquires);
+                     ("olc_reads", i a.Sim.Probe.o_olc_reads);
+                     ("retries", i a.Sim.Probe.o_retries);
+                     ("fallbacks", i a.Sim.Probe.o_fallbacks);
+                     ("version_bumps", i a.Sim.Probe.o_version_bumps);
+                     ("instant_checks", i a.Sim.Probe.o_instant_checks);
+                     ("ticks", i a.Sim.Probe.o_ticks);
+                   ])
+               s.Sim.Probe.olc) );
     ]
 
 let write_json ~file ~experiments:exps ~micro:micro_est =

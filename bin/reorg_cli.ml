@@ -260,10 +260,10 @@ let crash at records seed =
   print_tree_stats "after" db.Sim.Db.tree;
   print_endline "all records intact, invariants OK"
 
-let torture seed stride records users pipeline trace metrics =
+let torture seed stride records users pipeline olc trace metrics =
   setup_logs ();
   let registry, tracer = obs_setup ~trace ~metrics in
-  match Sim.Torture.run ?registry ?tracer ~seed ~stride ~n:records ~users ~pipeline () with
+  match Sim.Torture.run ?registry ?tracer ~seed ~stride ~n:records ~users ~pipeline ~olc () with
   | r ->
     Printf.printf
       "torture: seed=%d stride=%d\n\
@@ -349,7 +349,7 @@ let workload users mix_name records seed shards trace metrics health =
    the checker catches a deliberately broken protocol.  Exit code 2 whenever
    a violation is reported — which is the EXPECTED outcome of the mutation
    runs (CI asserts it). *)
-let model seeds experiments stride records pipeline mutate =
+let model seeds experiments stride records pipeline olc mutate =
   setup_logs ();
   let split s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
   match mutate with
@@ -364,11 +364,11 @@ let model seeds experiments stride records pipeline mutate =
       List.concat_map
         (fun exp ->
           match exp with
-          | "workload" -> List.map (fun seed -> Sim.Conformance.workload ~seed) seeds
+          | "workload" -> List.map (fun seed -> Sim.Conformance.workload ~olc ~seed ()) seeds
           | "torture" ->
             List.map
               (fun seed ->
-                Sim.Conformance.torture ~n:records ~pipeline ~seed ~stride ~users:2 ())
+                Sim.Conformance.torture ~n:records ~pipeline ~olc ~seed ~stride ~users:2 ())
               seeds
           | "shard" ->
             List.map (fun seed -> Sim.Conformance.shard_torture ~n:records ~seed ~stride ()) seeds
@@ -385,10 +385,12 @@ let model seeds experiments stride records pipeline mutate =
       exit 2
     end;
     Printf.printf "model conformance OK (%d run(s))\n" (List.length summaries)
-  | ("table1" | "switch") as which ->
+  | ("table1" | "switch" | "olc") as which ->
     let s =
-      if which = "table1" then Sim.Conformance.mutate_table1 ()
-      else Sim.Conformance.mutate_switch ()
+      match which with
+      | "table1" -> Sim.Conformance.mutate_table1 ()
+      | "switch" -> Sim.Conformance.mutate_switch ()
+      | _ -> Sim.Conformance.mutate_olc ()
     in
     print_endline (Sim.Conformance.to_string s);
     if Sim.Conformance.ok s then begin
@@ -399,7 +401,7 @@ let model seeds experiments stride records pipeline mutate =
     print_endline "mutation caught by the checker (exit 2, as the self-test expects)";
     exit 2
   | other ->
-    Printf.eprintf "model: unknown --mutate %S (want none, table1 or switch)\n" other;
+    Printf.eprintf "model: unknown --mutate %S (want none, table1, switch or olc)\n" other;
     exit 1
 
 (* ------------- command wiring ------------- *)
@@ -454,13 +456,21 @@ let torture_cmd =
             "Run every cycle with the asynchronous durability pipeline (group commit, \
              elevator writeback, fuzzy checkpoints with WAL truncation) attached.")
   in
+  let olc_t =
+    Arg.(
+      value & flag
+      & info [ "olc" ]
+          ~doc:
+            "Turn the optimistic lock-free read path on in every cycle: users read their \
+             inserts back without locks, so crashes land inside optimistic descents.")
+  in
   Cmd.v
     (Cmd.info "torture"
        ~doc:
          "Crash at every write boundary (torn pages, torn WAL tails), recover, verify \
           forward recovery.")
     Term.(
-      const torture $ seed_t $ stride_t $ records_t $ users_t $ pipeline_t $ trace_t
+      const torture $ seed_t $ stride_t $ records_t $ users_t $ pipeline_t $ olc_t $ trace_t
       $ metrics_t)
 
 let workload_cmd =
@@ -528,16 +538,26 @@ let model_cmd =
       & info [ "mutate" ] ~docv:"WHICH"
           ~doc:
             "Mutation self-test: $(b,table1) flips one lock-compatibility cell, \
-             $(b,switch) breaks the \xc2\xa77.1 CK-advance guard; the checker must object \
-             (exit 2).")
+             $(b,switch) breaks the \xc2\xa77.1 CK-advance guard, $(b,olc) skips the \
+             optimistic-read version bumps; the checker must object (exit 2).")
+  in
+  let olc_t =
+    Arg.(
+      value & flag
+      & info [ "olc" ]
+          ~doc:
+            "Run the conformance workloads and torture sweeps with the optimistic read \
+             path on; committed optimistic reads are judged by the olc model machine.")
   in
   Cmd.v
     (Cmd.info "model"
        ~doc:
          "Replay seeded workloads and crash sweeps through the protocol state-machine \
-          models (Table-1 locks, unit lifecycle, switch/drain); exit 2 on any violation.")
+          models (Table-1 locks, unit lifecycle, switch/drain, optimistic reads); exit 2 \
+          on any violation.")
     Term.(
-      const model $ seeds_t $ experiments_t $ stride_t $ records_t $ pipeline_t $ mutate_t)
+      const model $ seeds_t $ experiments_t $ stride_t $ records_t $ pipeline_t $ olc_t
+      $ mutate_t)
 
 let () =
   let info =

@@ -24,7 +24,7 @@ dune runtest
 echo "== bench smoke (JSON schema) =="
 BENCH_OUT=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 trap 'rm -f "$BENCH_OUT"' EXIT
-BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency health shard groupcommit >/dev/null
+BENCH_REV=ci-smoke dune exec bench/main.exe -- --json "$BENCH_OUT" table1 concurrency health shard groupcommit olc >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$BENCH_OUT" <<'EOF'
 import json, sys
@@ -32,7 +32,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
-assert doc["schema_version"] == 4, "unexpected schema_version"
+assert doc["schema_version"] == 5, "unexpected schema_version"
 assert doc["revision"] == "ci-smoke", "BENCH_REV not propagated"
 exps = doc["experiments"]
 assert exps, "no experiments recorded"
@@ -106,15 +106,38 @@ assert piped["checkpoints"] > 0, "no fuzzy checkpoint taken"
 assert piped["wal_truncated"] > 0, "checkpoints reclaimed no WAL records"
 assert piped["user_committed"] > 0 and sync["user_committed"] > 0
 
+# Schema v5: the olc experiment carries one block per reader arm; the
+# optimistic arm must do the same reads (identical digests), shed at least
+# 70% of the locked arm's S acquires, and show the fallback path firing.
+assert isinstance(conc["lock"]["instant_checks"], int), "lock.instant_checks missing"
+oarms = {a["arm"]: a for a in exps["olc"]["olc"]}
+assert set(oarms) == {"locked", "olc"}, "expected locked and olc arms"
+locked, olc = oarms["locked"], oarms["olc"]
+assert locked["reads"] == olc["reads"] > 0, "arms read different operation counts"
+assert locked["range_scans"] == olc["range_scans"] > 0
+assert locked["digest"] == olc["digest"], (
+    "optimistic results diverge from locked results: %08x vs %08x"
+    % (locked["digest"], olc["digest"]))
+assert locked["olc_reads"] == 0, "locked arm took the optimistic path"
+assert olc["olc_reads"] > 0, "olc arm committed no optimistic reads"
+s_ratio = olc["s_acquires"] / max(1, locked["s_acquires"])
+assert s_ratio <= 0.30, (
+    "OLC arm kept %.2fx of the locked arm's S acquires (want <= 0.30x: %d vs %d)"
+    % (s_ratio, olc["s_acquires"], locked["s_acquires"]))
+assert olc["fallbacks"] > 0, "no optimistic read ever fell back to the locked path"
+assert olc["instant_checks"] > 0, "no non-enqueuing RX probe recorded"
+assert olc["version_bumps"] > 0 and locked["version_bumps"] > 0
+
 print("bench JSON OK: %d experiment(s), %d health sample(s), watch fires: %s, "
       "shard sweep %s (4/1 makespan %.2f), groupcommit forces %d->%d, "
-      "seq/rand writes %.2f->%.2f"
+      "seq/rand writes %.2f->%.2f, olc S acquires %d->%d (%.2fx, digests equal)"
       % (len(exps), len(series), ",".join(sorted(set(fired))),
          sorted(makespans), ratio, sync["forced"], piped["forced"],
-         seq_ratio(sync), seq_ratio(piped)))
+         seq_ratio(sync), seq_ratio(piped),
+         locked["s_acquires"], olc["s_acquires"], s_ratio))
 EOF
 elif command -v jq >/dev/null 2>&1; then
-  test "$(jq -r .schema_version "$BENCH_OUT")" = 4
+  test "$(jq -r .schema_version "$BENCH_OUT")" = 5
   test "$(jq -r '.experiments.concurrency.lock.acquires > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.lock.scan_steps > 0' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.concurrency.io.reads > 0' "$BENCH_OUT")" = true
@@ -129,6 +152,7 @@ elif command -v jq >/dev/null 2>&1; then
   test "$(jq -r '.experiments.groupcommit.groupcommit | (map(select(.arm == "pipelined"))[0].forced) < (map(select(.arm == "sync"))[0].forced)' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.groupcommit.groupcommit | map(select(.arm == "pipelined"))[0] | (.batches > 0) and (.coalesced >= .batches) and (.checkpoints > 0) and (.wal_truncated > 0)' "$BENCH_OUT")" = true
   test "$(jq -r '.experiments.groupcommit.groupcommit | ((map(select(.arm == "pipelined"))[0]) as $p | (map(select(.arm == "sync"))[0]) as $s | ($p.seq_writes / ([1, $p.rand_writes] | max)) > ($s.seq_writes / ([1, $s.rand_writes] | max)))' "$BENCH_OUT")" = true
+  test "$(jq -r '.experiments.olc.olc | ((map(select(.arm == "olc"))[0]) as $o | (map(select(.arm == "locked"))[0]) as $l | ($o.digest == $l.digest) and ($o.reads == $l.reads) and ($o.olc_reads > 0) and ($o.fallbacks > 0) and ($o.s_acquires <= 0.30 * $l.s_acquires))' "$BENCH_OUT")" = true
   echo "bench JSON OK (jq)"
 else
   echo "python3/jq not available; skipping JSON validation" >&2
@@ -140,12 +164,16 @@ dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 1 -n 120 >/dev/null
 echo "== torture sweep (async pipeline: group-commit windows, checkpoint truncation) =="
 dune exec bin/reorg_cli.exe -- torture --seed 11 --stride 7 -n 120 --users 2 --pipeline >/dev/null
 dune exec bin/reorg_cli.exe -- torture --seed 42 --stride 7 -n 120 --users 2 --pipeline >/dev/null
+echo "== torture sweep (optimistic readers: crashes inside lock-free descents) =="
+dune exec bin/reorg_cli.exe -- torture --seed 7 --stride 17 -n 120 --users 2 --olc >/dev/null
 echo "torture OK"
 
 echo "== model conformance =="
 dune exec bin/reorg_cli.exe -- model --seeds 11,23,42 --experiments workload
 dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture,shard --stride 1 -n 120
 dune exec bin/reorg_cli.exe -- model --seeds 11 --experiments torture --stride 7 -n 120 --pipeline
+dune exec bin/reorg_cli.exe -- model --seeds 11,23 --experiments workload --olc
+dune exec bin/reorg_cli.exe -- model --seeds 7 --experiments torture --stride 29 -n 120 --olc
 echo "== model mutation self-tests (must exit 2) =="
 set +e
 dune exec bin/reorg_cli.exe -- model --mutate table1 >/dev/null
@@ -157,6 +185,11 @@ dune exec bin/reorg_cli.exe -- model --mutate switch >/dev/null
 rc=$?
 set -e
 test "$rc" -eq 2 || { echo "mutate switch: expected exit 2, got $rc" >&2; exit 1; }
+set +e
+dune exec bin/reorg_cli.exe -- model --mutate olc >/dev/null
+rc=$?
+set -e
+test "$rc" -eq 2 || { echo "mutate olc: expected exit 2, got $rc" >&2; exit 1; }
 echo "model OK"
 
 echo "All checks passed."

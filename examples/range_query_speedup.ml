@@ -12,7 +12,7 @@ let measure_scans db label =
   Db.flush_all db;
   let pool = Pager.Buffer_pool.create db.Db.backend in
   let journal = Transact.Journal.create pool db.Db.log in
-  let tree = Tree.attach ~journal ~alloc:db.Db.alloc ~meta_pid:0 in
+  let tree = Tree.attach ~journal ~alloc:db.Db.alloc ~meta_pid:0 () in
   Disk.reset_stats db.Db.disk;
   let rng = Util.Rng.create 7 in
   let records = ref 0 in

@@ -13,10 +13,31 @@ type t = {
   mutable on_base_update : (Txn.t -> Wal.Record.side_op -> unit) option;
   mutable side_undo : (Wal.Record.side_op -> unit) option;
   mutable health : Obs.Health.t option;
+  mutable olc_enabled : bool;
+  mutable olc_max_retries : int;
+  mutable read_probe : (leaf:int -> key:int -> valid:bool -> unit) option;
 }
 
 let create ~tree ~mgr ?(record_locking = false) () =
-  { tree; mgr; record_locking; on_base_update = None; side_undo = None; health = None }
+  {
+    tree;
+    mgr;
+    record_locking;
+    on_base_update = None;
+    side_undo = None;
+    health = None;
+    olc_enabled = false;
+    olc_max_retries = 3;
+    read_probe = None;
+  }
+
+let set_olc t ?(max_retries = 3) enabled =
+  t.olc_enabled <- enabled;
+  t.olc_max_retries <- max_retries
+
+let olc_enabled t = t.olc_enabled
+
+let set_read_probe t f = t.read_probe <- f
 
 let set_health t h = t.health <- h
 let health t = t.health
@@ -86,17 +107,17 @@ and couple_down t ~txn ~key ~leaf_mode cur =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Reader                                                              *)
+(* Reader — locked protocol (Table 1)                                  *)
 (* ------------------------------------------------------------------ *)
 
-let read t ~txn key =
+let read_locked t ~txn key =
   Lock_client.acquire (locks t) ~txn (Resource.Tree (Tree.tree_name t.tree)) Mode.IS;
   let leaf_mode = if t.record_locking then Mode.IS else Mode.S in
   let leaf = descend_locked t ~txn ~key ~leaf_mode in
   if t.record_locking then Lock_client.acquire (locks t) ~txn (Resource.Rec key) Mode.S;
   Leaf.find (Tree.page t.tree leaf) key
 
-let rec range_read t ~txn ~lo ~hi =
+let rec range_read_locked t ~txn ~lo ~hi =
   Lock_client.acquire (locks t) ~txn (Resource.Tree (Tree.tree_name t.tree)) Mode.IS;
   let leaf = descend_locked t ~txn ~key:lo ~leaf_mode:Mode.S in
   walk_chain t ~txn ~lo ~hi leaf []
@@ -126,12 +147,172 @@ and walk_chain t ~txn ~lo ~hi cur acc =
       | Some base -> Lock_client.instant (locks t) ~txn (page_res base) Mode.RS
       | None -> ());
       Txn.note_give_up txn;
-      List.rev_append acc (range_read t ~txn ~lo:resume_from ~hi)
+      List.rev_append acc (range_read_locked t ~txn ~lo:resume_from ~hi)
     | `Conflict _ ->
       Lock_client.wait_queued (locks t) ~txn (page_res nxt) Mode.S;
       Lock_client.release (locks t) ~txn (page_res cur) Mode.S;
       walk_chain t ~txn ~lo ~hi nxt acc
   end
+
+(* ------------------------------------------------------------------ *)
+(* Reader — optimistic lock coupling (FB+-tree style)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Lock-free descent: between two scheduler yields everything is atomic, so
+   a step only has to prove that the pointer it followed {e across} the last
+   yield is still live.  It captures the version of the node it is standing
+   on, yields, then re-validates epoch (crash invalidation), the
+   active-unit gauge (records may be mid-move between org and dest — the
+   one window where reading current page contents is not enough), and the
+   captured version (the node was not split/cleared/freed/swapped since, so
+   its child and side pointers are still the tree's).  Page contents are
+   always read fresh inside the post-validation atomic step, which is why
+   record-level inserts/deletes need no versioning at all.
+
+   At the leaf it chases side pointers B-link-style (splits move records
+   right, never left), then makes one non-enqueuing S-grantability probe:
+   an RX/X holder means a reorganization unit or a structural writer owns
+   the leaf right now, so the optimistic result could be mid-move — give
+   up.  A clean probe plus valid versions means a locked reader arriving at
+   this instant would have been granted S and read the same bytes. *)
+
+exception Olc_conflict
+
+let olc_descend t ~txn olc ~key =
+  let epoch0 = Olc.epoch olc in
+  if Olc.active olc then raise Olc_conflict;
+  let rec go cur vcur =
+    Engine.yield ();
+    if
+      Olc.epoch olc <> epoch0
+      || Olc.active olc
+      || Olc.version olc cur <> vcur
+    then raise Olc_conflict;
+    match Tree.page t.tree cur with
+    | exception _ -> raise Olc_conflict
+    | p ->
+      if Leaf.is_leaf p then begin
+        let rec chase pid p =
+          match Leaf.next p with
+          | Some nxt -> begin
+            match Tree.page t.tree nxt with
+            | np when Leaf.is_leaf np && Leaf.low_mark np <= key -> chase nxt np
+            | _ -> pid
+            | exception _ -> pid
+          end
+          | None -> pid
+        in
+        let leaf = chase cur p in
+        if not (Lock_mgr.probe (locks t) ~owner:txn.Txn.id (page_res leaf) Mode.S) then
+          raise Olc_conflict;
+        leaf
+      end
+      else if Inode.is_internal p then begin
+        let child = (Inode.child_for p key).Inode.child in
+        go child (Olc.version olc child)
+      end
+      else
+        (* Freed (or being reformatted) since the parent was read. *)
+        raise Olc_conflict
+  in
+  let root = Tree.root t.tree in
+  go root (Olc.version olc root)
+
+let olc_read t ~txn key =
+  let olc = Tree.olc t.tree in
+  let rec attempt tries =
+    match olc_descend t ~txn olc ~key with
+    | leaf ->
+      (* Same atomic step as the descent's final validation. *)
+      let res = Leaf.find (Tree.page t.tree leaf) key in
+      Olc.note_read olc;
+      (match t.read_probe with
+      | Some probe ->
+        (* Checker mode: judge the optimistic result against a fresh
+           unlocked descent in the same atomic step — ground truth, since
+           nothing can run between the two. *)
+        let valid = res = Tree.search t.tree key in
+        probe ~leaf ~key ~valid
+      | None -> ());
+      res
+    | exception Olc_conflict ->
+      if tries < t.olc_max_retries then begin
+        Olc.note_retry olc;
+        attempt (tries + 1)
+      end
+      else begin
+        Olc.note_fallback olc;
+        read_locked t ~txn key
+      end
+  in
+  attempt 0
+
+let olc_range_read t ~txn ~lo ~hi =
+  let olc = Tree.olc t.tree in
+  let epoch0 = Olc.epoch olc in
+  (* [acc] is reversed; every record in it was collected inside a validated
+     atomic step, so a fallback only needs the locked protocol for the
+     remainder of the key range. *)
+  let rec attempt ~from acc tries =
+    match olc_descend t ~txn olc ~key:from with
+    | leaf -> collect ~from acc tries leaf
+    | exception Olc_conflict -> conflict ~from acc tries
+  and conflict ~from acc tries =
+    if tries < t.olc_max_retries then begin
+      Olc.note_retry olc;
+      attempt ~from acc (tries + 1)
+    end
+    else begin
+      Olc.note_fallback olc;
+      List.rev_append acc (range_read_locked t ~txn ~lo:from ~hi)
+    end
+  and collect ~from acc tries cur =
+    (* Inside a validated atomic step for [cur]. *)
+    let p = Tree.page t.tree cur in
+    let here =
+      List.filter (fun r -> r.Leaf.key >= lo && r.Leaf.key <= hi) (Leaf.records p)
+    in
+    let acc = List.rev_append here acc in
+    let stop = match Leaf.max_key p with Some k when k > hi -> true | _ -> false in
+    match (stop, Leaf.next p) with
+    | true, _ | _, None ->
+      Olc.note_read olc;
+      List.rev acc
+    | false, Some nxt -> begin
+      let resume_from = match Leaf.max_key p with Some k -> k + 1 | None -> from in
+      let vnxt = Olc.version olc nxt in
+      Engine.yield ();
+      if
+        Olc.epoch olc <> epoch0
+        || Olc.active olc
+        || Olc.version olc nxt <> vnxt
+        || not (Lock_mgr.probe (locks t) ~owner:txn.Txn.id (page_res nxt) Mode.S)
+      then
+        (* The chain moved under us: re-descend for the continuation key
+           (the records gathered so far stay good). *)
+        conflict ~from:resume_from acc tries
+      else
+        match Tree.page t.tree nxt with
+        | np when Leaf.is_leaf np ->
+          ignore np;
+          collect ~from:resume_from acc tries nxt
+        | _ -> conflict ~from:resume_from acc tries
+        | exception _ -> conflict ~from:resume_from acc tries
+    end
+  in
+  attempt ~from:lo [] 0
+
+(* ------------------------------------------------------------------ *)
+(* Reader — dispatch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let read t ~txn key =
+  if t.olc_enabled && not t.record_locking then olc_read t ~txn key
+  else read_locked t ~txn key
+
+let range_read t ~txn ~lo ~hi =
+  if t.olc_enabled && not t.record_locking then olc_range_read t ~txn ~lo ~hi
+  else range_read_locked t ~txn ~lo ~hi
 
 (* ------------------------------------------------------------------ *)
 (* Updater                                                             *)

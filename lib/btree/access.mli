@@ -60,10 +60,31 @@ val set_health : t -> Obs.Health.t option -> unit
 
 val health : t -> Obs.Health.t option
 
+val set_olc : t -> ?max_retries:int -> bool -> unit
+(** Enable/disable the optimistic read path (DESIGN.md §11): point lookups
+    and range scans descend lock-free, validating {!Olc} per-node versions
+    across scheduler yields and probing for an RX/X presence at the leaf
+    ({!Lockmgr.Lock_mgr.probe} — never enqueues).  On a validation conflict,
+    an active reorganization unit, or a crash-advanced epoch, the reader
+    retries up to [max_retries] (default 3) times, then falls back to the
+    locked Table-1 protocol.  Writers and the reorganizer are unaffected.
+    Ignored (locked path used) when the access layer does record-level
+    locking — record S locks are the point there. *)
+
+val olc_enabled : t -> bool
+
+val set_read_probe : t -> (leaf:int -> key:int -> valid:bool -> unit) option -> unit
+(** Conformance-checker hook: fires on every {e committed} optimistic point
+    read, in the same atomic scheduler step as the read itself, with
+    [valid] = "the optimistic result equals a fresh root-to-leaf descent's
+    answer right now".  The olc protocol model asserts [valid] always holds;
+    the {!Olc.test_skip_bumps} mutation makes it fire false. *)
+
 val read : t -> txn:Transact.Txn.t -> int -> string option
 
 val range_read : t -> txn:Transact.Txn.t -> lo:int -> hi:int -> Leaf.record list
-(** S-locks each leaf in turn along the side-pointer chain. *)
+(** S-locks each leaf in turn along the side-pointer chain (or walks it
+    optimistically when {!set_olc} is enabled). *)
 
 val insert : t -> txn:Transact.Txn.t -> key:int -> payload:string -> unit
 

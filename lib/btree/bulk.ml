@@ -126,4 +126,4 @@ let load ~journal ~alloc ~meta_pid ~tree_name ~fill ?internal_fill records =
   Meta.init mp ~root ~tree_name;
   Buffer_pool.mark_dirty pool meta_pid;
   Buffer_pool.flush_all pool;
-  Tree.attach ~journal ~alloc ~meta_pid
+  Tree.attach ~journal ~alloc ~meta_pid ()

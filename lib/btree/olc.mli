@@ -1,0 +1,58 @@
+(** Optimistic-lock-coupling support state (FB+-tree style): per-page
+    version counters, a crash epoch, and an active-reorganization-unit
+    gauge, shared by one tree file and its scratch trees.
+
+    Readers descend lock-free by capturing a node's version before
+    following a pointer out of it and re-validating after the scheduler
+    yield; writers bump versions on every structure-modifying or
+    record-moving page write.  While a §5 reorganization unit is executing
+    ([active]), or after a crash advanced the [epoch], validation fails and
+    the reader retries or falls back to the paper's locked R/RX/RS
+    protocol.  See DESIGN.md §11. *)
+
+type t
+
+val create : unit -> t
+
+val version : t -> int -> int
+(** Current version of a page id; pages never written read as [0]. *)
+
+val bump : t -> int -> unit
+(** Record a structural change to the page: invalidates every optimistic
+    descent that captured the old version.  Skipped while
+    {!test_skip_bumps} is set (mutation self-test only). *)
+
+val epoch : t -> int
+
+val invalidate_all : t -> unit
+(** Crash / volatile teardown: advance the epoch, clear the version table
+    and zero the active-unit gauge.  Every in-flight optimistic descent
+    fails its next validation. *)
+
+val unit_begin : t -> unit
+(** A §5 reorganization unit started executing (record moves follow). *)
+
+val unit_end : t -> unit
+(** The unit logged its END.  Clamped at zero so recovery's forward
+    completion (whose BEGIN predates the crash) stays balanced. *)
+
+val active : t -> bool
+(** True while any reorganization unit is mid-flight — the cheap "reorg
+    activity" predicate that sends readers to the locked path. *)
+
+val note_read : t -> unit
+val note_retry : t -> unit
+val note_fallback : t -> unit
+
+val reads : t -> int
+val retries : t -> int
+val fallbacks : t -> int
+val version_bumps : t -> int
+
+val register_obs : t -> Obs.Registry.t -> unit
+(** Export [olc.reads], [olc.retries], [olc.fallbacks] and
+    [olc.version_bumps] as gauges. *)
+
+val test_skip_bumps : bool ref
+(** Test-only mutation hook: suppress version bumps so the conformance
+    checker can prove a stale optimistic read is actually caught. *)

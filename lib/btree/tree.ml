@@ -4,7 +4,7 @@ module Alloc = Pager.Alloc
 module Journal = Transact.Journal
 module Txn = Transact.Txn
 
-type t = { journal : Journal.t; alloc : Alloc.t; meta_pid : int }
+type t = { journal : Journal.t; alloc : Alloc.t; meta_pid : int; olc : Olc.t }
 
 exception Duplicate_key of int
 exception Record_too_large of int
@@ -13,6 +13,7 @@ let journal t = t.journal
 let pool t = Journal.pool t.journal
 let alloc t = t.alloc
 let meta_pid t = t.meta_pid
+let olc t = t.olc
 
 let page t pid = Buffer_pool.get (pool t) pid
 
@@ -20,14 +21,17 @@ let page_size t = Buffer_pool.page_size (pool t)
 
 (* Whole-page logged mutation (structural).  The before/after images include
    the header; redo re-stamps the LSN afterwards, so the stale LSN bytes in
-   the image are harmless. *)
+   the image are harmless.  Every structural page write bumps the page's
+   OLC version so in-flight optimistic descents re-validate. *)
 let physical t ?txn pid f =
-  Journal.physical t.journal ?txn ~page:pid ~off:0 ~len:(page_size t) f
+  Journal.physical t.journal ?txn ~page:pid ~off:0 ~len:(page_size t) f;
+  Olc.bump t.olc pid
 
 (* Narrow logged mutation for body-only edits on internal pages. *)
 let physical_body t ?txn pid f =
   Journal.physical t.journal ?txn ~page:pid ~off:Layout.off_level
-    ~len:(page_size t - Layout.off_level) f
+    ~len:(page_size t - Layout.off_level) f;
+  Olc.bump t.olc pid
 
 let meta t = page t t.meta_pid
 
@@ -44,14 +48,19 @@ let set_reorg_bit t v =
 let generation t = Meta.generation (meta t)
 let set_generation t ?txn g = physical t ?txn t.meta_pid (fun p -> Meta.set_generation p g)
 
-let create ~journal ~alloc ~meta_pid ~tree_name =
-  let t = { journal; alloc; meta_pid } in
+let create ?olc ~journal ~alloc ~meta_pid ~tree_name () =
+  let olc = match olc with Some o -> o | None -> Olc.create () in
+  let t = { journal; alloc; meta_pid; olc } in
   let root_pid = Alloc.alloc alloc Pager.Alloc.Leaf in
   physical t root_pid (fun p -> Leaf.init p ~low_mark:min_int);
   physical t meta_pid (fun p -> Meta.init p ~root:root_pid ~tree_name);
   t
 
-let attach ~journal ~alloc ~meta_pid = { journal; alloc; meta_pid }
+(* A scratch tree attached over the same file (pass 3) must share the
+   file's version table — page ids are file-global. *)
+let attach ?olc ~journal ~alloc ~meta_pid () =
+  let olc = match olc with Some o -> o | None -> Olc.create () in
+  { journal; alloc; meta_pid; olc }
 
 (* ------------------------------------------------------------------ *)
 (* Descent                                                             *)

@@ -19,16 +19,35 @@ exception Duplicate_key of int
 exception Record_too_large of int
 
 val create :
-  journal:Transact.Journal.t -> alloc:Pager.Alloc.t -> meta_pid:int -> tree_name:int -> t
-(** Format [meta_pid] and a fresh empty root leaf. *)
+  ?olc:Olc.t ->
+  journal:Transact.Journal.t ->
+  alloc:Pager.Alloc.t ->
+  meta_pid:int ->
+  tree_name:int ->
+  unit ->
+  t
+(** Format [meta_pid] and a fresh empty root leaf.  [olc] shares an existing
+    version table (page ids are file-global); omitted, a fresh one is made. *)
 
-val attach : journal:Transact.Journal.t -> alloc:Pager.Alloc.t -> meta_pid:int -> t
-(** Open an existing tree (e.g. after restart). *)
+val attach :
+  ?olc:Olc.t ->
+  journal:Transact.Journal.t ->
+  alloc:Pager.Alloc.t ->
+  meta_pid:int ->
+  unit ->
+  t
+(** Open an existing tree (e.g. after restart).  Pass 3 attaches its scratch
+    tree with [~olc:(Tree.olc base_tree)] so new-tree structure writes are
+    visible to optimistic readers of the same file. *)
 
 val journal : t -> Transact.Journal.t
 val pool : t -> Pager.Buffer_pool.t
 val alloc : t -> Pager.Alloc.t
 val meta_pid : t -> int
+
+val olc : t -> Olc.t
+(** The file's optimistic-read version table; bumped by every structural
+    page write made through this module. *)
 
 val root : t -> int
 val set_root : t -> ?txn:Transact.Txn.t -> int -> unit

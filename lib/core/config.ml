@@ -15,6 +15,8 @@ type t = {
   lambda_switch : bool;
   unit_pages : int;
   catchup_batch : int;
+  olc : bool;
+  olc_max_retries : int;
 }
 
 let default =
@@ -33,6 +35,8 @@ let default =
     lambda_switch = false;
     unit_pages = 1;
     catchup_batch = 16;
+    olc = false;
+    olc_max_retries = 3;
   }
 
 let heuristic_name = function

@@ -48,6 +48,16 @@ type t = {
           overhead but give concurrent updaters fewer chances to slip new
           entries in mid-drain (they only matter before the switch holds X
           on the side file). *)
+  olc : bool;
+      (** optimistic lock coupling for the read path: point lookups and
+          range scans descend lock-free, validating per-node version
+          counters ({!Btree.Olc}), and fall back to the paper's R/RX/RS
+          locked protocol on conflict or while a reorganization unit is
+          active.  Writers and the reorganizer keep Table-1 semantics
+          either way.  Default [false]. *)
+  olc_max_retries : int;
+      (** bounded optimistic retries per operation before falling back to
+          the locked descent (default 3). *)
 }
 
 val default : t

@@ -74,6 +74,7 @@ let span t ?args name f =
     Obs.Trace.with_span tr ~tid ?args ~cat:"reorg" name f
 
 let tree t = Access.tree t.access
+let olc t = Btree.Tree.olc (tree t)
 let health t = Access.health t.access
 let locks t = Access.locks t.access
 let journal t = Tree.journal (tree t)

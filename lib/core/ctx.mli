@@ -53,6 +53,12 @@ val span : t -> ?args:(string * Obs.Trace.arg) list -> string -> (unit -> 'a) ->
 
 val tree : t -> Btree.Tree.t
 
+val olc : t -> Btree.Olc.t
+(** The tree file's optimistic-read version table.  The reorganizer bumps it
+    at every raw page mutation that bypasses {!Btree.Tree.physical} and
+    registers its units ({!Btree.Olc.unit_begin}/[unit_end]) so optimistic
+    readers fall back to the locked protocol while a unit is in flight. *)
+
 val health : t -> Obs.Health.t option
 (** The database's tree-health tracker, when one is attached to the access
     layer — how unit completions and switches are reported. *)

@@ -12,6 +12,7 @@ module Inode = Btree.Inode
 module Meta = Btree.Meta
 module Tree = Btree.Tree
 module Access = Btree.Access
+module Olc = Btree.Olc
 
 let key_of = function
   | Record.Side_insert { key; _ } | Record.Side_delete { key; _ } -> key
@@ -40,6 +41,9 @@ let discard_old_internals ctx ~old_root =
       List.iter (fun e -> free e.Inode.child) (Inode.entries p);
       Journal.physical (Ctx.journal ctx) ~page:pid ~off:0 ~len:1 (fun q ->
           Pager.Page.set_kind q Pager.Page.kind_free);
+      (* An optimistic reader still descending the discarded upper levels
+         must notice its path died (DESIGN.md §11). *)
+      Olc.bump (Ctx.olc ctx) pid;
       Alloc.release (Ctx.alloc ctx) pid
     end
   in
@@ -216,7 +220,13 @@ let run ctx ?resume ?finish () =
     Journal.physical journal ~page:scratch_meta ~off:0 ~len:Btree.Layout.body_start (fun p ->
         Meta.init p ~root:new_root ~tree_name:(old_name + 1);
         Meta.set_generation p gen);
-    let nt = Tree.attach ~journal ~alloc:(Ctx.alloc ctx) ~meta_pid:scratch_meta in
+    Olc.bump (Ctx.olc ctx) scratch_meta;
+    (* The scratch tree shares the file's version table: page ids are
+       file-global, and after the switch optimistic readers descend the
+       structure the builder just wrote. *)
+    let nt =
+      Tree.attach ~olc:(Tree.olc tree) ~journal ~alloc:(Ctx.alloc ctx) ~meta_pid:scratch_meta ()
+    in
     new_tree := Some nt;
     (* ---- catch-up: apply the side file to the new tree, one batch per
        scheduler yield (draining entry-by-entry made every entry a full
@@ -269,12 +279,14 @@ let run ctx ?resume ?finish () =
             Meta.set_root p (Tree.root nt);
             Meta.set_tree_name p (old_name + 1);
             Meta.set_generation p gen);
+        Olc.bump (Ctx.olc ctx) (Tree.meta_pid tree);
         Wal.Log.force_all (Ctx.log ctx));
     (match Access.health access with Some h -> Obs.Health.note_switch h | None -> ());
     let cleanup () =
       discard_old_internals ctx ~old_root;
       Journal.physical journal ~page:scratch_meta ~off:0 ~len:1 (fun p ->
           Pager.Page.set_kind p Pager.Page.kind_free);
+      Olc.bump (Ctx.olc ctx) scratch_meta;
       Alloc.release (Ctx.alloc ctx) scratch_meta;
       Tree.set_reorg_bit tree false;
       Access.clear_on_base_update access;

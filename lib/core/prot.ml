@@ -42,6 +42,7 @@ type event =
   | Switch_cleanup of { actor : int }
   | Side_accept of { key : int }
   | Side_redirect of { key : int }
+  | Olc_read of { leaf : int; key : int; valid : bool }
 
 let mode_to_string = function Fresh -> "fresh" | Resume -> "resume" | Finish -> "finish"
 
@@ -82,5 +83,7 @@ let to_string = function
   | Switch_cleanup { actor } -> Printf.sprintf "Switch_cleanup{actor=%d}" actor
   | Side_accept { key } -> Printf.sprintf "Side_accept{key=%d}" key
   | Side_redirect { key } -> Printf.sprintf "Side_redirect{key=%d}" key
+  | Olc_read { leaf; key; valid } ->
+    Printf.sprintf "Olc_read{leaf=%d key=%d valid=%b}" leaf key valid
 
 let pp ppf ev = Format.pp_print_string ppf (to_string ev)

@@ -17,7 +17,11 @@
       side-file catch-up, the switch record, the drain with forced aborts
       (§7.4) and the λ-switch variant;
     - [Side_accept]/[Side_redirect] are the side file's per-update admission
-      decisions (accepted behind CK vs redirected to the new tree). *)
+      decisions (accepted behind CK vs redirected to the new tree);
+    - [Olc_read] is fired by the access layer's optimistic read path
+      (installed through {!Btree.Access.set_read_probe}) for every committed
+      lock-free point lookup, carrying an oracle verdict computed in the same
+      atomic scheduler step. *)
 
 type pass3_mode = Fresh | Resume | Finish
 
@@ -54,6 +58,9 @@ type event =
   | Switch_cleanup of { actor : int }
   | Side_accept of { key : int }
   | Side_redirect of { key : int }
+  | Olc_read of { leaf : int; key : int; valid : bool }
+      (** a committed optimistic read: [valid] = its result equals a fresh
+          locked-descent answer taken in the same atomic step *)
 
 val key_to_string : int -> string
 (** Renders [min_int]/[max_int] as the -inf/+inf sentinels they are. *)

@@ -9,6 +9,7 @@ module Journal = Transact.Journal
 module Leaf = Btree.Leaf
 module Inode = Btree.Inode
 module Layout = Btree.Layout
+module Olc = Btree.Olc
 
 type plan =
   | Compact of {
@@ -49,6 +50,13 @@ let release_all ctx held = Ctx.release_unit_locks ctx held
 let opt_pid = function None -> Layout.nil_pid | Some p -> p
 let pid_opt p = if p = Layout.nil_pid then None else Some p
 
+(* Every raw page mutation below bypasses [Tree.physical], so the
+   optimistic-read version table must be bumped explicitly (DESIGN.md §11).
+   Record-level content changes need it too: an uncontended unit executes
+   atomically between two reader yields, so a reader parked on a leaf whose
+   records are exchanged under it can only notice through the version. *)
+let bump ctx pid = Olc.bump (Ctx.olc ctx) pid
+
 let move_payload ~careful records =
   if careful then Record.Keys_only (List.map (fun r -> r.Leaf.key) records)
   else Record.Full_records (List.map (fun r -> (r.Leaf.key, r.Leaf.payload)) records)
@@ -78,15 +86,18 @@ let set_leaf_header ctx pid ~low_mark ~prev ~next =
     ~len:(Layout.off_next + 4 - Layout.off_low_mark) (fun p ->
       Leaf.set_low_mark p low_mark;
       Leaf.set_prev p (pid_opt prev);
-      Leaf.set_next p (pid_opt next))
+      Leaf.set_next p (pid_opt next));
+  bump ctx pid
 
 let set_neighbor_next ctx pid next =
   Journal.physical (Ctx.journal ctx) ~page:pid ~off:Layout.off_next ~len:4 (fun p ->
-      Leaf.set_next p next)
+      Leaf.set_next p next);
+  bump ctx pid
 
 let set_neighbor_prev ctx pid prev =
   Journal.physical (Ctx.journal ctx) ~page:pid ~off:Layout.off_prev ~len:4 (fun p ->
-      Leaf.set_prev p prev)
+      Leaf.set_prev p prev);
+  bump ctx pid
 
 (* Format a fresh leaf with a narrow header-only physical record.  Residual
    body bytes of a recycled page are unreachable because the header declares
@@ -95,11 +106,13 @@ let format_dest ctx pid ~low_mark ~prev ~next =
   Journal.physical (Ctx.journal ctx) ~page:pid ~off:0 ~len:Layout.body_start (fun p ->
       Leaf.init p ~low_mark;
       Leaf.set_prev p (pid_opt prev);
-      Leaf.set_next p (pid_opt next))
+      Leaf.set_next p (pid_opt next));
+  bump ctx pid
 
 let dealloc_org ctx ~org ~dest =
   Journal.physical (Ctx.journal ctx) ~page:org ~off:0 ~len:1 (fun p ->
       Page.set_kind p Page.kind_free);
+  bump ctx org;
   if ctx.Ctx.config.Config.careful_writing then
     (* The page may not be reused until its contents are durable in dest. *)
     Alloc.defer_release (Ctx.alloc ctx) ~page:org ~until_durable:dest
@@ -121,7 +134,8 @@ let apply_edits_to_base ctx ~base ~edits ~lsn =
         | None -> ()
       end)
     edits;
-  Ctx.stamp ctx ~page:base lsn
+  Ctx.stamp ctx ~page:base lsn;
+  bump ctx base
 
 (* A concurrent updater can split the base page itself between the time a
    unit captures its plan and the time it logs MODIFY, relocating entries to
@@ -156,7 +170,10 @@ let log_modify ctx ~unit_id ~base ~edits =
 let log_end ctx ~unit_id ~largest_key =
   let prev = Rtable.last_lsn ctx.Ctx.rtable in
   ignore (Ctx.log_reorg ctx (Record.Reorg_end { unit_id; largest_key; prev }));
-  Rtable.end_unit ctx.Ctx.rtable ~largest_key
+  Rtable.end_unit ctx.Ctx.rtable ~largest_key;
+  (* Execution, undo and recovery completions all flow through here: the
+     optimistic read path stops falling back once no unit is in flight. *)
+  Olc.unit_end (Ctx.olc ctx)
 
 (* Consecutive-children check: every leaf must be a child of [base] and the
    entries must be adjacent, in order. *)
@@ -214,13 +231,16 @@ let undo_moves ctx ~unit_id ~dest ~dest_fresh ~saved =
       Leaf.set_next op next;
       List.iter (fun r -> assert (Leaf.insert op r)) records;
       Ctx.stamp ctx ~page:org lsn;
+      bump ctx org;
       let dp = Ctx.page ctx dest in
       List.iter (fun r -> ignore (Leaf.delete dp r.Leaf.key)) records;
-      Ctx.stamp ctx ~page:dest lsn)
+      Ctx.stamp ctx ~page:dest lsn;
+      bump ctx dest)
     saved;
   if dest_fresh then begin
     Journal.physical (Ctx.journal ctx) ~page:dest ~off:0 ~len:1 (fun p ->
         Page.set_kind p Page.kind_free);
+    bump ctx dest;
     Alloc.release (Ctx.alloc ctx) dest
   end;
   log_end ctx ~unit_id ~largest_key:(Rtable.lk ctx.Ctx.rtable)
@@ -290,6 +310,7 @@ let execute_compact ctx ~base ~leaves ~dest =
              { unit_id; rtype = Record.Compact; base_pages = [ base ]; leaf_pages = leaves })
       in
       Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
+      Olc.unit_begin (Ctx.olc ctx);
       if dest_fresh then begin
         claimed := None (* ownership passes to the unit: undo or the tree *);
         format_dest ctx dest_pid ~low_mark ~prev:(opt_pid prev_n) ~next:(opt_pid next_n)
@@ -309,6 +330,8 @@ let execute_compact ctx ~base ~leaves ~dest =
             Leaf.clear op;
             Ctx.stamp ctx ~page:org lsn;
             Ctx.stamp ctx ~page:dest_pid lsn;
+            bump ctx org;
+            bump ctx dest_pid;
             Obs.Counter.incr ctx.Ctx.metrics.Metrics.records_moved ~by:(List.length records);
             saved := (org, records, org_low, org_prev, org_next) :: !saved
           end)
@@ -402,6 +425,7 @@ let execute_move ctx ~base ~org ~dest =
            { unit_id; rtype = Record.Move; base_pages = [ base ]; leaf_pages = [ org ] })
     in
     Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
+    Olc.unit_begin (Ctx.olc ctx);
     claimed := false (* ownership passes to the unit: undo or the tree *);
     format_dest ctx dest ~low_mark ~prev:(opt_pid prev_n) ~next:(opt_pid next_n);
     let careful = plan_careful ctx ~blocked:org ~prereq:dest in
@@ -411,6 +435,8 @@ let execute_move ctx ~base ~org ~dest =
     Leaf.clear (Ctx.page ctx org);
     Ctx.stamp ctx ~page:org lsn;
     Ctx.stamp ctx ~page:dest lsn;
+    bump ctx org;
+    bump ctx dest;
     Obs.Counter.incr ctx.Ctx.metrics.Metrics.records_moved ~by:(List.length records);
     (match
        Lock_client.try_acquire (Ctx.locks ctx) ~txn:ctx.Ctx.actor (Resource.Page base) Mode.X
@@ -499,6 +525,7 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
         (Record.Reorg_begin { unit_id; rtype = Record.Swap; base_pages; leaf_pages = [ a; b ] })
     in
     Rtable.begin_unit ctx.Ctx.rtable ~unit_id ~begin_lsn;
+    Olc.unit_begin (Ctx.olc ctx);
     (* MOVE a->b must carry full contents; MOVE b->a may be keys-only under
        careful writing ("there is no way to avoid logging at least one of
        the full page contents"). *)
@@ -524,6 +551,8 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
     List.iter (fun r -> assert (Leaf.insert pb r)) recs_a;
     Ctx.stamp ctx ~page:a m2;
     Ctx.stamp ctx ~page:b m2;
+    bump ctx a;
+    bump ctx b;
     Obs.Counter.incr ctx.Ctx.metrics.Metrics.records_moved ~by:(List.length recs_a + List.length recs_b);
     (* Upgrade both bases. *)
     let upgrade base =
@@ -562,6 +591,8 @@ let execute_swap ctx ~a_base ~a ~b_base ~b =
        List.iter (fun r -> assert (Leaf.insert pb r)) recs_b;
        Ctx.stamp ctx ~page:a lsn;
        Ctx.stamp ctx ~page:b lsn;
+       bump ctx a;
+       bump ctx b;
        log_end ctx ~unit_id ~largest_key:(Rtable.lk ctx.Ctx.rtable);
        release_all ctx held;
        raise Lock_client.Deadlock_victim);

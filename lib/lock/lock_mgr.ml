@@ -14,6 +14,7 @@ type stats = {
   deadlocks : int;
   releases : int;
   scan_steps : int;
+  instant_checks : int;
 }
 
 type waiter = {
@@ -89,6 +90,7 @@ type t = {
   mutable give_ups : int; (* instant-duration requests signalled: the paper's give-ups *)
   mutable cancelled_waits : int; (* waits cancelled from outside (switch time limit) *)
   mutable scan_steps : int; (* holder/index list elements examined on lock paths *)
+  mutable instant_checks : int; (* non-enqueuing grantability probes (OLC fallback tests) *)
   by_mode : (Mode.t, mode_stats) Hashtbl.t;
   mutable tracer : Obs.Trace.t option;
   (* Extra waits-for edges from outside this lock domain.  A cross-shard
@@ -116,6 +118,7 @@ let create () =
     give_ups = 0;
     cancelled_waits = 0;
     scan_steps = 0;
+    instant_checks = 0;
     by_mode = Hashtbl.create 8;
     tracer = None;
     event_hook = None;
@@ -149,6 +152,7 @@ let register_obs t reg =
   Obs.Registry.gauge reg "lock.cancelled_waits" (fun () -> t.cancelled_waits);
   Obs.Registry.gauge reg "lock.deadlocks" (fun () -> t.deadlocks);
   Obs.Registry.gauge reg "lock.scan_steps" (fun () -> t.scan_steps);
+  Obs.Registry.gauge reg "lock.instant_checks" (fun () -> t.instant_checks);
   List.iter
     (fun mode ->
       let m = Mode.to_string mode in
@@ -278,9 +282,19 @@ let compat_with_holders t e o mode =
 
 let compat_with_queue t e o mode =
   (* A new (non-conversion) request must not overtake queued waiters it
-     conflicts with. *)
-  t.scan_steps <- t.scan_steps + List.length e.queue;
-  List.for_all (fun w -> w.w_owner = o || Mode.compat w.w_mode mode) e.queue
+     conflicts with.  The work metric counts each waiter examined exactly
+     once, inside the same traversal (and honouring [for_all]'s
+     short-circuit) — not a second [List.length] walk of the queue. *)
+  let examined = ref 0 in
+  let ok =
+    List.for_all
+      (fun w ->
+        incr examined;
+        w.w_owner = o || Mode.compat w.w_mode mode)
+      e.queue
+  in
+  t.scan_steps <- t.scan_steps + !examined;
+  ok
 
 let blockers e o mode =
   let hs =
@@ -388,6 +402,21 @@ let try_acquire t ~owner res mode =
       `Conflict (blockers e owner mode)
     end
   end
+
+(* Instant-style grantability probe: would [try_acquire] grant right now?
+   Unlike [Lock_client.instant] it neither takes the lock nor enqueues on
+   conflict — the optimistic read path uses it to test for an RX/X presence
+   on a leaf without ever touching the wait queue.  Counted separately
+   ([instant_checks]) so probes don't masquerade as acquires. *)
+let probe t ~owner res mode =
+  t.instant_checks <- t.instant_checks + 1;
+  match entry_opt t res with
+  | None -> true
+  | Some e ->
+    let held = owner_modes t e owner in
+    List.exists (fun (m, _) -> Mode.covers ~held:m ~need:mode) held
+    || (compat_with_holders t e owner mode
+       && (held <> [] || compat_with_queue t e owner mode))
 
 (* ---------------- deadlock detection ---------------- *)
 
@@ -652,6 +681,7 @@ let stats t =
     deadlocks = t.deadlocks;
     releases = t.releases;
     scan_steps = t.scan_steps;
+    instant_checks = t.instant_checks;
   }
 
 let reset_stats t =
@@ -664,4 +694,5 @@ let reset_stats t =
   t.give_ups <- 0;
   t.cancelled_waits <- 0;
   t.scan_steps <- 0;
+  t.instant_checks <- 0;
   Hashtbl.reset t.by_mode

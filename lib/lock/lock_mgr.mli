@@ -52,6 +52,10 @@ type stats = {
       (** lock-table work metric: holder/queue/index elements examined on the
           acquire/release paths — the unit of the lock-manager hot-path
           before/after comparisons *)
+  instant_checks : int;
+      (** non-mutating {!probe} calls — the optimistic read path's
+          RX-presence tests, counted apart from [acquires] so OLC fallback
+          probes don't masquerade as lock traffic *)
 }
 
 val create : unit -> t
@@ -62,6 +66,13 @@ val register_reorganizer : t -> owner -> unit
 val try_acquire : t -> owner:owner -> Resource.t -> Mode.t -> outcome
 (** Non-blocking acquire.  Re-acquiring a mode already covered by a held mode
     on the same resource is granted re-entrantly. *)
+
+val probe : t -> owner:owner -> Resource.t -> Mode.t -> bool
+(** Instant-style grantability test: would {!try_acquire} grant [mode] right
+    now?  Takes nothing and never enqueues — the decision is advisory and
+    immediately stale.  The optimistic read path probes [S] on a leaf to
+    detect an RX/X holder (a reorganization unit or writer mid-flight)
+    without generating lock traffic; counted in [stats.instant_checks]. *)
 
 val enqueue :
   t -> owner:owner -> Resource.t -> Mode.t -> instant:bool -> wake:(grant -> unit) -> unit
@@ -135,7 +146,7 @@ val register_obs : t -> Obs.Registry.t -> unit
     [lock.grants_after_wait], [lock.instant_signals], [lock.give_ups]
     (instant-duration RS signals — the paper's give-up count),
     [lock.cancelled_waits] (switch-time forced aborts), [lock.deadlocks],
-    [lock.scan_steps], and per-mode
+    [lock.scan_steps], [lock.instant_checks], and per-mode
     [lock.{acquires,waits,deadlock_victims}.<MODE>] gauges.  Each gauge reads
     the like-named {!stats} counter. *)
 

@@ -13,6 +13,7 @@ type t = {
   units : (Unit_model.state, Prot.event) Machine.t;
   actors : (Unit_model.actor_state, Prot.event) Machine.t;
   switches : (Switch_model.state, Prot.event) Machine.t;
+  olc : (Olc_model.state, Prot.event) Machine.t;
   coords : (Coord_model.state, Coordinator.event) Machine.t;
   mutable label : string;
   mutable violations : Machine.violation list; (* newest first *)
@@ -37,6 +38,7 @@ let create ?(max_violations = 20) () =
       units = Machine.create Unit_model.lifecycle ~sink;
       actors = Machine.create Unit_model.actor ~sink;
       switches = Machine.create Switch_model.def ~sink;
+      olc = Machine.create Olc_model.def ~sink;
       coords = Machine.create Coord_model.def ~sink;
       label = "";
       violations = [];
@@ -55,6 +57,7 @@ let cycle t label =
   Machine.reset t.units;
   Machine.reset t.actors;
   Machine.reset t.switches;
+  Machine.reset t.olc;
   Machine.reset t.coords
 
 let crash t =
@@ -64,6 +67,7 @@ let crash t =
   Machine.reset t.units;
   Machine.reset t.actors;
   Machine.reset t.switches;
+  Machine.reset t.olc;
   Machine.reset t.coords
 
 let lock_hook t ~shard =
@@ -107,7 +111,12 @@ let prot_hook t ~shard =
     | Prot.Unit_recover { actor; _ } ->
       Machine.step t.actors ~track:(Printf.sprintf "s%d/actor%d" shard actor) ev
     | _ -> ());
-    Machine.step t.switches ~track:(Printf.sprintf "s%d" shard) ev
+    (* Olc_read is the access layer's event, not a switch-protocol step: it
+       gets its own per-shard machine and is kept out of the switch-drain
+       model (which has no transition for it). *)
+    match ev with
+    | Prot.Olc_read _ -> Machine.step t.olc ~track:(Printf.sprintf "s%d/olc" shard) ev
+    | _ -> Machine.step t.switches ~track:(Printf.sprintf "s%d" shard) ev
 
 let coord_hook t =
   fun ev ->
@@ -131,13 +140,14 @@ let finalize t =
   Machine.finalize t.units;
   Machine.finalize t.actors;
   Machine.finalize t.switches;
+  Machine.finalize t.olc;
   Machine.finalize t.coords
 
 let events t = t.events
 
 let tracks t =
   Machine.track_count t.locks + Machine.track_count t.units + Machine.track_count t.actors
-  + Machine.track_count t.switches + Machine.track_count t.coords
+  + Machine.track_count t.switches + Machine.track_count t.olc + Machine.track_count t.coords
 
 let violations t = List.rev t.violations
 

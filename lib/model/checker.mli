@@ -27,7 +27,8 @@ val lock_hook : t -> shard:int -> Lockmgr.Lock_mgr.event -> unit
 
 val prot_hook : t -> shard:int -> Reorg.Prot.event -> unit
 (** The sink to pass as [Ctx.make ~prot]: routes unit events to the
-    lifecycle/actor machines and everything to the shard's switch machine. *)
+    lifecycle/actor machines, [Olc_read] to the shard's optimistic-read
+    machine, and everything else to the shard's switch machine. *)
 
 val attach_coordinator : t -> Shard.Coordinator.t -> unit
 

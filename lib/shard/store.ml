@@ -111,7 +111,7 @@ let create ?faults ?(page_size = 512) ?(leaf_pages = 1024) ?capacity ?record_loc
     =
   let t =
     assemble ?faults ?record_locking ?shard ~page_size ~leaf_pages ~capacity
-      ~mk_tree:(fun ~journal ~alloc -> Tree.create ~journal ~alloc ~meta_pid:0 ~tree_name:1)
+      ~mk_tree:(fun ~journal ~alloc -> Tree.create ~journal ~alloc ~meta_pid:0 ~tree_name:1 ())
       ()
   in
   (* The freshly formatted tree is durable, as after CREATE DATABASE. *)
@@ -131,7 +131,8 @@ let register_obs t reg =
   Buffer_pool.register_obs t.pool reg;
   Wal.Log.register_obs t.log reg;
   Pager.Fault.register_obs t.faults reg;
-  Obs.Health.register_obs t.health reg
+  Obs.Health.register_obs t.health reg;
+  Btree.Olc.register_obs (Btree.Tree.olc t.tree) reg
 
 let set_tracers t tracer =
   Lockmgr.Lock_mgr.set_tracer t.locks tracer;
@@ -174,7 +175,11 @@ let volatile_teardown t =
   Access.clear_on_base_update t.access;
   (* In-memory health knowledge may be ahead of the surviving disk image:
      re-examine everything lazily after recovery. *)
-  Obs.Health.invalidate_all t.health
+  Obs.Health.invalidate_all t.health;
+  (* Page versions are volatile too: recovery replays arbitrary structure,
+     so advance the epoch wholesale — any optimistic descent in flight
+     across the crash must fail validation and fall back. *)
+  Btree.Olc.invalidate_all (Btree.Tree.olc t.tree)
 
 let crash_now ?flush_seed t =
   (* The plan (if any) is done: nothing must trip while we tear things

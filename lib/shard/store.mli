@@ -90,8 +90,8 @@ val remove_assemble_hook : int -> unit
 (** Remove one hook by id; unknown ids are ignored. *)
 
 val register_obs : t -> Obs.Registry.t -> unit
-(** Register the lock manager's, buffer pool's, log's, fault controller's
-    and tree-health gauges.  Sharded assemblies pass a
+(** Register the lock manager's, buffer pool's, log's, fault controller's,
+    tree-health and optimistic-read ([olc.*]) gauges.  Sharded assemblies pass a
     [Obs.Registry.prefixed reg "shard<i>."] view so every shard's metrics
     coexist in one registry. *)
 
@@ -104,7 +104,8 @@ val checkpoint : t -> ?reorg_table:Wal.Record.reorg_table -> unit -> unit
 val volatile_teardown : t -> unit
 (** Drop this store's volatile state as a crash would: log tail and
     buffer-pool frames vanish, locks and active transactions are cleared,
-    in-memory health knowledge is invalidated.  Does {e not} touch the fault
+    in-memory health knowledge and optimistic-read page versions are
+    invalidated.  Does {e not} touch the fault
     controller — callers that share one controller across several stores
     (sharded crash) kill/revive it once around tearing every store down. *)
 

@@ -43,25 +43,28 @@ let summarize label c =
 (* A mixed seeded workload: reorganization of an aged tree with concurrent
    updaters — the deadlock/give-up machinery fires, the side file fills, the
    switch drains. *)
-let workload ~seed =
+let workload ?(olc = false) ~seed () =
   let c = Model.Checker.create () in
   let db, _ = Scenario.aged ~page_size:512 ~leaf_pages:512 ~seed ~n:400 ~f1:0.3 () in
   let _ctx, _report, _ustats =
-    Scenario.run_reorg ~checker:c ~users:4 ~user_mix:Workload.Mix.update_heavy
+    Scenario.run_reorg ~checker:c ~olc ~users:4 ~user_mix:Workload.Mix.update_heavy
       ~user_ops:400 ~seed db
   in
   Model.Checker.finalize c;
-  summarize (Printf.sprintf "workload-%d" seed) c
+  summarize (Printf.sprintf "workload-%d%s" seed (if olc then "+olc" else "")) c
 
 (* The crash sweeps: every [stride]-th write/force boundary of the seeded
    torture workloads, each crash replayed through recovery with the models
    watching both sides of the boundary. *)
-let torture ?(n = 120) ?(leaf_pages = 128) ?(pipeline = false) ~seed ~stride ~users () =
+let torture ?(n = 120) ?(leaf_pages = 128) ?(pipeline = false) ?(olc = false) ~seed ~stride
+    ~users () =
   let c = Model.Checker.create () in
   let label =
-    Printf.sprintf "torture-%d/%d%s" seed stride (if pipeline then "+pipe" else "")
+    Printf.sprintf "torture-%d/%d%s%s" seed stride
+      (if pipeline then "+pipe" else "")
+      (if olc then "+olc" else "")
   in
-  match Torture.run ~checker:c ~n ~leaf_pages ~pipeline ~seed ~stride ~users () with
+  match Torture.run ~checker:c ~n ~leaf_pages ~pipeline ~olc ~seed ~stride ~users () with
   | (_ : Torture.report) -> summarize label c
   | exception Torture.Failed msg ->
     let s = summarize label c in
@@ -138,3 +141,37 @@ let mutate_switch () =
       ignore (Scenario.run_reorg ~checker:c db));
   Model.Checker.finalize c;
   summarize "mutate-switch" c
+
+(* Skip the optimistic-read version bumps (DESIGN.md §11) and run read-only
+   users against a reorganization that swaps and compacts leaves: an
+   uncontended unit executes atomically between two reader yields, so a
+   reader whose parked-on leaf had its records exchanged under it commits a
+   wrong answer — the olc machine's oracle guard must fire.  The same
+   scenario with bumps intact is the clean arm ([workload ~olc:true]). *)
+let mutate_olc () =
+  let c = Model.Checker.create () in
+  Btree.Olc.test_skip_bumps := true;
+  Fun.protect
+    ~finally:(fun () -> Btree.Olc.test_skip_bumps := false)
+    (fun () ->
+      (* Only swap units silently re-point a live leaf (moves and compacts
+         free the org page, which a reader detects as a kind change), so the
+         hit window is narrow: readers must target PRESENT keys
+         ([user_key_space = n]) and several seeds are swept — the first
+         caught violation proves the point.  Every seed here trips with the
+         production bumps removed; one is enough. *)
+      let seeds = [ 11; 12; 13; 17; 23 ] in
+      List.iter
+        (fun seed ->
+          if Model.Checker.ok c then begin
+            let db, _ =
+              Scenario.aged ~page_size:512 ~leaf_pages:512 ~seed ~n:400 ~f1:0.3 ()
+            in
+            ignore
+              (Scenario.run_reorg ~checker:c ~olc:true ~users:6
+                 ~user_mix:Workload.Mix.read_only ~user_ops:4_000 ~user_key_space:400 ~seed
+                 db)
+          end)
+        seeds);
+  Model.Checker.finalize c;
+  summarize "mutate-olc" c

@@ -14,7 +14,7 @@ let range_cost db =
   Db.flush_all db;
   let pool = Pager.Buffer_pool.create db.Db.backend in
   let journal = Transact.Journal.create pool db.Db.log in
-  let tree = Tree.attach ~journal ~alloc:db.Db.alloc ~meta_pid:0 in
+  let tree = Tree.attach ~journal ~alloc:db.Db.alloc ~meta_pid:0 () in
   Disk.reset_stats db.Db.disk;
   let rng = Util.Rng.create 7 in
   for _ = 1 to 40 do

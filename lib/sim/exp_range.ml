@@ -14,7 +14,7 @@ let scan_cost db ~ranges ~width =
   let pool = Pager.Buffer_pool.create db.Db.backend in
   let journal = Transact.Journal.create pool db.Db.log in
   let alloc = db.Db.alloc in
-  let tree = Tree.attach ~journal ~alloc ~meta_pid:0 in
+  let tree = Tree.attach ~journal ~alloc ~meta_pid:0 () in
   Disk.reset_stats db.Db.disk;
   let total = ref 0 in
   let rng = Util.Rng.create 7 in

@@ -44,6 +44,21 @@ type gc_arm = {
   g_committed : int;
 }
 
+type olc_arm = {
+  o_label : string;
+  o_reads : int;
+  o_range_scans : int;
+  o_digest : int;
+  o_s_acquires : int;
+  o_acquires : int;
+  o_olc_reads : int;
+  o_retries : int;
+  o_fallbacks : int;
+  o_version_bumps : int;
+  o_instant_checks : int;
+  o_ticks : int;
+}
+
 type sample = {
   disk : Pager.Disk.stats;
   io_cost : float;
@@ -56,6 +71,7 @@ type sample = {
   timeseries : Obs.Health.Sampler.snapshot list;
   shard_sweep : shard_point list;
   groupcommit : gc_arm list;
+  olc : olc_arm list;
 }
 
 type parts = {
@@ -67,6 +83,7 @@ type parts = {
   mutable tseries : Obs.Health.Sampler.snapshot list; (* reversed batches *)
   mutable sweep : shard_point list; (* reversed *)
   mutable gc_arms : gc_arm list; (* reversed *)
+  mutable olc_arms : olc_arm list; (* reversed *)
 }
 
 let current : parts option ref = ref None
@@ -98,6 +115,11 @@ let note_groupcommit arms =
   match !current with
   | None -> ()
   | Some c -> c.gc_arms <- List.rev_append arms c.gc_arms
+
+let note_olc arms =
+  match !current with
+  | None -> ()
+  | Some c -> c.olc_arms <- List.rev_append arms c.olc_arms
 
 let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
 
@@ -160,6 +182,7 @@ let total c =
           deadlocks = a.deadlocks + b.deadlocks;
           releases = a.releases + b.releases;
           scan_steps = a.scan_steps + b.scan_steps;
+          instant_checks = a.instant_checks + b.instant_checks;
         })
       {
         Lockmgr.Lock_mgr.acquires = 0;
@@ -171,6 +194,7 @@ let total c =
         deadlocks = 0;
         releases = 0;
         scan_steps = 0;
+        instant_checks = 0;
       }
       c.lockms
   in
@@ -194,6 +218,7 @@ let total c =
     timeseries = List.rev c.tseries;
     shard_sweep = List.rev c.sweep;
     groupcommit = List.rev c.gc_arms;
+    olc = List.rev c.olc_arms;
   }
 
 let with_collector f =
@@ -210,6 +235,7 @@ let with_collector f =
       tseries = [];
       sweep = [];
       gc_arms = [];
+      olc_arms = [];
     }
   in
   current := Some c;

@@ -54,6 +54,24 @@ type gc_arm = {
 (** One arm of the group-commit experiment: the same workload run with the
     synchronous commit path vs. the asynchronous durability pipeline. *)
 
+type olc_arm = {
+  o_label : string;  (** ["locked"] or ["olc"] *)
+  o_reads : int;  (** reader point lookups performed *)
+  o_range_scans : int;  (** reader range scans performed *)
+  o_digest : int;  (** order-independent digest of every result — must be
+                       identical across the arms *)
+  o_s_acquires : int;  (** S-mode lock acquires during the arm *)
+  o_acquires : int;  (** all lock acquires during the arm *)
+  o_olc_reads : int;  (** committed optimistic reads ([olc.reads]) *)
+  o_retries : int;
+  o_fallbacks : int;
+  o_version_bumps : int;
+  o_instant_checks : int;  (** non-enqueuing RX-presence probes *)
+  o_ticks : int;  (** arm makespan (engine clock) *)
+}
+(** One arm of the optimistic-read experiment: the same read-heavy workload
+    run with the locked Table-1 reader protocol vs. the lock-free OLC path. *)
+
 type sample = {
   disk : Pager.Disk.stats;  (** summed over every disk assembled *)
   io_cost : float;  (** {!Pager.Disk.io_cost} of the summed stats, default cost model *)
@@ -66,6 +84,7 @@ type sample = {
   timeseries : Obs.Health.Sampler.snapshot list;  (** health samples reported via {!note_timeseries} *)
   shard_sweep : shard_point list;  (** sweep points reported via {!note_shard_sweep} *)
   groupcommit : gc_arm list;  (** pipeline arms reported via {!note_groupcommit} *)
+  olc : olc_arm list;  (** optimistic-read arms reported via {!note_olc} *)
 }
 
 val with_collector : (unit -> 'a) -> 'a * sample
@@ -94,3 +113,8 @@ val note_groupcommit : gc_arm list -> unit
 (** Report sync-vs-pipelined arms for the current experiment (appended in
     call order); a no-op when no collector is active.  They surface as the
     [groupcommit] array of the schema-v4 benchmark baseline. *)
+
+val note_olc : olc_arm list -> unit
+(** Report locked-vs-optimistic reader arms for the current experiment
+    (appended in call order); a no-op when no collector is active.  They
+    surface as the [olc] array of the schema-v5 benchmark baseline. *)

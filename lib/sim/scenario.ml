@@ -51,8 +51,8 @@ let purged ?(page_size = 512) ~seed ~n ~ranges ~width () =
   in
   (db, expected)
 
-let run_reorg ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(users = 0)
-    ?(user_mix = Workload.Mix.read_mostly) ?(user_ops = 10_000) ?(seed = 1) ?sampler
+let run_reorg ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?olc ?(users = 0)
+    ?(user_mix = Workload.Mix.read_mostly) ?(user_ops = 10_000) ?user_key_space ?(seed = 1) ?sampler
     ?(sample_every = 25) ?(pipeline = false) ?pipeline_ckpt_every db =
   let prot =
     match checker with
@@ -61,6 +61,15 @@ let run_reorg ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(user
       Some (Model.Checker.prot_hook c ~shard:0)
     | None -> None
   in
+  let olc_on = match olc with Some b -> b | None -> config.Reorg.Config.olc in
+  Btree.Access.set_olc db.Db.access ~max_retries:config.Reorg.Config.olc_max_retries olc_on;
+  (* With a checker attached, every committed optimistic read carries its
+     oracle verdict into the olc conformance machine. *)
+  (match (olc_on, prot) with
+  | true, Some p ->
+    Btree.Access.set_read_probe db.Db.access
+      (Some (fun ~leaf ~key ~valid -> p (Reorg.Prot.Olc_read { leaf; key; valid })))
+  | _ -> Btree.Access.set_read_probe db.Db.access None);
   let ctx = Reorg.Ctx.make ?registry ?tracer ?prot ~access:db.Db.access ~config () in
   let eng = Engine.create () in
   Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
@@ -92,6 +101,7 @@ let run_reorg ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(user
   let ustats =
     if users > 0 then
       Workload.Mix.spawn_users eng ~access:db.Db.access ~seed ~users ~ops_per_user:user_ops
+        ?key_space:user_key_space
         ~stop:(fun () -> !report <> None)
         ~mix:user_mix ()
     else Workload.Mix.create_stats ()

@@ -42,9 +42,11 @@ val run_reorg :
   ?tracer:Obs.Trace.t ->
   ?checker:Model.Checker.t ->
   ?config:Reorg.Config.t ->
+  ?olc:bool ->
   ?users:int ->
   ?user_mix:Workload.Mix.mix ->
   ?user_ops:int ->
+  ?user_key_space:int ->
   ?seed:int ->
   ?sampler:Obs.Health.Sampler.t ->
   ?sample_every:int ->
@@ -56,7 +58,14 @@ val run_reorg :
     concurrent users (they stop when the reorganizer finishes or after
     [user_ops], default 10_000 each).  [checker] attaches the protocol-model
     conformance checker to the lock manager and the reorganization context
-    (the caller finalizes and inspects it afterwards).  [registry] collects every subsystem's
+    (the caller finalizes and inspects it afterwards).
+
+    [olc] (default {!Reorg.Config.t.olc}) turns the optimistic read path on
+    for the user processes; with a checker attached, every committed
+    optimistic read also flows into the olc conformance machine with its
+    oracle verdict ({!Reorg.Prot.Olc_read}).
+
+    [registry] collects every subsystem's
     counters (scheduler, locks, pager, WAL, reorganizer); [tracer] records
     the run as spans/instants on per-process timeline rows, with its clock
     driven by the scheduler's logical time.

@@ -74,8 +74,8 @@ let verify db exp =
             (List.length us)))
 
 let run ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(page_size = 512)
-    ?(leaf_pages = 512) ?(n = 400) ?(users = 0) ?(f1 = 0.3) ?(pipeline = false) ~seed ~stride
-    () =
+    ?(leaf_pages = 512) ?(n = 400) ?(users = 0) ?(f1 = 0.3) ?(pipeline = false) ?(olc = false)
+    ~seed ~stride () =
   if stride < 1 then invalid_arg "Torture.run: stride must be >= 1";
   let faults = Pager.Fault.create () in
   (match registry with Some reg -> Pager.Fault.register_obs faults reg | None -> ());
@@ -95,6 +95,15 @@ let run ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(page_size 
      attempted, [acked] only once commit returned — a crash in between
      leaves the key in the "may or may not survive" set. *)
   let workload ?prot db attempted acked =
+    (* Each cycle builds a fresh store, so the optimistic path (and, with a
+       checker, its oracle probe) is re-armed here; crashes then land inside
+       optimistic descents and the epoch invalidation must hold up. *)
+    Btree.Access.set_olc db.Db.access ~max_retries:config.Reorg.Config.olc_max_retries olc;
+    (match (olc, prot) with
+    | true, Some p ->
+      Btree.Access.set_read_probe db.Db.access
+        (Some (fun ~leaf ~key ~valid -> p (Reorg.Prot.Olc_read { leaf; key; valid })))
+    | _ -> Btree.Access.set_read_probe db.Db.access None);
     let ctx = Reorg.Ctx.make ?registry ?tracer ?prot ~access:db.Db.access ~config () in
     let eng = Engine.create () in
     Engine.set_tracer eng ctx.Reorg.Ctx.tracer;
@@ -116,7 +125,16 @@ let run ?registry ?tracer ?checker ?(config = Reorg.Config.default) ?(page_size 
                  Btree.Access.insert db.Db.access ~txn:tx ~key ~payload;
                  Txn_mgr.commit db.Db.mgr tx;
                  Hashtbl.replace acked key payload
-               with Transact.Lock_client.Deadlock_victim -> Txn_mgr.abort db.Db.mgr tx)
+               with Transact.Lock_client.Deadlock_victim -> Txn_mgr.abort db.Db.mgr tx);
+              (* Under olc, read the key straight back without locks: the
+                 optimistic descent races the reorganizer's units and the
+                 crash plan alike. *)
+              if olc then begin
+                let rt = Txn_mgr.fresh_owner db.Db.mgr in
+                (try ignore (Btree.Access.read db.Db.access ~txn:rt key : string option)
+                 with Transact.Lock_client.Deadlock_victim -> ());
+                Txn_mgr.finish_read_only db.Db.mgr rt
+              end
             end;
             Engine.sleep 3
           done)

@@ -61,6 +61,7 @@ val run :
   ?users:int ->
   ?f1:float ->
   ?pipeline:bool ->
+  ?olc:bool ->
   seed:int ->
   stride:int ->
   unit ->
@@ -72,4 +73,7 @@ val run :
     counters across all cycles.  [pipeline:true] runs every cycle with the
     asynchronous durability pipeline attached ({!Pipeline}) — crash
     boundaries then land inside group-commit windows and elevator sweeps,
-    and fuzzy checkpoints truncate the WAL mid-workload. *)
+    and fuzzy checkpoints truncate the WAL mid-workload.  [olc:true] makes
+    every user read its inserted key back through the optimistic lock-free
+    path in each cycle, so crashes land inside optimistic descents and the
+    post-crash epoch invalidation is exercised. *)

@@ -28,7 +28,7 @@ let mk ?(page_size = 512) ?(leaf_pages = 512) () =
   let log = Wal.Log.create () in
   let journal = Journal.create pool log in
   let alloc = Alloc.create ~pool ~meta_pages:1 ~leaf_pages in
-  let tree = Tree.create ~journal ~alloc ~meta_pid:0 ~tree_name:1 in
+  let tree = Tree.create ~journal ~alloc ~meta_pid:0 ~tree_name:1 () in
   { disk; pool; log; journal; alloc; tree; txn = Txn.make 1 }
 
 let payload k = Printf.sprintf "value-%06d" k
@@ -147,7 +147,7 @@ let test_persistence () =
   let journal2 = Journal.create pool2 env.log in
   let alloc2 = Alloc.create ~pool:pool2 ~meta_pages:1 ~leaf_pages:512 in
   Alloc.rebuild alloc2;
-  let tree2 = Tree.attach ~journal:journal2 ~alloc:alloc2 ~meta_pid:0 in
+  let tree2 = Tree.attach ~journal:journal2 ~alloc:alloc2 ~meta_pid:0 () in
   Invariant.check ~alloc:alloc2 tree2;
   Invariant.check_consistent_with tree2 ~expected:(List.init 200 (fun k -> (k, payload k)))
 

@@ -182,7 +182,7 @@ let test_checker_rejects_backlogged_switch () =
 (* ------------------------------------------------------------------ *)
 
 let test_clean_workload () =
-  let s = Sim.Conformance.workload ~seed:11 in
+  let s = Sim.Conformance.workload ~seed:11 () in
   if not (Sim.Conformance.ok s) then Alcotest.fail (Sim.Conformance.to_string s);
   Alcotest.(check bool) "saw events" true (s.Sim.Conformance.events > 0);
   Alcotest.(check bool) "saw tracks" true (s.Sim.Conformance.tracks > 0)
