@@ -270,7 +270,11 @@ let olc_range_read t ~txn ~lo ~hi =
     (* Inside a validated atomic step for [cur]. *)
     let p = Tree.page t.tree cur in
     let here =
-      List.filter (fun r -> r.Leaf.key >= lo && r.Leaf.key <= hi) (Leaf.records p)
+      (* Filter against [from], not [lo]: after a conflict re-descent the
+         leaf covering the continuation key may have absorbed records in
+         [lo, from) already in [acc] (leaf merge / reorg compact), and the
+         first attempt starts with from = lo anyway. *)
+      List.filter (fun r -> r.Leaf.key >= from && r.Leaf.key <= hi) (Leaf.records p)
     in
     let acc = List.rev_append here acc in
     let stop = match Leaf.max_key p with Some k when k > hi -> true | _ -> false in

@@ -250,6 +250,72 @@ let test_scan_equivalence () =
     [ 3; 5; 9 ]
 
 (* ------------------------------------------------------------------ *)
+(* Conflict re-descent must not re-collect absorbed records            *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: an optimistic scan collects leaf A, parks on the chain-step
+   yield towards leaf B, and in that window a compact absorbs B's records
+   into A (what a pass-2 move does once B's base entry is dropped).  The
+   scan's re-descent for the continuation key lands back on A — which now
+   also holds every record the scan already collected — so the continuation
+   filter must narrow to the continuation key, not the original [lo], or
+   A's records are returned twice.  The engine is FIFO-deterministic, so
+   parking the compactor for exactly the scanner's descent yields puts its
+   one atomic slice precisely inside the scanner's chain-step window. *)
+let test_redescend_no_duplicates () =
+  let db = mk () in
+  Access.set_olc db.Db.access true;
+  let tree = db.Db.tree in
+  let olc = Tree.olc tree in
+  let a = Tree.first_leaf tree in
+  let pa = Tree.page tree a in
+  let b = Option.get (Btree.Leaf.next pa) in
+  let pb = Tree.page tree b in
+  (* Thin both leaves to 3 records each so B's survivors fit into A. *)
+  let thin p =
+    List.iteri
+      (fun i k -> if i >= 3 then ignore (Btree.Leaf.delete p k : string option))
+      (Btree.Leaf.keys p)
+  in
+  thin pa;
+  thin pb;
+  let hi = Option.get (Btree.Leaf.max_key pb) in
+  let expected = Btree.Leaf.keys pa @ Btree.Leaf.keys pb in
+  let descent_yields = List.length (Tree.descend_path tree 0) in
+  let r0 = Olc.retries olc in
+  let got = ref [] in
+  let eng = Engine.create () in
+  Engine.spawn eng ~name:"scanner" (fun () ->
+      let tx = Txn_mgr.fresh_owner db.Db.mgr in
+      got :=
+        List.map
+          (fun r -> r.Btree.Leaf.key)
+          (Access.range_read db.Db.access ~txn:tx ~lo:0 ~hi);
+      Txn_mgr.finish_read_only db.Db.mgr tx);
+  Engine.spawn eng ~name:"compactor" (fun () ->
+      for _ = 1 to descent_yields do
+        Engine.yield ()
+      done;
+      (* One atomic (yield-free) slice: absorb B into A and unlink it. *)
+      List.iter
+        (fun r -> Alcotest.(check bool) "record fits" true (Btree.Leaf.insert pa r))
+        (Btree.Leaf.records pb);
+      Btree.Leaf.set_next pa (Btree.Leaf.next pb);
+      (match Btree.Leaf.next pb with
+      | Some c -> Btree.Leaf.set_prev (Tree.page tree c) (Some a)
+      | None -> ());
+      let bkey = Btree.Leaf.low_mark pb in
+      Btree.Leaf.clear pb;
+      Tree.delete_base_entry tree bkey;
+      Olc.bump olc a;
+      Olc.bump olc b);
+  Engine.run eng;
+  (* The conflict path must actually have fired, else the staging drifted
+     and the check below would pass vacuously. *)
+  Alcotest.(check bool) "scan hit the conflict re-descent" true (Olc.retries olc > r0);
+  Alcotest.(check (list int)) "no duplicates after re-descend" expected !got
+
+(* ------------------------------------------------------------------ *)
 (* Mutation self-test wiring                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -285,6 +351,8 @@ let () =
         [
           Alcotest.test_case "optimistic scan = locked scan (3 seeds)" `Slow
             test_scan_equivalence;
+          Alcotest.test_case "conflict re-descend collects no duplicates" `Quick
+            test_redescend_no_duplicates;
           Alcotest.test_case "skipped bumps are caught" `Slow test_mutation_caught;
         ] );
     ]
